@@ -1,0 +1,56 @@
+// Figure 3 — scalability of the thread-based vs warp-based seed-selection
+// scan as the number of RRR sets N grows (k = 100).
+//
+// Reproduces the paper's crossover: warps win for small N (coalesced scans,
+// N < W_n), threads win as N grows (ceil(N/W_n)*C_w > ceil(N/T_n)*C_t).
+#include <iostream>
+
+#include "common.hpp"
+#include "eim/eim/rrr_collection.hpp"
+#include "eim/eim/sampler.hpp"
+#include "eim/eim/seed_selector.hpp"
+
+int main() {
+  using namespace eim;
+  const bench::BenchEnv env = bench::load_env();
+
+  // One representative social graph supplies the set-size distribution.
+  const auto spec = *graph::find_dataset("WV");
+  const graph::Graph g =
+      graph::build_dataset(spec, graph::DiffusionModel::IndependentCascade);
+
+  const std::uint32_t k = env.clamp_k(100);
+  std::cout << "Figure 3: seed-selection scan time vs N (k=" << k << ", "
+            << spec.name << "-like sets)\n\n";
+
+  gpusim::Device device(gpusim::make_benchmark_device(env.memory_mb));
+  imm::ImmParams params;
+  params.k = k;
+  eim_impl::EimOptions options;  // defaults; sampler only feeds the store
+  eim_impl::DeviceRrrCollection collection(device, g.num_vertices(), true);
+  eim_impl::EimSampler sampler(device, g, graph::DiffusionModel::IndependentCascade,
+                               params, options);
+
+  support::TextTable table(
+      {"N (RRR sets)", "thread-based ms", "warp-based ms", "winner"});
+  const std::uint64_t max_n = env.fast ? 262'144 : 2'097'152;
+  for (std::uint64_t n = 1024; n <= max_n; n *= 4) {
+    sampler.sample_to(collection, n);
+
+    device.timeline().reset();
+    eim_impl::GpuSeedSelector thread_sel(device, eim_impl::ScanStrategy::ThreadPerSet);
+    (void)thread_sel.select(collection, k);
+    const double thread_ms = device.timeline().kernel_seconds() * 1e3;
+
+    device.timeline().reset();
+    eim_impl::GpuSeedSelector warp_sel(device, eim_impl::ScanStrategy::WarpPerSet);
+    (void)warp_sel.select(collection, k);
+    const double warp_ms = device.timeline().kernel_seconds() * 1e3;
+
+    table.add_row({support::TextTable::count(n), support::TextTable::num(thread_ms, 3),
+                   support::TextTable::num(warp_ms, 3),
+                   thread_ms < warp_ms ? "thread" : "warp"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 8 — speedups of eIM over cuRipples and gIM under the LT model
+// (k = 50, eps = 0.05).
+//
+// Same comparison as Fig. 7 with LT's walk-shaped RRR sets; the paper notes
+// gIM OOMs on com-Amazon here while eIM completes.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace eim;
+  const bench::BenchEnv env = bench::load_env();
+  constexpr auto kModel = graph::DiffusionModel::LinearThreshold;
+
+  imm::ImmParams params;
+  params.k = env.clamp_k(50);
+  params.epsilon = env.clamp_eps(0.05);
+  std::cout << "Figure 8: eIM speedups under LT (k=" << params.k
+            << ", eps=" << params.epsilon << ")\n\n";
+
+  support::TextTable table({"Dataset", "eIM s", "gIM s", "cuRipples s",
+                            "speedup vs gIM", "speedup vs cuRipples"});
+  for (const auto& spec : env.datasets) {
+    const graph::Graph g = graph::build_dataset(spec, kModel);
+    const auto eim_cell = bench::run_cell(env, g, bench::eim_runner(kModel, params));
+    const auto gim_cell = bench::run_cell(env, g, bench::gim_runner(kModel, params));
+    const auto cur_cell = bench::run_cell(env, g, bench::curipples_runner(kModel, params));
+
+    auto seconds = [](const bench::Cell& c) {
+      return c.seconds ? support::TextTable::num(*c.seconds, 4) : std::string("OOM");
+    };
+    table.add_row({std::string(spec.abbrev), seconds(eim_cell), seconds(gim_cell),
+                   seconds(cur_cell), bench::speedup_cell(gim_cell, eim_cell),
+                   bench::speedup_cell(cur_cell, eim_cell)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: Philox
+// throughput, log-encoding encode/decode/concurrent store, varint for
+// comparison, reverse-reachability sampling rate, and the forward
+// simulator. These quantify host-side costs; the modeled GPU numbers come
+// from the per-figure binaries.
+#include <benchmark/benchmark.h>
+
+#include "eim/diffusion/forward.hpp"
+#include "eim/diffusion/reverse.hpp"
+#include "eim/encoding/bit_packed_array.hpp"
+#include "eim/encoding/varint.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/support/rng.hpp"
+
+namespace {
+
+using namespace eim;
+
+void BM_PhiloxU32(benchmark::State& state) {
+  support::RandomStream rng(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u32());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhiloxU32);
+
+void BM_PhiloxDouble(benchmark::State& state) {
+  support::RandomStream rng(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_double());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhiloxDouble);
+
+void BM_BitPackedEncode(benchmark::State& state) {
+  const auto bits = static_cast<std::uint32_t>(state.range(0));
+  support::RandomStream rng(3, bits);
+  std::vector<std::uint64_t> values(1 << 16);
+  for (auto& v : values) v = rng.next_u64() & support::low_mask64(bits);
+  for (auto _ : state) {
+    encoding::BitPackedArray packed(values.size(), bits);
+    for (std::size_t i = 0; i < values.size(); ++i) packed.set(i, values[i]);
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_BitPackedEncode)->Arg(12)->Arg(20)->Arg(31);
+
+void BM_BitPackedDecode(benchmark::State& state) {
+  const auto bits = static_cast<std::uint32_t>(state.range(0));
+  support::RandomStream rng(3, bits);
+  encoding::BitPackedArray packed(1 << 16, bits);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    packed.set(i, rng.next_u64() & support::low_mask64(bits));
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < packed.size(); ++i) sum += packed.get(i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packed.size()));
+}
+BENCHMARK(BM_BitPackedDecode)->Arg(12)->Arg(20)->Arg(31);
+
+void BM_BitPackedStoreRelease(benchmark::State& state) {
+  encoding::BitPackedArray packed(1 << 16, 14);
+  for (auto _ : state) {
+    state.PauseTiming();
+    packed.clear();
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      packed.store_release(i, i & 0x3FFFu);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packed.size()));
+}
+BENCHMARK(BM_BitPackedStoreRelease);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  support::RandomStream rng(5, 5);
+  std::vector<std::uint64_t> values(1 << 14);
+  for (auto& v : values) v = rng.next_below(1 << 20);
+  for (auto _ : state) {
+    const auto bytes = encoding::varint_encode(values);
+    benchmark::DoNotOptimize(encoding::varint_decode(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+const graph::Graph& bench_graph(graph::DiffusionModel model) {
+  static graph::Graph ic = [] {
+    graph::Graph g = graph::Graph::from_edge_list(graph::barabasi_albert(10'000, 4, 0.3, 7));
+    graph::assign_weights(g, graph::DiffusionModel::IndependentCascade);
+    return g;
+  }();
+  static graph::Graph lt = [] {
+    graph::Graph g = graph::Graph::from_edge_list(graph::barabasi_albert(10'000, 4, 0.3, 7));
+    graph::assign_weights(g, graph::DiffusionModel::LinearThreshold);
+    return g;
+  }();
+  return model == graph::DiffusionModel::IndependentCascade ? ic : lt;
+}
+
+void BM_RrrSampleIc(benchmark::State& state) {
+  const auto& g = bench_graph(graph::DiffusionModel::IndependentCascade);
+  diffusion::RrrSampler sampler(g, graph::DiffusionModel::IndependentCascade);
+  support::RandomStream rng(9, 1);
+  std::vector<graph::VertexId> out;
+  for (auto _ : state) {
+    sampler.sample_into(rng.next_below(g.num_vertices()), rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RrrSampleIc);
+
+void BM_RrrSampleLt(benchmark::State& state) {
+  const auto& g = bench_graph(graph::DiffusionModel::LinearThreshold);
+  diffusion::RrrSampler sampler(g, graph::DiffusionModel::LinearThreshold);
+  support::RandomStream rng(9, 2);
+  std::vector<graph::VertexId> out;
+  for (auto _ : state) {
+    sampler.sample_into(rng.next_below(g.num_vertices()), rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RrrSampleLt);
+
+void BM_ForwardCascadeIc(benchmark::State& state) {
+  const auto& g = bench_graph(graph::DiffusionModel::IndependentCascade);
+  const std::vector<graph::VertexId> seeds{0, 1, 2, 3, 4};
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diffusion::simulate_ic(g, seeds, 7, trial++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForwardCascadeIc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// §4.1 quality claim — "quality of solutions ... provided by eIM remains
+// the same as the one by cuRipples and gIM".
+//
+// For a sample of networks and both models, every backend's seed set is
+// scored by the same forward Monte-Carlo simulator; the expected spreads
+// must agree within sampling noise (and the serial IMM reference is
+// included as the anchor).
+#include <iostream>
+
+#include "common.hpp"
+#include "eim/diffusion/forward.hpp"
+#include "eim/imm/imm.hpp"
+
+int main() {
+  using namespace eim;
+  const bench::BenchEnv env = bench::load_env();
+
+  imm::ImmParams params;
+  params.k = env.clamp_k(50);
+  params.epsilon = env.clamp_eps(0.2);  // quality is eps-insensitive in practice
+  constexpr std::uint32_t kTrials = 300;
+
+  std::cout << "Solution quality: expected spread of each backend's seeds "
+            << "(forward MC, " << kTrials << " trials)\n\n";
+
+  for (const auto model : {graph::DiffusionModel::IndependentCascade,
+                           graph::DiffusionModel::LinearThreshold}) {
+    std::cout << "\n-- " << graph::to_string(model) << " model --\n";
+    support::TextTable table(
+        {"Dataset", "serial IMM", "eIM", "gIM", "cuRipples", "max deviation %"});
+    for (const auto& spec : env.datasets) {
+      // Quality needs only a handful of networks; skip the giants unless
+      // explicitly requested via EIM_BENCH_DATASETS.
+      if (std::getenv("EIM_BENCH_DATASETS") == nullptr &&
+          spec.synth_edges > 150'000) {
+        continue;
+      }
+      const graph::Graph g = graph::build_dataset(spec, model);
+
+      const auto serial = imm::run_imm_serial(g, model, params);
+      const auto eim_cell = bench::run_cell(env, g, bench::eim_runner(model, params));
+      const auto gim_cell = bench::run_cell(env, g, bench::gim_runner(model, params));
+      const auto cur_cell =
+          bench::run_cell(env, g, bench::curipples_runner(model, params));
+      if (!eim_cell.seconds || !gim_cell.seconds || !cur_cell.seconds) continue;
+
+      const double s0 =
+          diffusion::estimate_spread(g, model, serial.seeds, kTrials, 11).mean;
+      const double s1 =
+          diffusion::estimate_spread(g, model, eim_cell.last.seeds, kTrials, 11).mean;
+      const double s2 =
+          diffusion::estimate_spread(g, model, gim_cell.last.seeds, kTrials, 11).mean;
+      const double s3 =
+          diffusion::estimate_spread(g, model, cur_cell.last.seeds, kTrials, 11).mean;
+      const double lo = std::min(std::min(s0, s1), std::min(s2, s3));
+      const double hi = std::max(std::max(s0, s1), std::max(s2, s3));
+      table.add_row({std::string(spec.abbrev), support::TextTable::num(s0, 1),
+                     support::TextTable::num(s1, 1), support::TextTable::num(s2, 1),
+                     support::TextTable::num(s3, 1),
+                     support::TextTable::num(100.0 * (hi - lo) / hi, 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table 3 — speedup of eIM over gIM under the IC model for decreasing eps
+// (k = 100).
+//
+// Paper shape: near-parity at eps = 0.5, rising monotonically as eps
+// shrinks (theta ~ 1/eps^2 amplifies gIM's allocation and scan overheads).
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace eim;
+  const bench::BenchEnv env = bench::load_env();
+  std::cout << "Table 3: eIM speedup over gIM, IC model, k=100, eps sweep\n\n";
+  bench::print_eps_sweep(env, graph::DiffusionModel::IndependentCascade,
+                         {0.5, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2, 0.15, 0.1, 0.05}, 100);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Table 5 — speedup of eIM over gIM under the LT model for decreasing eps
+// (k = 100). Paper shape mirrors Table 3.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace eim;
+  const bench::BenchEnv env = bench::load_env();
+  std::cout << "Table 5: eIM speedup over gIM, LT model, k=100, eps sweep\n\n";
+  bench::print_eps_sweep(env, graph::DiffusionModel::LinearThreshold,
+                         {0.5, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2, 0.15, 0.1, 0.05}, 100);
+  return 0;
+}

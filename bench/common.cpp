@@ -1,0 +1,166 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace eim::bench {
+
+namespace {
+
+/// Per-dataset heartbeat on stderr so long sweeps show liveness without
+/// polluting the table output on stdout.
+void table_progress(std::string_view abbrev) {
+  std::fprintf(stderr, "[done %.*s]", static_cast<int>(abbrev.size()), abbrev.data());
+  std::fflush(stderr);
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchEnv load_env() {
+  BenchEnv env;
+
+  if (const char* subset = std::getenv("EIM_BENCH_DATASETS")) {
+    for (const auto& abbrev : split_csv(subset)) {
+      if (const auto spec = graph::find_dataset(abbrev)) {
+        env.datasets.push_back(*spec);
+      } else {
+        std::fprintf(stderr, "warning: unknown dataset '%s' ignored\n", abbrev.c_str());
+      }
+    }
+  }
+  if (env.datasets.empty()) {
+    const auto all = graph::all_datasets();
+    env.datasets.assign(all.begin(), all.end());
+  }
+
+  if (const char* runs = std::getenv("EIM_BENCH_RUNS")) {
+    env.runs = static_cast<std::uint32_t>(std::max(1, std::atoi(runs)));
+  }
+  if (const char* fast = std::getenv("EIM_BENCH_FAST")) {
+    env.fast = std::string(fast) == "1";
+  }
+  if (const char* mem = std::getenv("EIM_BENCH_MEMORY_MB")) {
+    env.memory_mb = static_cast<std::uint64_t>(std::max(1, std::atoi(mem)));
+  }
+
+  std::printf("# datasets=%zu runs=%u fast=%d device=%llu MB (simulated)\n",
+              env.datasets.size(), env.runs, env.fast ? 1 : 0,
+              static_cast<unsigned long long>(env.memory_mb));
+  return env;
+}
+
+Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner) {
+  Cell cell;
+  support::RunningStat stat;
+  for (std::uint32_t run = 0; run < env.runs; ++run) {
+    gpusim::Device device(gpusim::make_benchmark_device(env.memory_mb));
+    try {
+      cell.last = runner(device, g, run);
+    } catch (const support::DeviceOutOfMemoryError&) {
+      cell.seconds.reset();
+      return cell;
+    }
+    stat.push(cell.last.device_seconds);
+  }
+  cell.seconds = stat.mean();
+  return cell;
+}
+
+Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,
+                  eim_impl::EimOptions options) {
+  return [model, params, options](gpusim::Device& device, const graph::Graph& g,
+                                  std::uint32_t run) {
+    imm::ImmParams p = params;
+    p.rng_seed += run;
+    return eim_impl::run_eim(device, g, model, p, options);
+  };
+}
+
+Runner gim_runner(graph::DiffusionModel model, imm::ImmParams params) {
+  return [model, params](gpusim::Device& device, const graph::Graph& g,
+                         std::uint32_t run) {
+    imm::ImmParams p = params;
+    p.rng_seed += run;
+    return baselines::run_gim(device, g, model, p);
+  };
+}
+
+Runner curipples_runner(graph::DiffusionModel model, imm::ImmParams params) {
+  return [model, params](gpusim::Device& device, const graph::Graph& g,
+                         std::uint32_t run) {
+    imm::ImmParams p = params;
+    p.rng_seed += run;
+    return baselines::run_curipples(device, g, model, p);
+  };
+}
+
+void print_k_sweep(const BenchEnv& env, graph::DiffusionModel model,
+                   const std::vector<std::uint32_t>& ks, double eps) {
+  std::vector<std::string> header{"Dataset"};
+  for (const std::uint32_t k : ks) header.push_back("k=" + std::to_string(env.clamp_k(k)));
+  support::TextTable table(header);
+
+  for (const auto& spec : env.datasets) {
+    const graph::Graph g = graph::build_dataset(spec, model);
+    std::vector<std::string> row{std::string(spec.abbrev)};
+    for (const std::uint32_t k : ks) {
+      imm::ImmParams params;
+      params.k = env.clamp_k(k);
+      params.epsilon = env.clamp_eps(eps);
+      const Cell eim_cell = run_cell(env, g, eim_runner(model, params));
+      const Cell gim_cell = run_cell(env, g, gim_runner(model, params));
+      row.push_back(speedup_cell(gim_cell, eim_cell));
+    }
+    table.add_row(std::move(row));
+    table_progress(spec.abbrev);
+  }
+  table.print(std::cout);
+}
+
+void print_eps_sweep(const BenchEnv& env, graph::DiffusionModel model,
+                     const std::vector<double>& epss, std::uint32_t k) {
+  std::vector<std::string> header{"Dataset"};
+  for (const double eps : epss) {
+    header.push_back("eps=" + support::TextTable::num(env.clamp_eps(eps), 2));
+  }
+  support::TextTable table(header);
+
+  for (const auto& spec : env.datasets) {
+    const graph::Graph g = graph::build_dataset(spec, model);
+    std::vector<std::string> row{std::string(spec.abbrev)};
+    for (const double eps : epss) {
+      imm::ImmParams params;
+      params.k = env.clamp_k(k);
+      params.epsilon = env.clamp_eps(eps);
+      const Cell eim_cell = run_cell(env, g, eim_runner(model, params));
+      const Cell gim_cell = run_cell(env, g, gim_runner(model, params));
+      row.push_back(speedup_cell(gim_cell, eim_cell));
+    }
+    table.add_row(std::move(row));
+    table_progress(spec.abbrev);
+  }
+  table.print(std::cout);
+}
+
+std::string speedup_cell(const Cell& baseline, const Cell& eim) {
+  if (!eim.seconds.has_value()) return "OOM";
+  if (!baseline.seconds.has_value()) {
+    return "OOM/" + support::TextTable::num(*eim.seconds, 2);
+  }
+  return support::TextTable::num(*baseline.seconds / *eim.seconds, 2);
+}
+
+}  // namespace eim::bench

@@ -1,0 +1,64 @@
+// Influence audit: score competing seed-selection strategies with the
+// sketch-based estimator (imm::estimate_influence_ris) instead of slow
+// forward Monte-Carlo — the "how good is this set?" workflow.
+//
+// Compares eIM's guaranteed seeds against the classical heuristics
+// (max-degree, SingleDiscount, DegreeDiscountIC) and reports each
+// estimate with its standard error, cross-checked once against forward
+// simulation.
+#include <cstdio>
+#include <iostream>
+
+#include "eim/baselines/heuristics.hpp"
+#include "eim/diffusion/forward.hpp"
+#include "eim/eim/pipeline.hpp"
+#include "eim/graph/registry.hpp"
+#include "eim/imm/influence.hpp"
+#include "eim/support/table.hpp"
+
+int main() {
+  using namespace eim;
+  constexpr auto kModel = graph::DiffusionModel::IndependentCascade;
+  constexpr std::uint32_t kBudget = 20;
+  constexpr std::uint64_t kSamples = 40'000;
+
+  const auto spec = *graph::find_dataset("SD");
+  graph::Graph g = graph::build_dataset(spec, kModel);
+  std::printf("audit network: %.*s-like, %u vertices, %llu edges, k=%u\n\n",
+              static_cast<int>(spec.name.size()), spec.name.data(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), kBudget);
+
+  // Candidate strategies.
+  gpusim::Device device(gpusim::make_benchmark_device(512));
+  imm::ImmParams params;
+  params.k = kBudget;
+  params.epsilon = 0.13;
+  const auto eim_result = eim_impl::run_eim(device, g, kModel, params);
+
+  struct Strategy {
+    const char* name;
+    std::vector<graph::VertexId> seeds;
+  };
+  const Strategy strategies[] = {
+      {"eIM (IMM guarantee)", eim_result.seeds},
+      {"DegreeDiscountIC", baselines::degree_discount_seeds(g, kBudget)},
+      {"SingleDiscount", baselines::single_discount_seeds(g, kBudget)},
+      {"max out-degree", baselines::max_degree_seeds(g, kBudget)},
+  };
+
+  support::TextTable table({"strategy", "RIS estimate", "std error", "forward MC"});
+  for (const Strategy& s : strategies) {
+    const auto ris = imm::estimate_influence_ris(g, kModel, s.seeds, kSamples);
+    const auto mc = diffusion::estimate_spread(g, kModel, s.seeds, 200, 17);
+    table.add_row({s.name, support::TextTable::num(ris.spread, 1),
+                   support::TextTable::num(ris.standard_error, 1),
+                   support::TextTable::num(mc.mean, 1)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nRIS estimates use %llu reverse samples each — the same machinery the\n"
+      "maximizers run on, so the audit is orders of magnitude cheaper than\n"
+      "forward simulation at equal precision on large graphs.\n",
+      static_cast<unsigned long long>(kSamples));
+  return 0;
+}

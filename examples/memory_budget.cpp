@@ -1,0 +1,78 @@
+// Memory-budget survival: the paper's scalability story in one program.
+//
+// The same workload is run against the same simulated GPU at a shrinking
+// memory budget, once with gIM's design (uncompressed, padded slot array,
+// dynamic in-kernel allocation) and once with eIM's (log-encoded R, pooled
+// global-memory queues, source elimination). gIM starts returning OOM while
+// eIM keeps completing — the effect behind the OOM cells of Tables 2-5 and
+// the com-Amazon column of Fig. 8.
+#include <cstdio>
+#include <iostream>
+
+#include "eim/baselines/gim.hpp"
+#include "eim/eim/pipeline.hpp"
+#include "eim/graph/registry.hpp"
+#include "eim/support/table.hpp"
+
+int main() {
+  using namespace eim;
+  constexpr auto kModel = graph::DiffusionModel::IndependentCascade;
+
+  // The com-Amazon stand-in: near-critical cascades make its RRR sets huge,
+  // which is exactly why gIM cannot hold them.
+  const auto spec = *graph::find_dataset("CA");
+  graph::Graph g = graph::build_dataset(spec, kModel);
+  imm::ImmParams params;
+  params.k = 20;
+  params.epsilon = 0.2;
+
+  std::printf("workload: %.*s-like graph (%u vertices), k=%u, eps=%.2f\n\n",
+              static_cast<int>(spec.name.size()), spec.name.data(), g.num_vertices(),
+              params.k, params.epsilon);
+
+  support::TextTable table(
+      {"device memory", "gIM", "eIM", "eIM peak MB", "eIM R saved"});
+
+  for (const std::uint64_t budget_mb : {512u, 256u, 128u, 64u, 32u}) {
+    std::string gim_cell;
+    std::string eim_cell;
+    std::string eim_peak;
+    std::string eim_saved;
+
+    {
+      gpusim::Device device(gpusim::make_benchmark_device(budget_mb));
+      try {
+        const auto r = baselines::run_gim(device, g, kModel, params);
+        gim_cell = support::TextTable::num(r.device_seconds * 1e3, 2) + " ms";
+      } catch (const support::DeviceOutOfMemoryError&) {
+        gim_cell = "OOM";
+      }
+    }
+    {
+      gpusim::Device device(gpusim::make_benchmark_device(budget_mb));
+      try {
+        const auto r = eim_impl::run_eim(device, g, kModel, params);
+        eim_cell = support::TextTable::num(r.device_seconds * 1e3, 2) + " ms";
+        eim_peak = support::TextTable::num(
+            static_cast<double>(r.peak_device_bytes) / 1e6, 1);
+        eim_saved = support::TextTable::num(
+                        100.0 * (1.0 - static_cast<double>(r.rrr_bytes) /
+                                           static_cast<double>(r.rrr_raw_bytes)),
+                        1) +
+                    "%";
+      } catch (const support::DeviceOutOfMemoryError&) {
+        eim_cell = "OOM";
+        eim_peak = "-";
+        eim_saved = "-";
+      }
+    }
+    table.add_row({std::to_string(budget_mb) + " MB", gim_cell, eim_cell, eim_peak,
+                   eim_saved});
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\ngIM's padded slots and allocation fragmentation exhaust small budgets;\n"
+      "eIM's log-encoded R and pooled queues keep fitting (paper §3.1-§3.2).\n");
+  return 0;
+}

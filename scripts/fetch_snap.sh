@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Download the paper's real SNAP datasets (Table 1) into data/.
+#
+# The benchmark suite runs on built-in synthetic stand-ins by default; this
+# script fetches the originals for anyone who wants to rerun the pipelines
+# at full scale, e.g.:
+#
+#   scripts/fetch_snap.sh wiki-Vote soc-Epinions1
+#   ./build/tools/eim_cli --file data/wiki-Vote.txt --k 50 --eps 0.05
+#
+# With no arguments, every dataset is fetched (several GB).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p data
+
+declare -A URLS=(
+  [wiki-Vote]="https://snap.stanford.edu/data/wiki-Vote.txt.gz"
+  [p2p-Gnutella31]="https://snap.stanford.edu/data/p2p-Gnutella31.txt.gz"
+  [soc-Epinions1]="https://snap.stanford.edu/data/soc-Epinions1.txt.gz"
+  [soc-Slashdot0902]="https://snap.stanford.edu/data/soc-Slashdot0902.txt.gz"
+  [email-EuAll]="https://snap.stanford.edu/data/email-EuAll.txt.gz"
+  [web-Stanford]="https://snap.stanford.edu/data/web-Stanford.txt.gz"
+  [web-NotreDame]="https://snap.stanford.edu/data/web-NotreDame.txt.gz"
+  [com-DBLP]="https://snap.stanford.edu/data/bigdata/communities/com-dblp.ungraph.txt.gz"
+  [com-Amazon]="https://snap.stanford.edu/data/bigdata/communities/com-amazon.ungraph.txt.gz"
+  [web-BerkStan]="https://snap.stanford.edu/data/web-BerkStan.txt.gz"
+  [web-Google]="https://snap.stanford.edu/data/web-Google.txt.gz"
+  [com-Youtube]="https://snap.stanford.edu/data/bigdata/communities/com-youtube.ungraph.txt.gz"
+  [soc-Pokec]="https://snap.stanford.edu/data/soc-pokec-relationships.txt.gz"
+  [wiki-topcats]="https://snap.stanford.edu/data/wiki-topcats.txt.gz"
+  [com-Orkut]="https://snap.stanford.edu/data/bigdata/communities/com-orkut.ungraph.txt.gz"
+  [soc-LiveJournal1]="https://snap.stanford.edu/data/soc-LiveJournal1.txt.gz"
+)
+
+targets=("$@")
+if [ ${#targets[@]} -eq 0 ]; then
+  targets=("${!URLS[@]}")
+fi
+
+for name in "${targets[@]}"; do
+  url="${URLS[$name]:-}"
+  if [ -z "$url" ]; then
+    echo "unknown dataset: $name (known: ${!URLS[*]})" >&2
+    exit 1
+  fi
+  out="data/${name}.txt"
+  if [ -f "$out" ]; then
+    echo "already have $out"
+    continue
+  fi
+  echo "fetching $name ..."
+  curl -L --fail "$url" | gunzip > "$out"
+done
+echo "done. Run e.g.: ./build/tools/eim_cli --file data/${targets[0]}.txt"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run every benchmark binary sequentially, teeing the combined output to
+# bench_output.txt. Cheap benches run first so partial results are useful.
+set -u
+cd "$(dirname "$0")/.."
+
+OUT=bench_output.txt
+: > "$OUT"
+
+BENCHES=(
+  bench_table1_graphs
+  bench_fig3_scan
+  bench_fig4_logenc
+  bench_fig5_srcelim_speed
+  bench_fig6_srcelim_mem
+  bench_ablation_lt_scan
+  bench_ablation_encoding
+  bench_multi_gpu
+  bench_quality
+  bench_fig7_ic
+  bench_fig8_lt
+  bench_table2_ic_k
+  bench_table4_lt_k
+  bench_table3_ic_eps
+  bench_table5_lt_eps
+  bench_micro
+)
+
+for b in "${BENCHES[@]}"; do
+  echo "===== build/bench/$b =====" >> "$OUT"
+  ./build/bench/"$b" >> "$OUT" 2>&1
+  echo >> "$OUT"
+done
+echo "SUITE DONE" >> "$OUT"

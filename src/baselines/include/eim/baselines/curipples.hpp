@@ -1,0 +1,51 @@
+// cuRipples-like baseline (Minutoli et al., ICS 2020), re-built on the
+// simulator substrate.
+//
+// The design the paper contrasts eIM against (§2.3): a CPU+GPU pair where
+// RRR sets are generated on the device but offloaded to *system* memory —
+// which scales beautifully but pays for it at seed selection, when the sets
+// are shuttled back into device memory until it is full and the overflow is
+// processed by the (much slower) CPU cores. The modeled time is dominated
+// by those PCIe transfers plus the CPU-side scan, which is exactly why the
+// paper measures three-orders-of-magnitude speedups for eIM.
+//
+// Same deterministic sample streams as every other backend.
+#pragma once
+
+#include "eim/eim/options.hpp"
+#include "eim/gpusim/device.hpp"
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/imm/params.hpp"
+
+namespace eim::baselines {
+
+struct CuRipplesConfig {
+  /// Host cores paired with the device (the paper's runs use 16).
+  std::uint32_t cpu_cores = 16;
+  /// Host-side cost of scanning one RRR set for the picked vertex during a
+  /// selection round, in nanoseconds. Calibrated to Ripples' published
+  /// single-node max-cover throughput (bitmask updates + queue bookkeeping
+  /// per set, not just a pointer chase).
+  double cpu_ns_per_set = 800.0;
+  /// Host-side cost of generating one RRR-set element during sampling,
+  /// calibrated to Ripples' CPU sampling throughput (hash-set visited
+  /// tracking and dynamic set construction are microsecond-scale per
+  /// element on commodity cores).
+  double cpu_ns_per_element = 4000.0;
+  /// Fraction of sampling delegated to the CPU workers (cuRipples splits
+  /// batches across the CPU-GPU pair; on a single-GPU node the CPU side
+  /// carries about half the batches).
+  double cpu_sampling_share = 0.5;
+  /// Fraction of device memory available to stage RRR sets during seed
+  /// selection (the rest holds the graph and working buffers).
+  double selection_staging_fraction = 0.5;
+};
+
+[[nodiscard]] eim_impl::EimResult run_curipples(gpusim::Device& device,
+                                                const graph::Graph& g,
+                                                graph::DiffusionModel model,
+                                                const imm::ImmParams& params,
+                                                const CuRipplesConfig& config = {});
+
+}  // namespace eim::baselines

@@ -1,0 +1,33 @@
+// Classical non-sketch seed-selection heuristics.
+//
+// These are the pre-RIS practical alternatives the IM literature (and the
+// paper's §1) measures sketch algorithms against: no approximation
+// guarantee, but near-instant. Useful as the "what does the guarantee buy"
+// comparison in examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eim/graph/graph.hpp"
+
+namespace eim::baselines {
+
+/// Top-k by out-degree — the naive "most followers" pick.
+[[nodiscard]] std::vector<graph::VertexId> max_degree_seeds(const graph::Graph& g,
+                                                            std::uint32_t k);
+
+/// SingleDiscount (Chen, Wang, Yang — KDD'09): like max-degree, but each
+/// pick discounts its neighbors' degrees by their edges into the chosen
+/// set, avoiding redundant hubs in the same neighborhood.
+[[nodiscard]] std::vector<graph::VertexId> single_discount_seeds(const graph::Graph& g,
+                                                                 std::uint32_t k);
+
+/// DegreeDiscountIC (same paper): refines the discount with the IC
+/// activation probability p — the expected marginal value of v with t_v
+/// chosen in-neighbors is d_v - 2 t_v - (d_v - t_v) t_v p. Derived for
+/// uniform p; we use the mean edge weight as p.
+[[nodiscard]] std::vector<graph::VertexId> degree_discount_seeds(const graph::Graph& g,
+                                                                 std::uint32_t k);
+
+}  // namespace eim::baselines

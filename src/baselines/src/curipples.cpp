@@ -1,0 +1,135 @@
+#include "eim/baselines/curipples.hpp"
+
+#include <algorithm>
+
+#include "eim/imm/driver.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/imm/rrr_store.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::baselines {
+
+using eim_impl::EimResult;
+using graph::VertexId;
+
+namespace {
+
+/// Effective GPU sampling throughput in ns per RRR-set element: the
+/// per-element kernel cost (~1200 cycles of traversal + commit traffic)
+/// amortized over the device's concurrently resident sampler blocks.
+/// Matches the order of magnitude the metered eIM/gIM kernels exhibit.
+constexpr double kGpuNsPerElement = 2.5;
+
+/// Parallel efficiency of the host-side selection loop (Ripples' OpenMP
+/// max-cover scales sublinearly over sockets).
+constexpr double kCpuSelectionEfficiency = 0.5;
+
+}  // namespace
+
+EimResult run_curipples(gpusim::Device& device, const graph::Graph& g,
+                        graph::DiffusionModel model, const imm::ImmParams& params,
+                        const CuRipplesConfig& config) {
+  EIM_CHECK_MSG(config.cpu_cores >= 1, "cuRipples needs at least one CPU core");
+  device.timeline().reset();
+  device.memory().reset_peak();
+
+  imm::ImmParams effective = params;
+  effective.eliminate_sources = false;  // no source elimination in cuRipples
+
+  EimResult result;
+  result.network_raw_bytes = g.csc_bytes();
+  result.network_bytes = result.network_raw_bytes;
+  auto network_charge = device.alloc<std::uint8_t>(result.network_bytes);
+  device.transfer_to_device("network CSC", result.network_bytes);
+
+  // R lives in *system* memory (the design's defining trait).
+  imm::RrrStore store(g.num_vertices());
+
+  auto sample_to = [&](std::uint64_t target) {
+    const std::uint64_t before = store.total_elements();
+    (void)imm::sample_to_target(g, model, effective, store, target);
+    const std::uint64_t new_elements = store.total_elements() - before;
+    if (new_elements == 0) return;
+
+    // The CPU-GPU pair splits the batch; both sides run concurrently and
+    // the batch finishes when the slower side does.
+    const double gpu_elements =
+        static_cast<double>(new_elements) * (1.0 - config.cpu_sampling_share);
+    const double cpu_elements =
+        static_cast<double>(new_elements) * config.cpu_sampling_share;
+    const double gpu_seconds = gpu_elements * kGpuNsPerElement * 1e-9;
+    const double cpu_seconds = cpu_elements * config.cpu_ns_per_element * 1e-9 /
+                               static_cast<double>(config.cpu_cores);
+    device.timeline().add(gpusim::SegmentKind::Kernel, "curipples::sample",
+                          std::max(gpu_seconds, cpu_seconds));
+
+    // GPU-generated sets are offloaded to system memory.
+    const auto gpu_bytes =
+        static_cast<std::uint64_t>(gpu_elements * sizeof(VertexId));
+    device.transfer_to_host("RRR batch offload", gpu_bytes);
+  };
+
+  auto select = [&] {
+    // Selection round. R lives in system memory and the greedy counters are
+    // maintained by the host, so every pick re-streams the collection into
+    // the device staging area in batches, scans it there, and merges the
+    // coverage updates back on the CPU — "the transfer of data between the
+    // CPU and GPU incurs significant overhead and results in higher
+    // computation time" (§2.3). The per-pick cost is therefore
+    //   stream(R over PCIe) + warp scan + host count update,
+    // all multiplied by k, and again by every estimation round.
+    const std::uint64_t r_bytes = store.bytes();
+    const auto staging = static_cast<std::uint64_t>(
+        static_cast<double>(device.memory().capacity_bytes()) *
+        config.selection_staging_fraction);
+    const auto& spec = device.spec();
+
+    for (std::uint32_t pick = 0; pick < effective.k; ++pick) {
+      // Batched H2D stream of the whole collection (one latency charge per
+      // staging-window batch).
+      std::uint64_t remaining = r_bytes;
+      do {
+        const std::uint64_t batch = std::min(remaining, std::max<std::uint64_t>(staging, 1));
+        device.transfer_to_device("RRR pick stream", batch);
+        remaining -= batch;
+      } while (remaining > 0);
+
+      // Device-side membership scan, one warp per staged set.
+      const double gpu_cycles =
+          static_cast<double>(store.num_sets()) /
+          static_cast<double>(spec.max_resident_warps()) *
+          (2.0 * spec.costs.global_latency);
+      // Host-side counter update and merge across the batch results.
+      const double cpu_seconds = static_cast<double>(store.num_sets()) *
+                                 config.cpu_ns_per_set * 1e-9 /
+                                 (static_cast<double>(config.cpu_cores) *
+                                  kCpuSelectionEfficiency);
+      device.timeline().add(gpusim::SegmentKind::Kernel, "curipples::select",
+                            spec.cycles_to_seconds(gpu_cycles) + cpu_seconds);
+    }
+
+    return imm::select_seeds_greedy(store, effective.k);
+  };
+
+  const imm::FrameworkOutcome outcome =
+      imm::run_imm_framework(g.num_vertices(), effective, sample_to, select);
+
+  result.seeds = outcome.final_selection.seeds;
+  result.num_sets = store.num_sets();
+  result.total_elements = store.total_elements();
+  result.lower_bound = outcome.lower_bound;
+  result.estimation_rounds = outcome.estimation_rounds;
+  result.estimated_spread = static_cast<double>(g.num_vertices()) *
+                            outcome.final_selection.coverage_fraction;
+
+  result.device_seconds = device.timeline().total_seconds();
+  result.kernel_seconds = device.timeline().kernel_seconds();
+  result.transfer_seconds = device.timeline().transfer_seconds();
+  result.peak_device_bytes = device.memory().peak_bytes();
+  result.rrr_bytes = store.bytes();  // host-resident, uncompressed
+  result.rrr_raw_bytes = store.bytes();
+  result.device_mallocs = 0;
+  return result;
+}
+
+}  // namespace eim::baselines

@@ -1,0 +1,367 @@
+#include "eim/baselines/gim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+
+#include "eim/eim/rrr_collection.hpp"
+#include "eim/eim/seed_selector.hpp"
+#include "eim/imm/driver.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::baselines {
+
+using eim_impl::DeviceRrrCollection;
+using eim_impl::EimResult;
+using graph::VertexId;
+using gpusim::BlockContext;
+using support::RandomStream;
+
+namespace {
+
+std::uint64_t warp_chunks(std::uint64_t count, std::uint32_t warp) {
+  return support::div_ceil<std::uint64_t>(count, warp);
+}
+
+/// gIM sampling kernels: shared-memory queue with dynamic global spill.
+class GimSampler {
+ public:
+  GimSampler(gpusim::Device& device, const graph::Graph& g,
+             graph::DiffusionModel model, const imm::ImmParams& params,
+             const GimConfig& config)
+      : device_(&device),
+        graph_(&g),
+        model_(model),
+        params_(params),
+        config_(config),
+        num_blocks_(device.spec().num_sms * 2) {
+    scratch_.resize(num_blocks_);
+    for (auto& s : scratch_) s.stamp.assign(g.num_vertices(), 0);
+    // Each block keeps its visited bitmap M in global memory (the queue
+    // itself lives in shared memory until it spills).
+    bitmap_pool_ = gpusim::DeviceBuffer<std::uint8_t>(
+        device.memory(),
+        support::div_ceil<std::uint64_t>(g.num_vertices(), 8) * num_blocks_);
+  }
+
+  ~GimSampler() {
+    // Fragmentation from in-kernel mallocs and the padded slot array are
+    // only reclaimed when the context is torn down.
+    device_->memory().deallocate(fragmentation_bytes_);
+    device_->memory().deallocate(padded_bytes_);
+  }
+
+  void sample_to(DeviceRrrCollection& collection, std::uint64_t target) {
+    if (collection.num_sets() >= target) return;
+
+    std::vector<std::uint64_t> pending;
+    for (std::uint64_t i = collection.num_sets(); i < target; ++i) pending.push_back(i);
+
+    int wave = 0;
+    std::uint64_t max_failed_len = 0;
+    while (!pending.empty()) {
+      EIM_CHECK_MSG(++wave <= 64, "gIM sampler failed to converge on capacity");
+      const std::uint64_t have = collection.num_sets();
+      const double avg = have > 0 && collection.total_elements() > 0
+                             ? static_cast<double>(collection.total_elements()) /
+                                   static_cast<double>(have)
+                             : 8.0;
+      // Doubling growth: gIM reserves aggressively and uncompressed.
+      const auto giant_slots = std::min<std::uint64_t>(pending.size(), num_blocks_ * 4u);
+      const auto estimated = collection.total_elements() +
+                             (static_cast<std::uint64_t>(avg * 2.0) + 1) *
+                                 static_cast<std::uint64_t>(pending.size()) +
+                             max_failed_len * giant_slots + 4096;
+      collection.reserve(target, estimated);
+
+      // gIM's fixed-width slot array: theta slots of padded width. The slot
+      // width only grows (a kernel cannot shrink a live allocation).
+      slot_width_ = std::max(
+          slot_width_, static_cast<std::uint64_t>(avg * config_.slot_padding_factor) + 1);
+      const std::uint64_t padded_target = target * slot_width_ * sizeof(VertexId);
+      if (padded_target > padded_bytes_) {
+        device_->memory().allocate(padded_target - padded_bytes_);  // may OOM
+        padded_bytes_ = padded_target;
+        device_->charge_allocation_event("gIM padded slots");
+      }
+
+      for (auto& s : scratch_) s.failed.clear();
+
+      device_->launch_blocks("gim::sample", num_blocks_, [&](BlockContext& ctx) {
+        BlockScratch& scratch = scratch_[ctx.block_id()];
+        for (std::uint64_t slot = ctx.block_id(); slot < pending.size();
+             slot += num_blocks_) {
+          ctx.charge_atomic_global(1);
+          const std::uint64_t sample_index = pending[slot];
+          generate(ctx, scratch, sample_index);
+          std::sort(scratch.queue.begin(), scratch.queue.end());
+          if (collection.try_commit(sample_index, scratch.queue)) {
+            charge_commit(ctx, scratch,
+                          static_cast<std::uint32_t>(scratch.queue.size()));
+          } else {
+            scratch.failed.push_back(sample_index);
+            scratch.max_failed_len =
+                std::max<std::uint64_t>(scratch.max_failed_len, scratch.queue.size());
+          }
+        }
+      });
+
+      pending.clear();
+      for (auto& s : scratch_) {
+        pending.insert(pending.end(), s.failed.begin(), s.failed.end());
+        max_failed_len = std::max(max_failed_len, s.max_failed_len);
+        s.max_failed_len = 0;
+      }
+      std::sort(pending.begin(), pending.end());
+    }
+    collection.set_num_sets(target);
+  }
+
+  [[nodiscard]] std::uint64_t malloc_count() const noexcept {
+    return malloc_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fragmentation_bytes() const noexcept {
+    return fragmentation_bytes_;
+  }
+
+ private:
+  struct BlockScratch {
+    std::vector<VertexId> queue;
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint64_t> failed;
+    std::uint64_t max_failed_len = 0;  ///< largest set that failed to fit
+    bool spilled = false;          ///< this block's queue escaped shared memory
+    std::uint64_t temp_capacity = 0;  ///< this block's temp RRR buffer slots
+  };
+
+  /// Meter one in-kernel malloc of `bytes`: latency on the block scaled by
+  /// heap pressure, plus part of the pow2-rounding and the header staying
+  /// claimed until teardown (in-kernel heap fragmentation).
+  void charge_malloc(BlockContext& ctx, std::uint64_t bytes) {
+    charge_heap_latency(ctx);
+    const std::uint64_t rounded = std::bit_ceil(std::max<std::uint64_t>(bytes, 1));
+    const std::uint64_t waste = (rounded - bytes) / 4 + config_.malloc_header_bytes;
+    device_->memory().allocate(waste);  // throws on exhaustion -> gIM's OOM
+    std::atomic_ref<std::uint64_t>(fragmentation_bytes_)
+        .fetch_add(waste, std::memory_order_relaxed);
+  }
+
+  /// The latency-and-bookkeeping part of a device malloc: base cost scaled
+  /// by how crowded the heap already is (free-list search + global heap
+  /// lock), plus the long-run fragmentation trickle.
+  void charge_heap_latency(BlockContext& ctx) {
+    const std::uint64_t count =
+        malloc_count_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t base = device_->spec().costs.device_malloc;
+    ctx.charge_device_malloc();
+    ctx.add_cycles(base * count / config_.heap_pressure_scale);
+    if (config_.frag_bytes_per_malloc > 0) {
+      device_->memory().allocate(config_.frag_bytes_per_malloc);
+      std::atomic_ref<std::uint64_t>(fragmentation_bytes_)
+          .fetch_add(config_.frag_bytes_per_malloc, std::memory_order_relaxed);
+    }
+  }
+
+  void generate(BlockContext& ctx, BlockScratch& scratch, std::uint64_t sample_index) {
+    RandomStream rng(params_.rng_seed,
+                     support::derive_stream(imm::kSampleStreamTag, sample_index, 0));
+    const VertexId source = rng.next_below(graph_->num_vertices());
+    ctx.charge_alu(2);
+
+    if (++scratch.epoch == 0) {
+      std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+      scratch.epoch = 1;
+    }
+    scratch.queue.clear();
+    scratch.queue.push_back(source);
+    scratch.stamp[source] = scratch.epoch;
+    scratch.spilled = false;
+
+    if (model_ == graph::DiffusionModel::IndependentCascade) {
+      bfs_ic(ctx, scratch, rng);
+    } else {
+      walk_lt(ctx, scratch, rng);
+    }
+  }
+
+  /// Queue-write cost: shared memory while the queue fits, global after the
+  /// spill. The spill itself mallocs a global buffer and copies the shared
+  /// contents out.
+  void charge_enqueue(BlockContext& ctx, BlockScratch& scratch,
+                      std::size_t queue_size) {
+    if (!scratch.spilled && queue_size > config_.shared_queue_entries) {
+      scratch.spilled = true;
+      charge_malloc(ctx, queue_size * sizeof(VertexId) * 2);
+      ctx.charge_global(warp_chunks(queue_size, ctx.warp_size()));  // evacuate
+    }
+    if (scratch.spilled) {
+      ctx.charge_global(1);
+      ctx.charge_atomic_global(1);
+    } else {
+      ctx.charge_shared(1);
+      ctx.charge_atomic_shared(1);
+    }
+  }
+
+  void bfs_ic(BlockContext& ctx, BlockScratch& scratch, RandomStream& rng) {
+    const graph::Graph& g = *graph_;
+    const std::uint32_t warp = ctx.warp_size();
+    for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+      const VertexId u = scratch.queue[head];
+      if (scratch.spilled) {
+        ctx.charge_global(1);
+      } else {
+        ctx.charge_shared(1);
+      }
+      const auto ins = g.in().neighbors(u);
+      const auto ws = g.in_weights(u);
+      ctx.charge_global(3 * warp_chunks(ins.size(), warp));
+      ctx.charge_alu(warp_chunks(ins.size(), warp));
+      for (std::size_t j = 0; j < ins.size(); ++j) {
+        const VertexId v = ins[j];
+        if (scratch.stamp[v] == scratch.epoch) continue;
+        if (rng.next_float() <= ws[j]) {
+          scratch.stamp[v] = scratch.epoch;
+          scratch.queue.push_back(v);
+          charge_enqueue(ctx, scratch, scratch.queue.size());
+        }
+      }
+    }
+  }
+
+  void walk_lt(BlockContext& ctx, BlockScratch& scratch, RandomStream& rng) {
+    const graph::Graph& g = *graph_;
+    const std::uint32_t warp = ctx.warp_size();
+    VertexId u = scratch.queue.front();
+    for (;;) {
+      const auto ins = g.in().neighbors(u);
+      const auto ws = g.in_weights(u);
+      if (ins.empty()) break;
+      const float tau = rng.next_float();
+      ctx.charge_alu(1);
+
+      VertexId chosen = graph::kInvalidVertex;
+      float base = 0.0f;
+      for (std::size_t chunk = 0; chunk < ins.size() && chosen == graph::kInvalidVertex;
+           chunk += warp) {
+        const std::size_t len = std::min<std::size_t>(warp, ins.size() - chunk);
+        ctx.charge_global(2);
+        // gIM's LT activation uses the serialized shared-sum design.
+        ctx.charge_atomic_shared(len);
+        float running = base;
+        for (std::size_t l = 0; l < len; ++l) {
+          const float inclusive = running + ws[chunk + l];
+          if (inclusive > tau && running <= tau) {
+            chosen = ins[chunk + l];
+            break;
+          }
+          running = inclusive;
+        }
+        base = running;
+      }
+
+      if (chosen == graph::kInvalidVertex) break;
+      if (scratch.stamp[chosen] == scratch.epoch) break;
+      scratch.stamp[chosen] = scratch.epoch;
+      scratch.queue.push_back(chosen);
+      charge_enqueue(ctx, scratch, scratch.queue.size());
+      u = chosen;
+    }
+  }
+
+  /// Commit: write the queue into the block's temporary global RRR buffer,
+  /// then copy it into the final collection (double traffic, §2.3). The
+  /// temp buffer is dynamically (re)allocated whenever a set outgrows it.
+  void charge_commit(BlockContext& ctx, BlockScratch& scratch, std::uint32_t len) {
+    const std::uint32_t warp = ctx.warp_size();
+    if (len == 0) {
+      ctx.charge_atomic_global(1);
+      return;
+    }
+    // Every set round-trips through a freshly allocated temporary global
+    // buffer (§2.3: "written from the queue to a temporary RRR set in
+    // global memory") — the repeated malloc/free whose overhead grows with
+    // heap pressure. Capacity growth additionally leaves fragmentation.
+    if (len > scratch.temp_capacity) {
+      scratch.temp_capacity = std::bit_ceil<std::uint64_t>(len) * 2;
+      charge_malloc(ctx, scratch.temp_capacity * sizeof(VertexId));
+    } else {
+      charge_heap_latency(ctx);
+    }
+    const std::uint64_t chunks = warp_chunks(len, warp);
+    const std::uint32_t log_len = support::ceil_log2(std::max<std::uint32_t>(2, len));
+    ctx.charge_alu(chunks * log_len * log_len);  // ascending-order insert
+    ctx.charge_global(2 * chunks);               // write temp, read temp
+    ctx.charge_global(chunks);                   // write final R
+    ctx.charge_atomic_global(1);                 // offset claim
+    for (std::uint64_t c = 0; c < chunks; ++c) ctx.charge_atomic_global(1);  // C
+    ctx.charge_atomic_global(1);                 // count
+  }
+
+  gpusim::Device* device_;
+  const graph::Graph* graph_;
+  graph::DiffusionModel model_;
+  imm::ImmParams params_;
+  GimConfig config_;
+  std::uint32_t num_blocks_;
+  std::vector<BlockScratch> scratch_;
+  std::atomic<std::uint64_t> malloc_count_{0};
+  std::uint64_t fragmentation_bytes_ = 0;
+  std::uint64_t slot_width_ = 0;
+  std::uint64_t padded_bytes_ = 0;
+  gpusim::DeviceBuffer<std::uint8_t> bitmap_pool_;
+};
+
+}  // namespace
+
+EimResult run_gim(gpusim::Device& device, const graph::Graph& g,
+                  graph::DiffusionModel model, const imm::ImmParams& params,
+                  const GimConfig& config) {
+  device.timeline().reset();
+  device.memory().reset_peak();
+
+  imm::ImmParams effective = params;
+  effective.eliminate_sources = false;  // gIM has no source elimination
+
+  EimResult result;
+  result.network_raw_bytes = g.csc_bytes();
+  result.network_bytes = result.network_raw_bytes;  // uncompressed CSC
+  auto network_charge = device.alloc<std::uint8_t>(result.network_bytes);
+  device.transfer_to_device("network CSC", result.network_bytes);
+
+  DeviceRrrCollection collection(device, g.num_vertices(), /*log_encode=*/false);
+  GimSampler sampler(device, g, model, effective, config);
+  eim_impl::GpuSeedSelector selector(device, eim_impl::ScanStrategy::WarpPerSet);
+
+  const imm::FrameworkOutcome outcome = imm::run_imm_framework(
+      g.num_vertices(), effective,
+      [&](std::uint64_t target) { sampler.sample_to(collection, target); },
+      [&] { return selector.select(collection, effective.k); });
+
+  device.transfer_to_host("seed set",
+                          outcome.final_selection.seeds.size() * sizeof(VertexId));
+
+  result.seeds = outcome.final_selection.seeds;
+  result.num_sets = collection.num_sets();
+  result.total_elements = collection.total_elements();
+  result.lower_bound = outcome.lower_bound;
+  result.estimation_rounds = outcome.estimation_rounds;
+  result.estimated_spread = static_cast<double>(g.num_vertices()) *
+                            outcome.final_selection.coverage_fraction;
+
+  result.device_seconds = device.timeline().total_seconds();
+  result.kernel_seconds = device.timeline().kernel_seconds();
+  result.transfer_seconds = device.timeline().transfer_seconds();
+  result.peak_device_bytes = device.memory().peak_bytes();
+  result.rrr_bytes = collection.stored_bytes();
+  result.rrr_raw_bytes = collection.raw_equivalent_bytes();
+  result.device_mallocs = sampler.malloc_count();
+  return result;
+}
+
+}  // namespace eim::baselines

@@ -1,0 +1,108 @@
+#include "eim/baselines/greedy_mc.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "eim/diffusion/forward.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::baselines {
+
+using graph::VertexId;
+
+namespace {
+
+double mean_spread(const graph::Graph& g, graph::DiffusionModel model,
+                   std::vector<VertexId>& seeds, VertexId candidate,
+                   std::uint32_t trials, std::uint64_t seed,
+                   std::uint64_t& simulations) {
+  seeds.push_back(candidate);
+  double total = 0.0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    total += model == graph::DiffusionModel::IndependentCascade
+                 ? diffusion::simulate_ic(g, seeds, seed, t)
+                 : diffusion::simulate_lt(g, seeds, seed, t);
+  }
+  simulations += trials;
+  seeds.pop_back();
+  return total / trials;
+}
+
+}  // namespace
+
+GreedyMcResult greedy_mc(const graph::Graph& g, graph::DiffusionModel model,
+                         std::uint32_t k, std::uint32_t trials, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  EIM_CHECK_MSG(k >= 1 && k <= n, "k out of range");
+  EIM_CHECK_MSG(trials >= 1, "need at least one trial");
+
+  GreedyMcResult result;
+  std::vector<bool> chosen(n, false);
+  double current_spread = 0.0;
+
+  for (std::uint32_t pick = 0; pick < k; ++pick) {
+    VertexId best = graph::kInvalidVertex;
+    double best_spread = current_spread;
+    for (VertexId v = 0; v < n; ++v) {
+      if (chosen[v]) continue;
+      const double spread =
+          mean_spread(g, model, result.seeds, v, trials, seed, result.simulations);
+      if (spread > best_spread || best == graph::kInvalidVertex) {
+        best = v;
+        best_spread = spread;
+      }
+    }
+    chosen[best] = true;
+    result.seeds.push_back(best);
+    current_spread = best_spread;
+  }
+  result.estimated_spread = current_spread;
+  return result;
+}
+
+GreedyMcResult celf(const graph::Graph& g, graph::DiffusionModel model, std::uint32_t k,
+                    std::uint32_t trials, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  EIM_CHECK_MSG(k >= 1 && k <= n, "k out of range");
+  EIM_CHECK_MSG(trials >= 1, "need at least one trial");
+
+  GreedyMcResult result;
+  double current_spread = 0.0;
+
+  // Max-heap of (stale marginal gain, vertex, round the gain was computed).
+  struct Entry {
+    double gain;
+    VertexId vertex;
+    std::uint32_t round;
+    bool operator<(const Entry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<Entry> heap;
+
+  // Initial pass: marginal gain of every singleton.
+  for (VertexId v = 0; v < n; ++v) {
+    const double spread =
+        mean_spread(g, model, result.seeds, v, trials, seed, result.simulations);
+    heap.push(Entry{spread, v, 0});
+  }
+
+  for (std::uint32_t pick = 0; pick < k; ++pick) {
+    for (;;) {
+      Entry top = heap.top();
+      heap.pop();
+      if (top.round == pick) {
+        // Fresh for this round: submodularity guarantees it is the max.
+        result.seeds.push_back(top.vertex);
+        current_spread += top.gain;
+        break;
+      }
+      // Stale: recompute against the current seed set and re-insert.
+      const double spread = mean_spread(g, model, result.seeds, top.vertex, trials,
+                                        seed, result.simulations);
+      heap.push(Entry{spread - current_spread, top.vertex, pick});
+    }
+  }
+  result.estimated_spread = current_spread;
+  return result;
+}
+
+}  // namespace eim::baselines

@@ -1,0 +1,107 @@
+#include "eim/baselines/heuristics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "eim/support/error.hpp"
+
+namespace eim::baselines {
+
+using graph::VertexId;
+
+namespace {
+
+void check_k(const graph::Graph& g, std::uint32_t k) {
+  EIM_CHECK_MSG(k >= 1 && k <= g.num_vertices(), "k out of range");
+}
+
+}  // namespace
+
+std::vector<VertexId> max_degree_seeds(const graph::Graph& g, std::uint32_t k) {
+  check_k(g, k);
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0u);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](VertexId a, VertexId b) {
+                      return g.out_degree(a) != g.out_degree(b)
+                                 ? g.out_degree(a) > g.out_degree(b)
+                                 : a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<VertexId> single_discount_seeds(const graph::Graph& g, std::uint32_t k) {
+  check_k(g, k);
+  const VertexId n = g.num_vertices();
+  // Effective degree = out-degree minus edges already pointing into S.
+  std::vector<std::int64_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = static_cast<std::int64_t>(g.out_degree(v));
+  std::vector<bool> chosen(n, false);
+
+  std::vector<VertexId> seeds;
+  seeds.reserve(k);
+  for (std::uint32_t pick = 0; pick < k; ++pick) {
+    VertexId best = graph::kInvalidVertex;
+    std::int64_t best_degree = -1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!chosen[v] && degree[v] > best_degree) {
+        best = v;
+        best_degree = degree[v];
+      }
+    }
+    chosen[best] = true;
+    seeds.push_back(best);
+    // Everyone pointing at `best` loses one useful edge.
+    for (const VertexId u : g.in().neighbors(best)) {
+      if (!chosen[u]) --degree[u];
+    }
+  }
+  return seeds;
+}
+
+std::vector<VertexId> degree_discount_seeds(const graph::Graph& g, std::uint32_t k) {
+  check_k(g, k);
+  const VertexId n = g.num_vertices();
+
+  // Mean activation probability stands in for the uniform p the formula
+  // assumes (the paper's default weighting is 1/d^-, so p varies per edge).
+  double p = 0.01;
+  if (g.num_edges() > 0) {
+    double sum = 0.0;
+    for (const graph::Weight w : g.all_in_weights()) sum += w;
+    p = sum / static_cast<double>(g.num_edges());
+  }
+
+  std::vector<double> score(n);
+  std::vector<std::uint32_t> hits(n, 0);  // t_v: chosen in-neighbors
+  for (VertexId v = 0; v < n; ++v) score[v] = static_cast<double>(g.out_degree(v));
+  std::vector<bool> chosen(n, false);
+
+  std::vector<VertexId> seeds;
+  seeds.reserve(k);
+  for (std::uint32_t pick = 0; pick < k; ++pick) {
+    VertexId best = graph::kInvalidVertex;
+    double best_score = -1.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!chosen[v] && score[v] > best_score) {
+        best = v;
+        best_score = score[v];
+      }
+    }
+    chosen[best] = true;
+    seeds.push_back(best);
+    // DegreeDiscountIC update for the out-neighbors of the chosen seed.
+    for (const VertexId v : g.out().neighbors(best)) {
+      if (chosen[v]) continue;
+      ++hits[v];
+      const auto d = static_cast<double>(g.out_degree(v));
+      const auto t = static_cast<double>(hits[v]);
+      score[v] = d - 2.0 * t - (d - t) * t * p;
+    }
+  }
+  return seeds;
+}
+
+}  // namespace eim::baselines

@@ -1,0 +1,43 @@
+// Forward diffusion simulation under the IC and LT models (§2.1).
+//
+// Runs the cascade forwards from a seed set and reports the number of
+// activated vertices. The Monte-Carlo estimator built on top is the ground
+// truth the paper's §4.1 "quality of solutions" claim is checked against:
+// seed sets from eIM, the baselines, and the serial reference should reach
+// statistically indistinguishable expected spread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+
+namespace eim::diffusion {
+
+/// One IC cascade: every newly activated u gets one chance to activate each
+/// out-neighbor v with probability p_{uv}. Returns |activated| including the
+/// seeds themselves.
+[[nodiscard]] std::uint32_t simulate_ic(const graph::Graph& g,
+                                        std::span<const graph::VertexId> seeds,
+                                        std::uint64_t seed, std::uint64_t trial);
+
+/// One LT cascade: every vertex draws a threshold tau uniformly in [0,1];
+/// v activates once the weight-sum of its active in-neighbors reaches tau.
+[[nodiscard]] std::uint32_t simulate_lt(const graph::Graph& g,
+                                        std::span<const graph::VertexId> seeds,
+                                        std::uint64_t seed, std::uint64_t trial);
+
+struct SpreadEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint32_t trials = 0;
+};
+
+/// Monte-Carlo estimate of E[I(S)] over `trials` independent cascades.
+[[nodiscard]] SpreadEstimate estimate_spread(const graph::Graph& g,
+                                             graph::DiffusionModel model,
+                                             std::span<const graph::VertexId> seeds,
+                                             std::uint32_t trials, std::uint64_t seed);
+
+}  // namespace eim::diffusion

@@ -1,0 +1,119 @@
+#include "eim/diffusion/reverse.hpp"
+
+#include <algorithm>
+
+#include "eim/support/error.hpp"
+
+namespace eim::diffusion {
+
+using graph::VertexId;
+using support::RandomStream;
+
+RrrSampler::RrrSampler(const graph::Graph& g, graph::DiffusionModel model,
+                       bool eliminate_source)
+    : graph_(&g),
+      model_(model),
+      eliminate_source_(eliminate_source),
+      stamp_(g.num_vertices(), 0) {}
+
+void RrrSampler::sample_into(VertexId source, RandomStream& rng,
+                             std::vector<VertexId>& out) {
+  EIM_CHECK_MSG(source < graph_->num_vertices(), "source out of range");
+  out.clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrapped: invalidate everything once
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  if (model_ == graph::DiffusionModel::IndependentCascade) {
+    sample_ic(source, rng, out);
+  } else {
+    sample_lt(source, rng, out);
+  }
+  if (eliminate_source_) {
+    // The source is always out[0]: it was pushed first and the set is not
+    // yet sorted.
+    out.erase(out.begin());
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<VertexId> RrrSampler::sample(VertexId source, RandomStream& rng) {
+  std::vector<VertexId> out;
+  sample_into(source, rng, out);
+  return out;
+}
+
+void RrrSampler::sample_ic(VertexId source, RandomStream& rng,
+                           std::vector<VertexId>& out) {
+  const graph::Graph& g = *graph_;
+  out.push_back(source);
+  stamp_[source] = epoch_;
+
+  // Queue-as-set BFS, mirroring Algorithm 2's "the queue is the RRR set".
+  for (std::size_t head = 0; head < out.size(); ++head) {
+    const VertexId u = out[head];
+    const auto ins = g.in().neighbors(u);
+    const auto ws = g.in_weights(u);
+    for (std::size_t j = 0; j < ins.size(); ++j) {
+      const VertexId v = ins[j];
+      if (stamp_[v] == epoch_) continue;
+      if (rng.next_float() <= ws[j]) {
+        stamp_[v] = epoch_;
+        out.push_back(v);
+      }
+    }
+  }
+}
+
+void RrrSampler::sample_lt(VertexId source, RandomStream& rng,
+                           std::vector<VertexId>& out) {
+  const graph::Graph& g = *graph_;
+  out.push_back(source);
+  stamp_[source] = epoch_;
+
+  // Backwards walk: at u, exactly one in-neighbor (or none) is responsible
+  // for u's activation; it is chosen with probability equal to its weight.
+  VertexId u = source;
+  for (;;) {
+    const auto ins = g.in().neighbors(u);
+    const auto ws = g.in_weights(u);
+    if (ins.empty()) break;
+    const float tau = rng.next_float();
+    float cumulative = 0.0f;
+    VertexId chosen = graph::kInvalidVertex;
+    for (std::size_t j = 0; j < ins.size(); ++j) {
+      cumulative += ws[j];
+      if (tau < cumulative) {
+        chosen = ins[j];
+        break;
+      }
+    }
+    if (chosen == graph::kInvalidVertex) break;  // tau fell in the no-one gap
+    if (stamp_[chosen] == epoch_) break;         // walk closed a loop
+    stamp_[chosen] = epoch_;
+    out.push_back(chosen);
+    u = chosen;
+  }
+}
+
+std::vector<VertexId> sample_rrr_ic(const graph::Graph& g, VertexId source,
+                                    RandomStream& rng, bool eliminate_source) {
+  RrrSampler sampler(g, graph::DiffusionModel::IndependentCascade, eliminate_source);
+  return sampler.sample(source, rng);
+}
+
+std::vector<VertexId> sample_rrr_lt(const graph::Graph& g, VertexId source,
+                                    RandomStream& rng, bool eliminate_source) {
+  RrrSampler sampler(g, graph::DiffusionModel::LinearThreshold, eliminate_source);
+  return sampler.sample(source, rng);
+}
+
+std::vector<VertexId> sample_rrr(const graph::Graph& g, graph::DiffusionModel model,
+                                 VertexId source, RandomStream& rng,
+                                 bool eliminate_source) {
+  RrrSampler sampler(g, model, eliminate_source);
+  return sampler.sample(source, rng);
+}
+
+}  // namespace eim::diffusion

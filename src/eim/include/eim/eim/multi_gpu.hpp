@@ -1,0 +1,43 @@
+// Multi-GPU eIM — the extension announced in the paper's conclusion
+// ("we plan to extend eIM to support multi-GPU execution to further improve
+// scalability").
+//
+// Design: sampling is embarrassingly parallel, so device d generates the
+// sample indices congruent to d modulo D (the same index-keyed streams as
+// everywhere else — the union across devices is bit-identical to a
+// single-device run). After each sampling phase the per-vertex count arrays
+// are all-reduced to the primary device over the interconnect, and seed
+// selection runs on the primary against the distributed collection: each
+// pick broadcasts the chosen vertex (4 bytes) and every device scans its
+// local shard, returning its coverage delta.
+//
+// Modeled time per phase = max over devices (they run concurrently) plus
+// the reduction/broadcast transfers.
+#pragma once
+
+#include <vector>
+
+#include "eim/eim/options.hpp"
+#include "eim/gpusim/device.hpp"
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/imm/params.hpp"
+
+namespace eim::eim_impl {
+
+struct MultiGpuResult : EimResult {
+  std::uint32_t num_devices = 1;
+  /// Modeled seconds spent in count all-reduce / pick broadcast.
+  double communication_seconds = 0.0;
+};
+
+/// Run eIM across `devices.size()` simulated GPUs. Seeds (and every other
+/// algorithmic output) are identical to the single-device run with the same
+/// parameters; only the modeled time changes.
+[[nodiscard]] MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
+                                           const graph::Graph& g,
+                                           graph::DiffusionModel model,
+                                           const imm::ImmParams& params,
+                                           const EimOptions& options = {});
+
+}  // namespace eim::eim_impl

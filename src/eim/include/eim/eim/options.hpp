@@ -1,0 +1,57 @@
+// Configuration and result types for the eIM backend.
+#pragma once
+
+#include <cstdint>
+
+#include "eim/imm/params.hpp"
+
+namespace eim::eim_impl {
+
+/// Which kernel shape scans the RRR sets during seed selection (§3.5).
+enum class ScanStrategy {
+  /// One thread per RRR set — eIM's choice; scales with T_n.
+  ThreadPerSet,
+  /// One warp per RRR set — the baseline design; coalesced but only W_n-way
+  /// parallel. Kept for the Fig. 3 ablation.
+  WarpPerSet,
+};
+
+/// How the LT kernel identifies the activating in-neighbor (§3.3).
+enum class LtActivationMethod {
+  /// Warp prefix sum via __shfl_up_sync: O(log d) steps. eIM's choice.
+  PrefixScan,
+  /// Shared-sum atomicAdd per lane: O(d) serialized steps. Ablation only.
+  AtomicAdd,
+};
+
+struct EimOptions {
+  /// §3.1: log-encode the network CSC and the RRR array R.
+  bool log_encode = true;
+  /// §3.4: drop source vertices, regenerate source-only samples.
+  bool eliminate_sources = true;
+  ScanStrategy scan = ScanStrategy::ThreadPerSet;
+  LtActivationMethod lt_activation = LtActivationMethod::PrefixScan;
+  /// Sampler blocks to launch (0 = 4 per SM, the self-scheduling default).
+  std::uint32_t sampler_blocks = 0;
+};
+
+/// ImmResult plus the device-side metrics the paper's figures report.
+struct EimResult : imm::ImmResult {
+  /// Modeled device seconds (kernel + transfer + allocation).
+  double device_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  /// Peak simulated device memory.
+  std::uint64_t peak_device_bytes = 0;
+  /// Bytes of R + O + C as stored (packed if log_encode).
+  std::uint64_t rrr_bytes = 0;
+  /// Bytes the same R + O + C would occupy uncompressed.
+  std::uint64_t rrr_raw_bytes = 0;
+  /// Bytes of the network CSC as stored on device.
+  std::uint64_t network_bytes = 0;
+  std::uint64_t network_raw_bytes = 0;
+  /// In-kernel dynamic allocations (always 0 for eIM; nonzero for gIM).
+  std::uint64_t device_mallocs = 0;
+};
+
+}  // namespace eim::eim_impl

@@ -1,0 +1,30 @@
+// The eIM end-to-end pipeline: the paper's contribution, assembled.
+//
+//   1. the network CSC is (optionally log-encoded and) placed in device
+//      memory, paid for against the device budget and the PCIe model;
+//   2. the IMM framework runs with eIM's sampler (global-memory queue pool,
+//      source elimination) and eIM's seed selector (thread-per-set scan);
+//   3. the result carries both the algorithmic outputs and the device
+//      metrics (modeled seconds, peak memory, packed vs raw sizes) that the
+//      paper's figures and tables report.
+//
+// Throws support::DeviceOutOfMemoryError if the configured device budget is
+// exceeded — the condition the benchmark harness reports as "OOM".
+#pragma once
+
+#include "eim/eim/options.hpp"
+#include "eim/gpusim/device.hpp"
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/imm/params.hpp"
+
+namespace eim::eim_impl {
+
+/// Run eIM on a fresh device state. The device's timeline and peak-memory
+/// tracking are reset on entry so the result reflects this run alone.
+[[nodiscard]] EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
+                                graph::DiffusionModel model,
+                                const imm::ImmParams& params,
+                                const EimOptions& options = {});
+
+}  // namespace eim::eim_impl

@@ -1,0 +1,100 @@
+// Device-resident RRR-set collection for eIM.
+//
+// Mirrors the paper's layout: a single flat array R holding every set's
+// vertices (log-encoded when enabled), the offset array O, and the
+// frequency counts C updated atomically as sets are committed (Alg. 2,
+// lines 21-28). Warps claim a slice of R with one atomic add on the shared
+// element cursor and publish their vertices independently — the thread-safe
+// packed store of §3.1 makes that safe under log encoding.
+//
+// Capacity grows only *between* kernel waves (the sampler driver reserves
+// ahead); a warp that cannot fit its set reports failure and the driver
+// re-issues that sample in the next wave, which is how a fixed-capacity
+// GPU array is managed without in-kernel malloc.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "eim/encoding/bit_packed_array.hpp"
+#include "eim/gpusim/device.hpp"
+#include "eim/graph/types.hpp"
+
+namespace eim::eim_impl {
+
+class DeviceRrrCollection {
+ public:
+  DeviceRrrCollection(gpusim::Device& device, graph::VertexId num_vertices,
+                      bool log_encode);
+  ~DeviceRrrCollection();
+
+  DeviceRrrCollection(const DeviceRrrCollection&) = delete;
+  DeviceRrrCollection& operator=(const DeviceRrrCollection&) = delete;
+
+  /// Make room for `num_sets` sets totalling up to `num_elements` vertices.
+  /// Existing contents are preserved; device memory is re-charged (alloc
+  /// new + copy + free old, exactly what a cudaMalloc/cudaMemcpy resize
+  /// costs).
+  void reserve(std::uint64_t num_sets, std::uint64_t num_elements);
+
+  /// Thread-safe commit path used from sampler blocks. Claims a slice of R
+  /// for set `set_index`; returns false when capacity is insufficient (the
+  /// caller re-issues the sample after the driver grows the arrays).
+  /// `sorted_set` must be ascending. Updates O, C, and the element cursor.
+  [[nodiscard]] bool try_commit(std::uint64_t set_index,
+                                std::span<const graph::VertexId> sorted_set);
+
+  [[nodiscard]] graph::VertexId num_vertices() const noexcept { return n_; }
+  /// Number of committed sets = high-water set index + 1 (driver-managed).
+  [[nodiscard]] std::uint64_t num_sets() const noexcept { return num_sets_; }
+  void set_num_sets(std::uint64_t sets) noexcept { num_sets_ = sets; }
+
+  [[nodiscard]] std::uint64_t total_elements() const noexcept {
+    return element_cursor_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t set_length(std::uint64_t i) const noexcept {
+    return lengths_[i];
+  }
+  /// Decode member j of set i.
+  [[nodiscard]] graph::VertexId element(std::uint64_t i, std::uint32_t j) const noexcept {
+    const std::uint64_t pos = starts_[i] + j;
+    return log_encode_ ? static_cast<graph::VertexId>(packed_.get(pos)) : raw_[pos];
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> counts() const noexcept { return counts_; }
+
+  /// Device bytes of R + O + C as stored.
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept;
+  /// Device bytes of the same data uncompressed (u32 R, u64 O, u32 C).
+  [[nodiscard]] std::uint64_t raw_equivalent_bytes() const noexcept;
+
+  [[nodiscard]] bool log_encoded() const noexcept { return log_encode_; }
+
+ private:
+  void charge_device(std::uint64_t bytes);
+  void refund_device(std::uint64_t bytes) noexcept;
+
+  gpusim::Device* device_;
+  graph::VertexId n_;
+  bool log_encode_;
+  std::uint32_t bits_per_vertex_;
+
+  // R: exactly one of these is active.
+  encoding::BitPackedArray packed_;
+  std::vector<graph::VertexId> raw_;
+  std::uint64_t element_capacity_ = 0;
+
+  // O, split into start+length so out-of-order commits need no ordering.
+  std::vector<std::uint64_t> starts_;
+  std::vector<std::uint32_t> lengths_;
+
+  std::vector<std::uint32_t> counts_;  ///< C, updated with atomic_ref
+
+  std::atomic<std::uint64_t> element_cursor_{0};
+  std::uint64_t num_sets_ = 0;
+  std::uint64_t charged_bytes_ = 0;  ///< what we currently hold in the pool
+};
+
+}  // namespace eim::eim_impl

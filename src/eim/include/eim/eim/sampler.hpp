@@ -1,0 +1,95 @@
+// eIM's RRR-set sampling kernels (paper §3.2-§3.4, Algorithm 2).
+//
+// One warp per block; every block owns a fixed slice of a pre-allocated
+// global-memory queue pool (eIM's replacement for gIM's shared-memory queue
+// + dynamic spill), so sampling performs *zero* in-kernel allocations. The
+// queue doubles as the RRR set: on completion it is sorted and committed
+// into the collection with one atomic offset claim (Fig. 2).
+//
+// Work distribution follows the paper: blocks round-robin over sample
+// indices through a shared atomic counter until theta sets exist.
+//
+// Determinism contract: sample i draws from the stream
+// (rng_seed, derive_stream(imm::kSampleStreamTag, i, attempt)) and consumes
+// randomness in CSC order — the exact contract of the serial reference — so
+// eIM produces the *identical* collection R as run_imm_serial for identical
+// parameters, which the integration tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eim/eim/options.hpp"
+#include "eim/eim/rrr_collection.hpp"
+#include "eim/gpusim/device.hpp"
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/imm/params.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::eim_impl {
+
+class EimSampler {
+ public:
+  EimSampler(gpusim::Device& device, const graph::Graph& g,
+             graph::DiffusionModel model, const imm::ImmParams& params,
+             const EimOptions& options);
+
+  /// Extend `collection` so it holds `target` sets (no-op if it already
+  /// does). Launches as many kernel waves as capacity growth requires.
+  void sample_to(DeviceRrrCollection& collection, std::uint64_t target);
+
+  /// Append one set per entry of `global_indices`: entry j lands in local
+  /// slot collection.num_sets() + j but draws from the stream of global
+  /// sample id global_indices[j]. This is the multi-GPU shard entry point:
+  /// device d samples the global ids congruent to d, and the union over
+  /// devices is bit-identical to a single-device run (see multi_gpu.hpp).
+  void sample_assigned(DeviceRrrCollection& collection,
+                       std::span<const std::uint64_t> global_indices);
+
+  /// Source-only samples regenerated so far (§3.4 accounting).
+  [[nodiscard]] std::uint64_t singletons_discarded() const noexcept {
+    return singletons_discarded_;
+  }
+
+  [[nodiscard]] std::uint32_t num_blocks() const noexcept { return num_blocks_; }
+
+ private:
+  struct BlockScratch {
+    std::vector<graph::VertexId> queue;   ///< this block's global-pool slice
+    std::vector<std::uint32_t> stamp;     ///< M as an epoch-stamped array
+    std::uint32_t epoch = 0;
+    std::vector<std::uint64_t> failed;    ///< commits deferred to next wave
+    std::uint64_t max_failed_len = 0;     ///< largest set that failed to fit
+    std::uint64_t discarded = 0;          ///< committed samples' regen count
+  };
+
+  /// Generate the RRR set for `sample_index` into scratch.queue; returns
+  /// the number of singleton regenerations performed for this sample.
+  std::uint32_t generate(gpusim::BlockContext& ctx, BlockScratch& scratch,
+                         std::uint64_t sample_index);
+
+  void bfs_ic(gpusim::BlockContext& ctx, BlockScratch& scratch,
+              graph::VertexId source, support::RandomStream& rng);
+  void walk_lt(gpusim::BlockContext& ctx, BlockScratch& scratch,
+               graph::VertexId source, support::RandomStream& rng);
+
+  /// Meter the sort + commit traffic for a finished set of length `len`.
+  void charge_commit(gpusim::BlockContext& ctx, std::uint32_t len) const;
+
+  gpusim::Device* device_;
+  const graph::Graph* graph_;
+  graph::DiffusionModel model_;
+  imm::ImmParams params_;
+  EimOptions options_;
+  std::uint32_t num_blocks_;
+
+  /// Device charge for the queue pool + M arrays (held for the sampler's
+  /// lifetime, like eIM's persistent global-memory pool).
+  gpusim::DeviceBuffer<std::uint8_t> pool_charge_;
+
+  std::vector<BlockScratch> scratch_;
+  std::uint64_t singletons_discarded_ = 0;
+};
+
+}  // namespace eim::eim_impl

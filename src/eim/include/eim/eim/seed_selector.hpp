@@ -1,0 +1,47 @@
+// Seed selection on the simulated device (paper §3.5, Algorithm 3).
+//
+// The greedy answer itself is computed exactly (host-side inverted index —
+// bit-identical to the serial reference); what the simulator adds is the
+// *device cost* of each pick:
+//
+//  * an arg-max reduction over C (one kernel per pick), and
+//  * the count-update kernel: every launched unit reads F for its sets,
+//    binary-searches the picked vertex in the uncovered ones, and on a hit
+//    covers the set and decrements C for its members.
+//
+// The update kernel's makespan is derived from running aggregates
+// (uncovered-set count, their summed search cost, decrement traffic) packed
+// onto the strategy's parallelism: T_n threads (ThreadPerSet) or W_n warps
+// (WarpPerSet). This yields exactly the paper's ceil(N/W_n)*C_w vs
+// ceil(N/T_n)*C_t comparison, with C_w < C_t because warp scans coalesce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eim/eim/options.hpp"
+#include "eim/eim/rrr_collection.hpp"
+#include "eim/gpusim/device.hpp"
+#include "eim/imm/seed_selection.hpp"
+
+namespace eim::eim_impl {
+
+class GpuSeedSelector {
+ public:
+  GpuSeedSelector(gpusim::Device& device, ScanStrategy strategy)
+      : device_(&device), strategy_(strategy) {}
+
+  /// Run the full k-pick greedy over the collection's current contents,
+  /// charging modeled kernel time per pick. Safe to call repeatedly as the
+  /// collection grows (each call re-reads it).
+  [[nodiscard]] imm::SelectionResult select(const DeviceRrrCollection& collection,
+                                            std::uint32_t k);
+
+  [[nodiscard]] ScanStrategy strategy() const noexcept { return strategy_; }
+
+ private:
+  gpusim::Device* device_;
+  ScanStrategy strategy_;
+};
+
+}  // namespace eim::eim_impl

@@ -1,0 +1,253 @@
+#include "eim/eim/multi_gpu.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "eim/eim/rrr_collection.hpp"
+#include "eim/eim/sampler.hpp"
+#include "eim/encoding/packed_csc.hpp"
+#include "eim/imm/driver.hpp"
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::eim_impl {
+
+using graph::VertexId;
+
+namespace {
+
+/// Scalar binary-search cost in global reads (same formula as the
+/// single-device selector).
+std::uint64_t binsearch_probes(std::uint32_t len) {
+  return 1 + support::ceil_log2(std::max<std::uint32_t>(2, len));
+}
+
+}  // namespace
+
+MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
+                             const graph::Graph& g, graph::DiffusionModel model,
+                             const imm::ImmParams& params, const EimOptions& options) {
+  EIM_CHECK_MSG(!devices.empty(), "need at least one device");
+  for (gpusim::Device* d : devices) EIM_CHECK_MSG(d != nullptr, "null device");
+  const auto num_devices = static_cast<std::uint32_t>(devices.size());
+
+  imm::ImmParams effective = params;
+  effective.eliminate_sources = options.eliminate_sources;
+
+  MultiGpuResult result;
+  result.num_devices = num_devices;
+  result.network_raw_bytes = g.csc_bytes();
+  std::uint64_t network_bytes = result.network_raw_bytes;
+  if (options.log_encode) network_bytes = encoding::PackedCsc(g).packed_bytes();
+  result.network_bytes = network_bytes;
+
+  // Every device holds the (packed) graph and its own shard state.
+  std::vector<gpusim::DeviceBuffer<std::uint8_t>> network_charges;
+  std::vector<std::unique_ptr<DeviceRrrCollection>> shards;
+  std::vector<std::unique_ptr<EimSampler>> samplers;
+  for (gpusim::Device* d : devices) {
+    d->timeline().reset();
+    d->memory().reset_peak();
+    network_charges.push_back(d->alloc<std::uint8_t>(network_bytes));
+    d->transfer_to_device("network CSC", network_bytes);
+    shards.push_back(
+        std::make_unique<DeviceRrrCollection>(*d, g.num_vertices(), options.log_encode));
+    samplers.push_back(std::make_unique<EimSampler>(*d, g, model, effective, options));
+  }
+
+  gpusim::Device& primary = *devices.front();
+  std::uint64_t sampled_global = 0;
+  double communication = 0.0;
+
+  // Sampling: global id i goes to device i % D; the union of shards equals
+  // the single-device collection exactly.
+  auto sample_to = [&](std::uint64_t target) {
+    if (target <= sampled_global) return;
+    for (std::uint32_t d = 0; d < num_devices; ++d) {
+      std::vector<std::uint64_t> ids;
+      for (std::uint64_t i = sampled_global; i < target; ++i) {
+        if (i % num_devices == d) ids.push_back(i);
+      }
+      if (!ids.empty()) samplers[d]->sample_assigned(*shards[d], ids);
+    }
+    sampled_global = target;
+
+    // All-reduce the per-vertex counts to the primary (ring reduce: each
+    // device ships its count array once).
+    const std::uint64_t count_bytes =
+        static_cast<std::uint64_t>(g.num_vertices()) * sizeof(std::uint32_t);
+    for (std::uint32_t d = 1; d < num_devices; ++d) {
+      const double before = primary.timeline().transfer_seconds();
+      primary.transfer_to_device("count all-reduce", count_bytes);
+      communication += primary.timeline().transfer_seconds() - before;
+    }
+  };
+
+  // Selection: exact greedy on the merged host mirror; modeled cost is the
+  // max over devices' shard scans (they run concurrently) plus the per-pick
+  // broadcast/return traffic.
+  auto select = [&] {
+    const VertexId n = g.num_vertices();
+
+    // Merge shard mirrors. Global set id i lives on device i % D at local
+    // slot i / D.
+    const std::uint64_t num_sets = sampled_global;
+    std::vector<std::uint32_t> lengths(num_sets);
+    std::vector<std::uint64_t> starts(num_sets + 1, 0);
+    for (std::uint64_t i = 0; i < num_sets; ++i) {
+      lengths[i] = shards[i % num_devices]->set_length(i / num_devices);
+      starts[i + 1] = starts[i] + lengths[i];
+    }
+    std::vector<VertexId> flat(starts[num_sets]);
+    for (std::uint64_t i = 0; i < num_sets; ++i) {
+      const auto& shard = *shards[i % num_devices];
+      for (std::uint32_t j = 0; j < lengths[i]; ++j) {
+        flat[starts[i] + j] = shard.element(i / num_devices, j);
+      }
+    }
+
+    std::vector<std::uint32_t> counts(n, 0);
+    for (const auto& shard : shards) {
+      for (VertexId v = 0; v < n; ++v) counts[v] += shard->counts()[v];
+    }
+
+    // Inverted index for the exact greedy.
+    std::vector<std::uint64_t> index_offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (const VertexId v : flat) ++index_offsets[v + 1];
+    for (VertexId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
+    std::vector<std::uint64_t> index_sets(flat.size());
+    {
+      std::vector<std::uint64_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
+      for (std::uint64_t i = 0; i < num_sets; ++i) {
+        for (std::uint64_t p = starts[i]; p < starts[i + 1]; ++p) {
+          index_sets[cursor[flat[p]]++] = i;
+        }
+      }
+    }
+
+    const auto& spec = primary.spec();
+    const auto g_lat = static_cast<std::uint64_t>(spec.costs.global_latency);
+    const auto a_lat = static_cast<std::uint64_t>(spec.costs.atomic_global);
+    const std::uint64_t units = spec.max_resident_threads();
+
+    // Per-device running aggregates for the scan cost.
+    std::vector<std::uint64_t> shard_sets(num_devices, 0);
+    std::vector<std::uint64_t> shard_search(num_devices, 0);
+    for (std::uint64_t i = 0; i < num_sets; ++i) {
+      shard_sets[i % num_devices]++;
+      shard_search[i % num_devices] += binsearch_probes(lengths[i]) * g_lat;
+    }
+
+    std::vector<bool> covered(num_sets, false);
+    std::vector<bool> chosen(n, false);
+    imm::SelectionResult sel;
+    sel.seeds.reserve(effective.k);
+
+    for (std::uint32_t pick = 0; pick < effective.k; ++pick) {
+      VertexId best = graph::kInvalidVertex;
+      std::uint32_t best_count = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!chosen[v] && counts[v] > best_count) {
+          best = v;
+          best_count = counts[v];
+        }
+      }
+      if (best == graph::kInvalidVertex) {
+        for (VertexId v = 0; v < n && sel.seeds.size() < effective.k; ++v) {
+          if (!chosen[v]) {
+            chosen[v] = true;
+            sel.seeds.push_back(v);
+          }
+        }
+        break;
+      }
+      chosen[best] = true;
+      sel.seeds.push_back(best);
+
+      std::vector<std::uint64_t> shard_dec(num_devices, 0);
+      for (std::uint64_t idx = index_offsets[best]; idx < index_offsets[best + 1];
+           ++idx) {
+        const std::uint64_t set_id = index_sets[idx];
+        if (covered[set_id]) continue;
+        covered[set_id] = true;
+        ++sel.covered_sets;
+        const std::uint32_t len = lengths[set_id];
+        const std::uint32_t owner = static_cast<std::uint32_t>(set_id % num_devices);
+        shard_search[owner] -= binsearch_probes(len) * g_lat;
+        shard_dec[owner] += static_cast<std::uint64_t>(len) * (g_lat + a_lat);
+        for (std::uint64_t p = starts[set_id]; p < starts[set_id + 1]; ++p) {
+          --counts[flat[p]];
+        }
+      }
+
+      // Per-pick modeled time: devices scan their shards concurrently.
+      double pick_seconds = 0.0;
+      for (std::uint32_t d = 0; d < num_devices; ++d) {
+        if (shard_sets[d] == 0) continue;
+        const std::uint64_t total =
+            shard_sets[d] * g_lat + shard_search[d] + shard_dec[d];
+        const std::uint64_t used =
+            std::max<std::uint64_t>(1, std::min(units, shard_sets[d]));
+        pick_seconds = std::max(
+            pick_seconds, spec.costs.kernel_launch_us * 1e-6 +
+                              spec.cycles_to_seconds(static_cast<double>(total / used)));
+      }
+      primary.timeline().add(gpusim::SegmentKind::Kernel, "eim::multi_update",
+                             pick_seconds);
+      // Broadcast the pick + gather per-device coverage deltas.
+      const double before = primary.timeline().transfer_seconds();
+      for (std::uint32_t d = 1; d < num_devices; ++d) {
+        primary.transfer_to_device("pick broadcast", sizeof(VertexId));
+        primary.transfer_to_host("coverage delta", sizeof(std::uint64_t));
+      }
+      communication += primary.timeline().transfer_seconds() - before;
+    }
+
+    sel.coverage_fraction = num_sets == 0 ? 0.0
+                                          : static_cast<double>(sel.covered_sets) /
+                                                static_cast<double>(num_sets);
+    return sel;
+  };
+
+  const imm::FrameworkOutcome outcome =
+      imm::run_imm_framework(g.num_vertices(), effective, sample_to, select);
+
+  primary.transfer_to_host("seed set",
+                           outcome.final_selection.seeds.size() * sizeof(VertexId));
+
+  result.seeds = outcome.final_selection.seeds;
+  result.num_sets = sampled_global;
+  result.lower_bound = outcome.lower_bound;
+  result.estimation_rounds = outcome.estimation_rounds;
+  for (std::uint32_t d = 0; d < num_devices; ++d) {
+    result.total_elements += shards[d]->total_elements();
+    result.singletons_discarded += samplers[d]->singletons_discarded();
+    result.rrr_bytes += shards[d]->stored_bytes();
+    result.rrr_raw_bytes += shards[d]->raw_equivalent_bytes();
+    result.peak_device_bytes =
+        std::max(result.peak_device_bytes, devices[d]->memory().peak_bytes());
+  }
+  // Same conditional-coverage correction as the single-device pipeline.
+  const double kept_fraction =
+      static_cast<double>(result.num_sets) /
+      static_cast<double>(result.num_sets + result.singletons_discarded);
+  result.estimated_spread = static_cast<double>(g.num_vertices()) *
+                            outcome.final_selection.coverage_fraction * kept_fraction;
+
+  // Modeled wall time: devices run concurrently — the slowest device's
+  // kernel time governs, plus the primary's transfers (reductions,
+  // broadcasts) which are serialized on its copy engine here.
+  double max_kernel = 0.0;
+  for (gpusim::Device* d : devices) {
+    max_kernel = std::max(max_kernel, d->timeline().kernel_seconds());
+  }
+  result.kernel_seconds = std::max(max_kernel, primary.timeline().kernel_seconds());
+  result.transfer_seconds = primary.timeline().transfer_seconds();
+  result.communication_seconds = communication;
+  result.device_seconds = result.kernel_seconds + result.transfer_seconds +
+                          primary.timeline().allocation_seconds();
+  result.device_mallocs = 0;
+  return result;
+}
+
+}  // namespace eim::eim_impl

@@ -1,0 +1,73 @@
+#include "eim/eim/pipeline.hpp"
+
+#include "eim/eim/rrr_collection.hpp"
+#include "eim/eim/sampler.hpp"
+#include "eim/eim/seed_selector.hpp"
+#include "eim/encoding/packed_csc.hpp"
+#include "eim/imm/driver.hpp"
+
+namespace eim::eim_impl {
+
+EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
+                  graph::DiffusionModel model, const imm::ImmParams& params,
+                  const EimOptions& options) {
+  device.timeline().reset();
+  device.memory().reset_peak();
+
+  imm::ImmParams effective = params;
+  effective.eliminate_sources = options.eliminate_sources;
+
+  EimResult result;
+  result.network_raw_bytes = g.csc_bytes();
+
+  // Stage the network on the device: packed (§3.1) or verbatim.
+  std::uint64_t network_bytes = result.network_raw_bytes;
+  if (options.log_encode) {
+    const encoding::PackedCsc packed(g);
+    network_bytes = packed.packed_bytes();
+  }
+  result.network_bytes = network_bytes;
+  auto network_charge = device.alloc<std::uint8_t>(network_bytes);
+  device.transfer_to_device("network CSC", network_bytes);
+
+  DeviceRrrCollection collection(device, g.num_vertices(), options.log_encode);
+  EimSampler sampler(device, g, model, effective, options);
+  GpuSeedSelector selector(device, options.scan);
+
+  const imm::FrameworkOutcome outcome = imm::run_imm_framework(
+      g.num_vertices(), effective,
+      [&](std::uint64_t target) { sampler.sample_to(collection, target); },
+      [&] { return selector.select(collection, effective.k); });
+
+  // Seeds travel back over PCIe (k vertex ids).
+  device.transfer_to_host("seed set",
+                          outcome.final_selection.seeds.size() * sizeof(graph::VertexId));
+
+  result.seeds = outcome.final_selection.seeds;
+  result.num_sets = collection.num_sets();
+  result.total_elements = collection.total_elements();
+  result.lower_bound = outcome.lower_bound;
+  result.estimation_rounds = outcome.estimation_rounds;
+  result.singletons_discarded = sampler.singletons_discarded();
+  // Coverage under source elimination is conditional on non-singleton
+  // samples; rescale by the kept fraction so the reported spread estimate
+  // stays an unbiased n * F over *all* generated samples. (The inflated
+  // conditional coverage still drives the theta estimate — that is the
+  // §3.4 heuristic's speed mechanism.)
+  const double kept_fraction =
+      static_cast<double>(collection.num_sets()) /
+      static_cast<double>(collection.num_sets() + result.singletons_discarded);
+  result.estimated_spread = static_cast<double>(g.num_vertices()) *
+                            outcome.final_selection.coverage_fraction * kept_fraction;
+
+  result.device_seconds = device.timeline().total_seconds();
+  result.kernel_seconds = device.timeline().kernel_seconds();
+  result.transfer_seconds = device.timeline().transfer_seconds();
+  result.peak_device_bytes = device.memory().peak_bytes();
+  result.rrr_bytes = collection.stored_bytes();
+  result.rrr_raw_bytes = collection.raw_equivalent_bytes();
+  result.device_mallocs = 0;  // eIM's design point: no in-kernel allocation
+  return result;
+}
+
+}  // namespace eim::eim_impl

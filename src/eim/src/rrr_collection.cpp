@@ -1,0 +1,122 @@
+#include "eim/eim/rrr_collection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::eim_impl {
+
+using graph::VertexId;
+
+DeviceRrrCollection::DeviceRrrCollection(gpusim::Device& device, VertexId num_vertices,
+                                         bool log_encode)
+    : device_(&device),
+      n_(num_vertices),
+      log_encode_(log_encode),
+      bits_per_vertex_(
+          support::bit_width_for_value(num_vertices == 0 ? 0 : num_vertices - 1)),
+      counts_(num_vertices, 0) {
+  // C lives on the device for the whole run.
+  charge_device(static_cast<std::uint64_t>(num_vertices) * sizeof(std::uint32_t));
+}
+
+DeviceRrrCollection::~DeviceRrrCollection() { refund_device(charged_bytes_); }
+
+void DeviceRrrCollection::charge_device(std::uint64_t bytes) {
+  device_->memory().allocate(bytes);
+  charged_bytes_ += bytes;
+}
+
+void DeviceRrrCollection::refund_device(std::uint64_t bytes) noexcept {
+  device_->memory().deallocate(bytes);
+  charged_bytes_ -= bytes;
+}
+
+void DeviceRrrCollection::reserve(std::uint64_t num_sets, std::uint64_t num_elements) {
+  // O growth (start u64 + length u32 per set).
+  if (num_sets > starts_.size()) {
+    const std::uint64_t extra = (num_sets - starts_.size()) * (sizeof(std::uint64_t) +
+                                                               sizeof(std::uint32_t));
+    charge_device(extra);
+    starts_.resize(num_sets, 0);
+    lengths_.resize(num_sets, 0);
+    device_->charge_allocation_event("grow O");
+  }
+
+  // R growth: allocate-new / copy / free-old, transiently holding both.
+  if (num_elements > element_capacity_) {
+    const std::uint64_t old_bytes =
+        log_encode_ ? packed_.storage_bytes()
+                    : raw_.size() * sizeof(VertexId);
+    if (log_encode_) {
+      const std::uint64_t new_bytes = support::div_ceil<std::uint64_t>(
+                                          num_elements * bits_per_vertex_, 32) *
+                                      sizeof(std::uint32_t);
+      charge_device(new_bytes);
+      encoding::BitPackedArray grown(num_elements, bits_per_vertex_);
+      const std::uint64_t used = element_cursor_.load(std::memory_order_relaxed);
+      for (std::uint64_t i = 0; i < used; ++i) grown.set(i, packed_.get(i));
+      packed_ = std::move(grown);
+      refund_device(old_bytes);
+    } else {
+      const std::uint64_t new_bytes = num_elements * sizeof(VertexId);
+      charge_device(new_bytes);
+      raw_.resize(num_elements, 0);
+      // std::vector already moved the payload; refund the old footprint.
+      refund_device(old_bytes);
+    }
+    element_capacity_ = num_elements;
+    device_->charge_allocation_event("grow R");
+  }
+}
+
+bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
+                                     std::span<const VertexId> sorted_set) {
+  assert(std::is_sorted(sorted_set.begin(), sorted_set.end()));
+  EIM_CHECK_MSG(set_index < starts_.size(), "set index beyond reserved O capacity");
+
+  // Alg. 2 line 21: one atomic add claims this set's slice of R.
+  const std::uint64_t offset =
+      element_cursor_.fetch_add(sorted_set.size(), std::memory_order_relaxed);
+  if (offset + sorted_set.size() > element_capacity_) {
+    // Roll back the claim; the driver grows R and re-issues the sample.
+    element_cursor_.fetch_sub(sorted_set.size(), std::memory_order_relaxed);
+    return false;
+  }
+
+  starts_[set_index] = offset;
+  lengths_[set_index] = static_cast<std::uint32_t>(sorted_set.size());
+
+  for (std::size_t j = 0; j < sorted_set.size(); ++j) {
+    const VertexId v = sorted_set[j];
+    if (log_encode_) {
+      packed_.store_release(offset + j, v);
+    } else {
+      raw_[offset + j] = v;
+    }
+    std::atomic_ref<std::uint32_t>(counts_[v]).fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+std::uint64_t DeviceRrrCollection::stored_bytes() const noexcept {
+  const std::uint64_t r_bytes = log_encode_
+                                    ? support::div_ceil<std::uint64_t>(
+                                          total_elements() * bits_per_vertex_, 32) *
+                                          sizeof(std::uint32_t)
+                                    : total_elements() * sizeof(VertexId);
+  const std::uint64_t o_bytes =
+      num_sets_ * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  const std::uint64_t c_bytes = static_cast<std::uint64_t>(n_) * sizeof(std::uint32_t);
+  return r_bytes + o_bytes + c_bytes;
+}
+
+std::uint64_t DeviceRrrCollection::raw_equivalent_bytes() const noexcept {
+  return total_elements() * sizeof(VertexId) +
+         num_sets_ * (sizeof(std::uint64_t) + sizeof(std::uint32_t)) +
+         static_cast<std::uint64_t>(n_) * sizeof(std::uint32_t);
+}
+
+}  // namespace eim::eim_impl

@@ -1,0 +1,315 @@
+#include "eim/eim/sampler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "eim/imm/imm.hpp"
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::eim_impl {
+
+using graph::VertexId;
+using gpusim::BlockContext;
+using support::RandomStream;
+
+namespace {
+
+/// Coalesced warp transactions needed to touch `count` consecutive items.
+std::uint64_t warp_chunks(std::uint64_t count, std::uint32_t warp) {
+  return support::div_ceil<std::uint64_t>(count, warp);
+}
+
+}  // namespace
+
+EimSampler::EimSampler(gpusim::Device& device, const graph::Graph& g,
+                       graph::DiffusionModel model, const imm::ImmParams& params,
+                       const EimOptions& options)
+    : device_(&device),
+      graph_(&g),
+      model_(model),
+      params_(params),
+      options_(options),
+      num_blocks_(options.sampler_blocks != 0 ? options.sampler_blocks
+                                              : device.spec().num_sms * 2) {
+  // Persistent global-memory pool: per block, a queue of n vertex slots
+  // plus the visited bitmap M (n bits). The host-side scratch uses stamped
+  // words for speed, but the device charge reflects the kernel's packed
+  // layout.
+  const std::uint64_t per_block =
+      static_cast<std::uint64_t>(g.num_vertices()) * sizeof(VertexId) +
+      support::div_ceil<std::uint64_t>(g.num_vertices(), 8);
+  pool_charge_ = device.alloc<std::uint8_t>(per_block * num_blocks_);
+
+  scratch_.resize(num_blocks_);
+  for (auto& s : scratch_) {
+    s.queue.reserve(64);
+    s.stamp.assign(g.num_vertices(), 0);
+  }
+}
+
+void EimSampler::sample_to(DeviceRrrCollection& collection, std::uint64_t target) {
+  if (collection.num_sets() >= target) return;
+  std::vector<std::uint64_t> globals;
+  globals.reserve(target - collection.num_sets());
+  for (std::uint64_t i = collection.num_sets(); i < target; ++i) globals.push_back(i);
+  sample_assigned(collection, globals);
+}
+
+void EimSampler::sample_assigned(DeviceRrrCollection& collection,
+                                 std::span<const std::uint64_t> global_indices) {
+  if (global_indices.empty()) return;
+  const std::uint64_t base = collection.num_sets();
+  const std::uint64_t target = base + global_indices.size();
+
+  // Pending work: (local slot in the collection, global stream id).
+  struct PendingSample {
+    std::uint64_t local_slot;
+    std::uint64_t global_id;
+  };
+  std::vector<PendingSample> pending;
+  pending.reserve(global_indices.size());
+  for (std::uint64_t j = 0; j < global_indices.size(); ++j) {
+    pending.push_back(PendingSample{base + j, global_indices[j]});
+  }
+
+  int wave = 0;
+  std::uint64_t max_failed_len = 0;
+  while (!pending.empty()) {
+    EIM_CHECK_MSG(++wave <= 64, "sampler failed to converge on capacity");
+
+    // Reserve O for every set and R using the observed average set size
+    // (first wave: a generous default).
+    const std::uint64_t have_sets = collection.num_sets();
+    const double avg = have_sets > 0 && collection.total_elements() > 0
+                           ? static_cast<double>(collection.total_elements()) /
+                                 static_cast<double>(have_sets)
+                           : 8.0;
+    // Headroom: the running average with slack for every pending sample,
+    // plus room for the largest set that failed to fit last wave on every
+    // concurrently active block — guarantees forward progress when
+    // supercritical cascades produce sets far above the average (e.g.
+    // com-Amazon's near-critical reverse BFS) without reserving the
+    // worst case for millions of samples at once.
+    const auto giant_slots = std::min<std::uint64_t>(pending.size(), num_blocks_ * 4u);
+    const auto estimated = collection.total_elements() +
+                           (static_cast<std::uint64_t>(avg * 1.5) + 1) *
+                               static_cast<std::uint64_t>(pending.size()) +
+                           max_failed_len * giant_slots + 4096;
+    collection.reserve(target, estimated);
+
+    for (auto& s : scratch_) s.failed.clear();
+
+    device_->launch_blocks(
+        "eim::sample", num_blocks_, [&](BlockContext& ctx) {
+          BlockScratch& scratch = scratch_[ctx.block_id()];
+          // Round-robin assignment of samples to blocks (§3.2: "a round
+          // robin assignment of RRR set creation between the GPU blocks").
+          // Strided slots keep per-block load statistically balanced and —
+          // unlike an atomic claim — make the modeled makespan independent
+          // of host scheduling, so runs are bit-reproducible.
+          for (std::uint64_t slot = ctx.block_id(); slot < pending.size();
+               slot += num_blocks_) {
+            ctx.charge_atomic_global(1);  // shared `count` bookkeeping
+
+            const PendingSample sample = pending[slot];
+            const std::uint32_t regenerated =
+                generate(ctx, scratch, sample.global_id);
+
+            // Sort + commit (Fig. 2). Source elimination already happened
+            // inside generate(); queue holds the final sorted set.
+            if (collection.try_commit(sample.local_slot, scratch.queue)) {
+              charge_commit(ctx, static_cast<std::uint32_t>(scratch.queue.size()));
+              scratch.discarded += regenerated;
+            } else {
+              scratch.failed.push_back(slot);
+              scratch.max_failed_len =
+                  std::max<std::uint64_t>(scratch.max_failed_len, scratch.queue.size());
+            }
+          }
+        });
+
+    std::vector<PendingSample> retry;
+    for (auto& s : scratch_) {
+      for (const std::uint64_t slot : s.failed) retry.push_back(pending[slot]);
+      singletons_discarded_ += s.discarded;
+      s.discarded = 0;
+      max_failed_len = std::max(max_failed_len, s.max_failed_len);
+      s.max_failed_len = 0;
+    }
+    std::sort(retry.begin(), retry.end(),
+              [](const PendingSample& a, const PendingSample& b) {
+                return a.local_slot < b.local_slot;
+              });
+    pending = std::move(retry);
+  }
+
+  collection.set_num_sets(target);
+}
+
+std::uint32_t EimSampler::generate(BlockContext& ctx, BlockScratch& scratch,
+                                   std::uint64_t sample_index) {
+  const VertexId n = graph_->num_vertices();
+  std::uint32_t regenerated = 0;
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    RandomStream rng(params_.rng_seed,
+                     support::derive_stream(imm::kSampleStreamTag, sample_index, attempt));
+    const VertexId source = rng.next_below(n);
+    ctx.charge_alu(2);  // lane 0 picks the source, seeds head/tail (Alg. 2 l.5-10)
+
+    // Fresh epoch == "initialize M" without touching n words every sample.
+    if (++scratch.epoch == 0) {
+      std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+      scratch.epoch = 1;
+    }
+    scratch.queue.clear();
+    scratch.queue.push_back(source);
+    scratch.stamp[source] = scratch.epoch;
+
+    if (model_ == graph::DiffusionModel::IndependentCascade) {
+      bfs_ic(ctx, scratch, source, rng);
+    } else {
+      walk_lt(ctx, scratch, source, rng);
+    }
+
+    if (options_.eliminate_sources) {
+      // Queue slot 0 always holds the source.
+      scratch.queue.erase(scratch.queue.begin());
+      ctx.charge_alu(1);
+      if (scratch.queue.empty() && attempt + 1 < imm::kMaxRegenerationAttempts) {
+        ++regenerated;
+        continue;  // §3.4: throw the singleton away, draw a fresh sample
+      }
+    }
+    break;
+  }
+
+  std::sort(scratch.queue.begin(), scratch.queue.end());
+  return regenerated;
+}
+
+void EimSampler::bfs_ic(BlockContext& ctx, BlockScratch& scratch, VertexId /*source*/,
+                        RandomStream& rng) {
+  const graph::Graph& g = *graph_;
+  const std::uint32_t warp = ctx.warp_size();
+
+  // Warp-wide probabilistic BFS (Alg. 2 lines 11-20). The queue IS the
+  // visited set; head walks forward, tail grows as lanes activate
+  // in-neighbors.
+  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+    const VertexId u = scratch.queue[head];
+    ctx.charge_global(1);  // read Q front
+
+    const auto ins = g.in().neighbors(u);
+    const auto ws = g.in_weights(u);
+    // Lanes sweep the in-edge list in warp-sized chunks: neighbor ids,
+    // weights, and M lookups are each one coalesced transaction per chunk.
+    ctx.charge_global(3 * warp_chunks(ins.size(), warp));
+    ctx.charge_alu(warp_chunks(ins.size(), warp));  // rng + compare per lane
+
+    for (std::size_t j = 0; j < ins.size(); ++j) {
+      const VertexId v = ins[j];
+      const bool visited = scratch.stamp[v] == scratch.epoch;
+      // The serial reference consumes one draw per *unvisited* neighbor;
+      // keep the identical consumption order for bit-parity.
+      if (visited) continue;
+      if (rng.next_float() <= ws[j]) {
+        scratch.stamp[v] = scratch.epoch;  // mark BEFORE enqueue (Alg. 2 l.18)
+        scratch.queue.push_back(v);
+        ctx.charge_global(1);         // M store + Q store (write-combined)
+        ctx.charge_atomic_global(1);  // atomicAdd on q_tail (Alg. 2 l.20)
+      }
+    }
+  }
+}
+
+void EimSampler::walk_lt(BlockContext& ctx, BlockScratch& scratch, VertexId source,
+                         RandomStream& rng) {
+  const graph::Graph& g = *graph_;
+  const std::uint32_t warp = ctx.warp_size();
+
+  // §3.3: thread 0 draws tau for the dequeued vertex; the warp prefix-scans
+  // in-edge weights and the unique lane whose inclusive sum first crosses
+  // tau activates its neighbor. At most one vertex joins per step, so the
+  // queue is a walk.
+  VertexId u = source;
+  for (;;) {
+    const auto ins = g.in().neighbors(u);
+    const auto ws = g.in_weights(u);
+    if (ins.empty()) break;
+
+    const float tau = rng.next_float();
+    ctx.charge_alu(1);
+
+    VertexId chosen = graph::kInvalidVertex;
+    float base = 0.0f;
+    for (std::size_t chunk = 0; chunk < ins.size(); chunk += warp) {
+      const std::size_t len = std::min<std::size_t>(warp, ins.size() - chunk);
+      ctx.charge_global(2);  // neighbors + weights, one transaction each
+
+      // Real inclusive scan over this chunk's weights (metered as the
+      // __shfl_up_sync ladder).
+      float lane_vals[32];
+      for (std::size_t l = 0; l < len; ++l) lane_vals[l] = ws[chunk + l];
+      ctx.warp_inclusive_scan(std::span<float>(lane_vals, len));
+
+      bool lane_hit[32];
+      for (std::size_t l = 0; l < len; ++l) {
+        const float inclusive = base + lane_vals[l];
+        const float exclusive = base + (l == 0 ? 0.0f : lane_vals[l - 1]);
+        lane_hit[l] = inclusive > tau && exclusive <= tau;
+      }
+      const std::uint32_t mask = ctx.warp_ballot(std::span<const bool>(lane_hit, len));
+      if (options_.lt_activation == LtActivationMethod::AtomicAdd) {
+        // Ablation: the shared-sum variant serializes one atomic per lane
+        // on the same address (§3.3's rejected design). Identical result,
+        // different cost.
+        ctx.charge_atomic_shared(len);
+      }
+      if (mask != 0) {
+        chosen = ins[chunk + static_cast<std::size_t>(std::countr_zero(mask))];
+        break;
+      }
+      base += lane_vals[len - 1];
+    }
+
+    if (chosen == graph::kInvalidVertex) break;          // tau in the no-one gap
+    if (scratch.stamp[chosen] == scratch.epoch) break;   // walk closed a loop
+    scratch.stamp[chosen] = scratch.epoch;
+    scratch.queue.push_back(chosen);
+    ctx.charge_global(1);
+    ctx.charge_atomic_global(1);
+    u = chosen;
+  }
+}
+
+void EimSampler::charge_commit(BlockContext& ctx, std::uint32_t len) const {
+  if (len == 0) {
+    ctx.charge_atomic_global(1);  // offset claim still happens
+    return;
+  }
+  const std::uint32_t warp = ctx.warp_size();
+  const std::uint64_t chunks = warp_chunks(len, warp);
+
+  // Ascending-order insert: in-register bitonic sort of the queue,
+  // log^2(len) compare-exchange stages over ceil(len/32) warp fronts.
+  const std::uint32_t log_len = support::ceil_log2(std::max<std::uint32_t>(2, len));
+  ctx.charge_alu(chunks * log_len * log_len);
+
+  ctx.charge_atomic_global(1);  // offset claim (Alg. 2 line 21)
+  ctx.charge_global(1);         // O[count + 1] store
+
+  // Copy Q -> R (lines 23-27): one coalesced store per chunk — doubled for
+  // the packed layout's read-modify-write — plus C atomics and M resets.
+  const std::uint64_t store_cost = options_.log_encode ? 2 * chunks : chunks;
+  ctx.charge_global(store_cost + chunks /* M resets */);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    ctx.charge_atomic_global(1);  // 32 lanes, distinct counters: one round
+  }
+  ctx.charge_atomic_global(1);  // atomicAdd(count, 1) (line 28)
+}
+
+}  // namespace eim::eim_impl

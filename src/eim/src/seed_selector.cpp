@@ -1,0 +1,178 @@
+#include "eim/eim/seed_selector.hpp"
+
+#include <algorithm>
+
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::eim_impl {
+
+using graph::VertexId;
+
+namespace {
+
+/// Scalar binary-search cost in global reads: probes of the sorted set.
+std::uint64_t binsearch_probes(std::uint32_t len) {
+  return 1 + support::ceil_log2(std::max<std::uint32_t>(2, len));
+}
+
+}  // namespace
+
+imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collection,
+                                             std::uint32_t k) {
+  const VertexId n = collection.num_vertices();
+  EIM_CHECK_MSG(k >= 1 && k <= n, "k out of range");
+
+  const std::uint64_t num_sets = collection.num_sets();
+  const auto& spec = device_->spec();
+  const auto g_lat = static_cast<std::uint64_t>(spec.costs.global_latency);
+  const auto a_lat = static_cast<std::uint64_t>(spec.costs.atomic_global);
+  const std::uint64_t warp = spec.warp_size;
+
+  // F: one flag per set, device-resident for the selection's duration.
+  auto f_flags = device_->alloc<std::uint8_t>(std::max<std::uint64_t>(1, num_sets));
+
+  // Host mirror: decode every set once (the data already lives on the
+  // device; no transfer is charged).
+  std::vector<std::uint32_t> lengths(num_sets);
+  std::vector<std::uint64_t> starts(num_sets + 1, 0);
+  for (std::uint64_t i = 0; i < num_sets; ++i) {
+    lengths[i] = collection.set_length(i);
+    starts[i + 1] = starts[i] + lengths[i];
+  }
+  std::vector<VertexId> flat(starts[num_sets]);
+  for (std::uint64_t i = 0; i < num_sets; ++i) {
+    for (std::uint32_t j = 0; j < lengths[i]; ++j) {
+      flat[starts[i] + j] = collection.element(i, j);
+    }
+  }
+
+  // Inverted index vertex -> set ids (host-side greedy accelerator).
+  std::vector<std::uint64_t> index_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const VertexId v : flat) ++index_offsets[v + 1];
+  for (VertexId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
+  std::vector<std::uint64_t> index_sets(flat.size());
+  {
+    std::vector<std::uint64_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
+    for (std::uint64_t i = 0; i < num_sets; ++i) {
+      for (std::uint64_t p = starts[i]; p < starts[i + 1]; ++p) {
+        index_sets[cursor[flat[p]]++] = i;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> counts(collection.counts().begin(),
+                                    collection.counts().end());
+  std::vector<bool> covered(num_sets, false);
+  std::vector<bool> chosen(n, false);
+
+  // Running aggregates for the update-kernel cost model.
+  const bool thread_scan = strategy_ == ScanStrategy::ThreadPerSet;
+  std::uint64_t uncovered_cnt = num_sets;
+  std::uint64_t uncovered_search_cycles = 0;  // sum of per-set search cost
+  std::uint32_t max_len = 2;
+  for (const std::uint32_t len : lengths) {
+    max_len = std::max(max_len, len);
+    uncovered_search_cycles +=
+        thread_scan ? binsearch_probes(len) * g_lat
+                    : support::div_ceil<std::uint64_t>(std::max<std::uint32_t>(1, len),
+                                                       warp) *
+                          g_lat;
+  }
+
+  // Parallelism of the chosen strategy (§3.5's T_n vs W_n).
+  const std::uint64_t units =
+      thread_scan ? spec.max_resident_threads() : spec.max_resident_warps();
+
+  imm::SelectionResult result;
+  result.seeds.reserve(k);
+
+  for (std::uint32_t pick = 0; pick < k; ++pick) {
+    // arg max over C: a tree reduction, T_n-wide.
+    {
+      const std::uint64_t per_unit =
+          support::div_ceil<std::uint64_t>(n, spec.max_resident_threads());
+      const std::uint64_t cycles =
+          per_unit * g_lat + support::ceil_log2(std::max<VertexId>(2, n)) *
+                                 spec.costs.shuffle_op;
+      device_->timeline().add(gpusim::SegmentKind::Kernel, "eim::argmax",
+                              spec.costs.kernel_launch_us * 1e-6 +
+                                  spec.cycles_to_seconds(static_cast<double>(cycles)));
+    }
+
+    VertexId best = graph::kInvalidVertex;
+    std::uint32_t best_count = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!chosen[v] && counts[v] > best_count) {
+        best = v;
+        best_count = counts[v];
+      }
+    }
+    if (best == graph::kInvalidVertex) {
+      for (VertexId v = 0; v < n && result.seeds.size() < k; ++v) {
+        if (!chosen[v]) {
+          chosen[v] = true;
+          result.seeds.push_back(v);
+        }
+      }
+      break;
+    }
+    chosen[best] = true;
+    result.seeds.push_back(best);
+
+    // Cover best's sets; track decrement traffic for the cost model.
+    std::uint64_t dec_cycles = 0;
+    for (std::uint64_t idx = index_offsets[best]; idx < index_offsets[best + 1]; ++idx) {
+      const std::uint64_t set_id = index_sets[idx];
+      if (covered[set_id]) continue;
+      covered[set_id] = true;
+      f_flags[set_id] = 1;
+      ++result.covered_sets;
+
+      const std::uint32_t len = lengths[set_id];
+      // Aggregate bookkeeping: this set leaves the uncovered population.
+      --uncovered_cnt;
+      uncovered_search_cycles -=
+          thread_scan
+              ? binsearch_probes(len) * g_lat
+              : support::div_ceil<std::uint64_t>(std::max<std::uint32_t>(1, len), warp) *
+                    g_lat;
+      // Decrement pass (Alg. 3 lines 10-12): the finding unit walks the set
+      // and atomically subtracts each member's count. A thread does this
+      // scalar; a warp coalesces the reads but still issues len atomics.
+      dec_cycles += thread_scan
+                        ? static_cast<std::uint64_t>(len) * (g_lat + a_lat)
+                        : support::div_ceil<std::uint64_t>(
+                              std::max<std::uint32_t>(1, len), warp) *
+                                  g_lat +
+                              static_cast<std::uint64_t>(len) * a_lat / warp;
+
+      for (std::uint64_t p = starts[set_id]; p < starts[set_id + 1]; ++p) {
+        --counts[flat[p]];
+      }
+    }
+
+    // Update-kernel makespan: every set costs an F read; uncovered ones add
+    // the search; covering units add their decrement walks. Work spreads
+    // over min(units, num_sets) parallel units.
+    if (num_sets > 0) {
+      const std::uint64_t f_cycles = num_sets * g_lat;
+      const std::uint64_t total = f_cycles + uncovered_search_cycles + dec_cycles;
+      const std::uint64_t used = std::max<std::uint64_t>(1, std::min(units, num_sets));
+      const std::uint64_t floor_cycles =
+          thread_scan ? binsearch_probes(max_len) * g_lat
+                      : support::div_ceil<std::uint64_t>(max_len, warp) * g_lat;
+      const std::uint64_t makespan = std::max(total / used, floor_cycles);
+      device_->timeline().add(gpusim::SegmentKind::Kernel, "eim::update_counts",
+                              spec.costs.kernel_launch_us * 1e-6 +
+                                  spec.cycles_to_seconds(static_cast<double>(makespan)));
+    }
+  }
+
+  result.coverage_fraction = num_sets == 0 ? 0.0
+                                           : static_cast<double>(result.covered_sets) /
+                                                 static_cast<double>(num_sets);
+  return result;
+}
+
+}  // namespace eim::eim_impl

@@ -1,0 +1,76 @@
+// Log encoding (bit-packing) — the paper's §3.1 memory optimization.
+//
+// An array of integers is stored with n_b = bit_width(x_max) bits per value,
+// concatenated across 32-bit containers exactly as in the paper's Figure 1;
+// a value whose bits don't align to a container boundary spans two (or, for
+// n_b > 32, up to three) containers.
+//
+// Thread-safety contract (this is the "thread-safe implementation of log
+// encoding" the paper relies on during RRR-set generation): concurrent
+// *writers to distinct indices* are safe via store_release(), which ORs each
+// touched container atomically — storage starts zeroed and every index is
+// written at most once, which is precisely the access pattern of Algorithm 2
+// line 26 (each warp owns a disjoint slice of R). Readers may run
+// concurrently with writers of other indices.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eim/support/bits.hpp"
+
+namespace eim::encoding {
+
+class BitPackedArray {
+ public:
+  BitPackedArray() = default;
+
+  /// Zero-initialized array of `size` slots, `bits_per_value` bits each
+  /// (1..64).
+  BitPackedArray(std::size_t size, std::uint32_t bits_per_value);
+
+  /// Pack an existing sequence with the tightest width for its maximum.
+  [[nodiscard]] static BitPackedArray encode(std::span<const std::uint64_t> values);
+  [[nodiscard]] static BitPackedArray encode_u32(std::span<const std::uint32_t> values);
+
+  /// Read slot `i`.
+  [[nodiscard]] std::uint64_t get(std::size_t i) const noexcept;
+
+  /// Write slot `i`; single-writer (read-modify-write of containers).
+  void set(std::size_t i, std::uint64_t value) noexcept;
+
+  /// Thread-safe publish of slot `i`, which must still hold zero.
+  /// Distinct indices may be written concurrently from any number of
+  /// threads; containers shared between neighboring slots are updated with
+  /// atomic fetch_or.
+  void store_release(std::size_t i, std::uint64_t value) noexcept;
+
+  /// Reset all slots to zero (not thread-safe).
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t bits_per_value() const noexcept { return bits_; }
+
+  /// Bytes occupied by the container storage — the quantity Fig. 4 reports.
+  [[nodiscard]] std::uint64_t storage_bytes() const noexcept {
+    return static_cast<std::uint64_t>(containers_.size()) * sizeof(std::uint32_t);
+  }
+
+  /// Bytes the same data occupies un-encoded at the given element width.
+  [[nodiscard]] std::uint64_t raw_bytes(std::uint32_t element_bytes = 4) const noexcept {
+    return static_cast<std::uint64_t>(size_) * element_bytes;
+  }
+
+  /// Decode the full array.
+  [[nodiscard]] std::vector<std::uint64_t> decode_all() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::uint32_t bits_ = 0;
+  std::vector<std::uint32_t> containers_;
+};
+
+}  // namespace eim::encoding

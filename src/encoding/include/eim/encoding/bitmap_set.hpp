@@ -1,0 +1,43 @@
+// Hybrid bitmap / id-list set codec.
+//
+// The second CPU-side RRR compressor the paper positions log encoding
+// against (§3.1, citing HBMax): a dense RRR set stores as an n-bit bitmap,
+// a sparse one as its id list — whichever is smaller. Bitmaps give O(1)
+// membership but their size scales with n rather than |set|, which is why
+// they only pay off for the unusually dense sets of near-critical cascades.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eim::encoding {
+
+enum class SetRepresentation : std::uint8_t {
+  IdList,  ///< 4 bytes per member
+  Bitmap,  ///< ceil(n/8) bytes regardless of membership
+};
+
+struct EncodedSet {
+  SetRepresentation representation = SetRepresentation::IdList;
+  std::uint32_t member_count = 0;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return data.size() + sizeof(representation) + sizeof(member_count);
+  }
+};
+
+/// Encode a sorted, duplicate-free set over the universe [0, n) using the
+/// cheaper of the two representations.
+[[nodiscard]] EncodedSet bitmap_encode_set(std::span<const std::uint32_t> sorted_set,
+                                           std::uint32_t universe);
+
+/// Decode back to the sorted id list.
+[[nodiscard]] std::vector<std::uint32_t> bitmap_decode_set(const EncodedSet& set,
+                                                           std::uint32_t universe);
+
+/// O(1) membership for bitmap-represented sets, O(log) for id lists.
+[[nodiscard]] bool bitmap_set_contains(const EncodedSet& set, std::uint32_t vertex);
+
+}  // namespace eim::encoding

@@ -1,0 +1,42 @@
+// Canonical Huffman codec over 32-bit symbols.
+//
+// One of the two CPU-side RRR-set compressors the paper positions log
+// encoding against (§3.1, citing HBMax): Huffman reaches better ratios on
+// skewed vertex-frequency distributions (hubs appear in many RRR sets) but
+// decodes bit-serially with data-dependent branches and offers no O(1)
+// random access — exactly why it stays on the CPU while log encoding runs
+// on the GPU. The ablation bench quantifies both sides of that trade.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace eim::encoding {
+
+/// A Huffman-compressed block of symbols.
+struct HuffmanBlock {
+  /// Canonical code description: symbols sorted by (length, symbol).
+  std::vector<std::uint32_t> symbols;
+  /// Code length per symbol in `symbols` (same order, non-decreasing).
+  std::vector<std::uint8_t> lengths;
+  /// Bit-packed payload.
+  std::vector<std::uint8_t> bits;
+  std::uint64_t num_symbols = 0;
+
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept { return bits.size(); }
+  /// Total footprint: payload plus the code table (symbol + length each).
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bits.size() + symbols.size() * (sizeof(std::uint32_t) + 1);
+  }
+};
+
+/// Build a canonical Huffman code for `values` and encode them.
+/// Handles the degenerate single-symbol alphabet (1-bit codes).
+[[nodiscard]] HuffmanBlock huffman_encode(std::span<const std::uint32_t> values);
+
+/// Decode the whole block. Throws IoError on a corrupt stream.
+[[nodiscard]] std::vector<std::uint32_t> huffman_decode(const HuffmanBlock& block);
+
+}  // namespace eim::encoding

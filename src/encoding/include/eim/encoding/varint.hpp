@@ -1,0 +1,25 @@
+// LEB128 varint codec.
+//
+// Included as the comparison codec the log-encoding design was chosen over:
+// varint has finer per-value adaptivity but data-dependent branches and no
+// O(1) random access, which is why the paper picks bit-packing for GPU
+// decompression (§3.1). The ablation bench contrasts their sizes and decode
+// throughput.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eim::encoding {
+
+/// Append the varint encoding of `value` to `out`.
+void varint_append(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Encode a whole sequence.
+[[nodiscard]] std::vector<std::uint8_t> varint_encode(std::span<const std::uint64_t> values);
+
+/// Decode all varints in `bytes`. Throws IoError on truncation/overflow.
+[[nodiscard]] std::vector<std::uint64_t> varint_decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace eim::encoding

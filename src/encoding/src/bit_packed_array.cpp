@@ -1,0 +1,103 @@
+#include "eim/encoding/bit_packed_array.hpp"
+
+#include <algorithm>
+
+#include "eim/support/error.hpp"
+
+namespace eim::encoding {
+
+using support::div_ceil;
+using support::low_mask64;
+
+BitPackedArray::BitPackedArray(std::size_t size, std::uint32_t bits_per_value)
+    : size_(size), bits_(bits_per_value) {
+  EIM_CHECK_MSG(bits_per_value >= 1 && bits_per_value <= 64,
+                "bits_per_value must be in [1, 64]");
+  const std::uint64_t total_bits = static_cast<std::uint64_t>(size) * bits_per_value;
+  containers_.assign(div_ceil<std::uint64_t>(total_bits, 32), 0u);
+}
+
+BitPackedArray BitPackedArray::encode(std::span<const std::uint64_t> values) {
+  std::uint64_t max_value = 0;
+  for (const std::uint64_t v : values) max_value = std::max(max_value, v);
+  BitPackedArray packed(values.size(), support::bit_width_for_value(max_value));
+  for (std::size_t i = 0; i < values.size(); ++i) packed.set(i, values[i]);
+  return packed;
+}
+
+BitPackedArray BitPackedArray::encode_u32(std::span<const std::uint32_t> values) {
+  std::uint32_t max_value = 0;
+  for (const std::uint32_t v : values) max_value = std::max(max_value, v);
+  BitPackedArray packed(values.size(), support::bit_width_for_value(max_value));
+  for (std::size_t i = 0; i < values.size(); ++i) packed.set(i, values[i]);
+  return packed;
+}
+
+std::uint64_t BitPackedArray::get(std::size_t i) const noexcept {
+  const std::uint64_t first_bit = static_cast<std::uint64_t>(i) * bits_;
+  std::size_t container = static_cast<std::size_t>(first_bit / 32);
+  std::uint32_t shift = static_cast<std::uint32_t>(first_bit % 32);
+  std::uint64_t out = 0;
+  std::uint32_t produced = 0;
+  while (produced < bits_) {
+    const std::uint32_t take = std::min(32 - shift, bits_ - produced);
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(containers_[container]) >> shift) &
+        low_mask64(take);
+    out |= chunk << produced;
+    produced += take;
+    ++container;
+    shift = 0;
+  }
+  return out;
+}
+
+void BitPackedArray::set(std::size_t i, std::uint64_t value) noexcept {
+  const std::uint64_t first_bit = static_cast<std::uint64_t>(i) * bits_;
+  std::size_t container = static_cast<std::size_t>(first_bit / 32);
+  std::uint32_t shift = static_cast<std::uint32_t>(first_bit % 32);
+  std::uint64_t v = value & low_mask64(bits_);
+  std::uint32_t consumed = 0;
+  while (consumed < bits_) {
+    const std::uint32_t take = std::min(32 - shift, bits_ - consumed);
+    const auto mask = static_cast<std::uint32_t>(low_mask64(take)) << shift;
+    const auto chunk = static_cast<std::uint32_t>(v & low_mask64(take)) << shift;
+    containers_[container] = (containers_[container] & ~mask) | chunk;
+    v >>= take;
+    consumed += take;
+    ++container;
+    shift = 0;
+  }
+}
+
+void BitPackedArray::store_release(std::size_t i, std::uint64_t value) noexcept {
+  const std::uint64_t first_bit = static_cast<std::uint64_t>(i) * bits_;
+  std::size_t container = static_cast<std::size_t>(first_bit / 32);
+  std::uint32_t shift = static_cast<std::uint32_t>(first_bit % 32);
+  std::uint64_t v = value & low_mask64(bits_);
+  std::uint32_t consumed = 0;
+  while (consumed < bits_) {
+    const std::uint32_t take = std::min(32 - shift, bits_ - consumed);
+    const auto chunk = static_cast<std::uint32_t>(v & low_mask64(take)) << shift;
+    // Slot i held zero, so OR-ing publishes our bits without disturbing the
+    // neighbor slots that share this container.
+    std::atomic_ref<std::uint32_t>(containers_[container])
+        .fetch_or(chunk, std::memory_order_release);
+    v >>= take;
+    consumed += take;
+    ++container;
+    shift = 0;
+  }
+}
+
+void BitPackedArray::clear() noexcept {
+  std::fill(containers_.begin(), containers_.end(), 0u);
+}
+
+std::vector<std::uint64_t> BitPackedArray::decode_all() const {
+  std::vector<std::uint64_t> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = get(i);
+  return out;
+}
+
+}  // namespace eim::encoding

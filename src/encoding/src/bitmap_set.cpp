@@ -1,0 +1,70 @@
+#include "eim/encoding/bitmap_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::encoding {
+
+EncodedSet bitmap_encode_set(std::span<const std::uint32_t> sorted_set,
+                             std::uint32_t universe) {
+  assert(std::is_sorted(sorted_set.begin(), sorted_set.end()));
+  for (const std::uint32_t v : sorted_set) {
+    EIM_CHECK_MSG(v < universe, "set member outside universe");
+  }
+
+  EncodedSet out;
+  out.member_count = static_cast<std::uint32_t>(sorted_set.size());
+
+  const std::uint64_t bitmap_bytes = support::div_ceil<std::uint64_t>(universe, 8);
+  const std::uint64_t list_bytes = sorted_set.size() * sizeof(std::uint32_t);
+
+  if (bitmap_bytes < list_bytes) {
+    out.representation = SetRepresentation::Bitmap;
+    out.data.assign(bitmap_bytes, 0);
+    for (const std::uint32_t v : sorted_set) {
+      out.data[v >> 3] |= static_cast<std::uint8_t>(1u << (v & 7));
+    }
+  } else {
+    out.representation = SetRepresentation::IdList;
+    out.data.resize(list_bytes);
+    std::memcpy(out.data.data(), sorted_set.data(), list_bytes);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> bitmap_decode_set(const EncodedSet& set,
+                                             std::uint32_t universe) {
+  std::vector<std::uint32_t> out;
+  out.reserve(set.member_count);
+  if (set.representation == SetRepresentation::IdList) {
+    out.resize(set.member_count);
+    EIM_CHECK_MSG(set.data.size() == set.member_count * sizeof(std::uint32_t),
+                  "id-list payload size mismatch");
+    std::memcpy(out.data(), set.data.data(), set.data.size());
+    return out;
+  }
+  EIM_CHECK_MSG(set.data.size() >= support::div_ceil<std::uint64_t>(universe, 8),
+                "bitmap payload too small for universe");
+  for (std::uint32_t v = 0; v < universe; ++v) {
+    if (set.data[v >> 3] & (1u << (v & 7))) out.push_back(v);
+  }
+  EIM_CHECK_MSG(out.size() == set.member_count, "bitmap member count mismatch");
+  return out;
+}
+
+bool bitmap_set_contains(const EncodedSet& set, std::uint32_t vertex) {
+  if (set.representation == SetRepresentation::Bitmap) {
+    const std::size_t byte = vertex >> 3;
+    if (byte >= set.data.size()) return false;
+    return (set.data[byte] >> (vertex & 7)) & 1u;
+  }
+  const auto* begin = reinterpret_cast<const std::uint32_t*>(set.data.data());
+  const auto* end = begin + set.member_count;
+  return std::binary_search(begin, end, vertex);
+}
+
+}  // namespace eim::encoding

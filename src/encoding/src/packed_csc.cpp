@@ -1,0 +1,49 @@
+#include "eim/encoding/packed_csc.hpp"
+
+#include <cmath>
+
+#include "eim/support/error.hpp"
+
+namespace eim::encoding {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+PackedCsc::PackedCsc(const graph::Graph& g, WeightStorage weight_storage)
+    : n_(g.num_vertices()), m_(g.num_edges()), weight_storage_(weight_storage) {
+  const auto& in = g.in();
+  offsets_ = BitPackedArray(in.offsets.size(), support::bit_width_for_value(m_));
+  for (std::size_t i = 0; i < in.offsets.size(); ++i) offsets_.set(i, in.offsets[i]);
+
+  const std::uint64_t max_vertex = n_ == 0 ? 0 : n_ - 1;
+  neighbors_ =
+      BitPackedArray(in.targets.size(), support::bit_width_for_value(max_vertex));
+  for (std::size_t i = 0; i < in.targets.size(); ++i) neighbors_.set(i, in.targets[i]);
+
+  if (weight_storage_ == WeightStorage::RawFloat) {
+    weights_.assign(g.all_in_weights().begin(), g.all_in_weights().end());
+  } else {
+    // Verify the implicit contract: every weight must equal 1/d^-(v).
+    for (VertexId v = 0; v < n_; ++v) {
+      const auto ws = g.in_weights(v);
+      const auto d = static_cast<float>(ws.size());
+      for (const graph::Weight w : ws) {
+        EIM_CHECK_MSG(std::abs(w - 1.0f / d) < 1e-6f,
+                      "ImplicitInDegree requires 1/d^- weights");
+      }
+    }
+  }
+}
+
+std::uint64_t PackedCsc::packed_bytes() const noexcept {
+  return offsets_.storage_bytes() + neighbors_.storage_bytes() +
+         static_cast<std::uint64_t>(weights_.size()) * sizeof(graph::Weight);
+}
+
+std::uint64_t PackedCsc::raw_bytes() const noexcept {
+  return static_cast<std::uint64_t>(n_ + 1) * sizeof(EdgeId) +
+         static_cast<std::uint64_t>(m_) * sizeof(VertexId) +
+         static_cast<std::uint64_t>(m_) * sizeof(graph::Weight);
+}
+
+}  // namespace eim::encoding

@@ -1,0 +1,120 @@
+// Device global-memory accounting.
+//
+// Buffers store their payload in host RAM (the simulator executes on the
+// CPU), but every byte is charged against the device's global-memory budget;
+// exceeding it throws DeviceOutOfMemoryError — this is the mechanism behind
+// the paper's OOM cells in Tables 2-5 and Fig. 8 (gIM over-allocates, eIM's
+// pooled queues don't).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eim/support/error.hpp"
+
+namespace eim::gpusim {
+
+class DeviceMemoryPool {
+ public:
+  explicit DeviceMemoryPool(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Reserve `bytes`; throws DeviceOutOfMemoryError on exhaustion.
+  void allocate(std::uint64_t bytes) {
+    std::uint64_t current = allocated_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current + bytes > capacity_) {
+        throw support::DeviceOutOfMemoryError(bytes, capacity_ - current);
+      }
+      if (allocated_.compare_exchange_weak(current, current + bytes,
+                                           std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    // Track the high-water mark (racy max-update loop).
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    const std::uint64_t now = current + bytes;
+    while (peak < now && !peak_.compare_exchange_weak(peak, now)) {
+    }
+    alloc_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void deallocate(std::uint64_t bytes) noexcept {
+    allocated_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t allocated_bytes() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t allocation_count() const noexcept {
+    return alloc_events_.load(std::memory_order_relaxed);
+  }
+
+  void reset_peak() noexcept { peak_.store(allocated_.load()); }
+
+ private:
+  std::uint64_t capacity_;
+  std::atomic<std::uint64_t> allocated_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> alloc_events_{0};
+};
+
+/// RAII device allocation of `T[count]`. Move-only.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(DeviceMemoryPool& pool, std::size_t count) : pool_(&pool) {
+    pool.allocate(count * sizeof(T));
+    data_.assign(count, T{});
+  }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : pool_(other.pool_), data_(std::move(other.data_)) {
+    other.pool_ = nullptr;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = other.pool_;
+      data_ = std::move(other.data_);
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] std::span<T> span() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return data_; }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return data_.size() * sizeof(T); }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  void release() noexcept {
+    if (pool_ != nullptr) {
+      pool_->deallocate(bytes());
+      pool_ = nullptr;
+    }
+    data_.clear();
+  }
+
+  DeviceMemoryPool* pool_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace eim::gpusim

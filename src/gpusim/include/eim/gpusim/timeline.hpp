@@ -1,0 +1,60 @@
+// Modeled-time ledger for a simulated device.
+//
+// Every kernel launch, host<->device transfer, and allocation event appends a
+// segment; total_seconds() is the modeled wall time the paper's speedup plots
+// compare. Segments keep their labels so benches can break down where a
+// baseline loses (e.g. cuRipples' time is dominated by Transfer segments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eim::gpusim {
+
+enum class SegmentKind {
+  Kernel,
+  Transfer,
+  Allocation,
+};
+
+struct TimelineSegment {
+  SegmentKind kind;
+  std::string label;
+  double seconds;
+};
+
+class DeviceTimeline {
+ public:
+  void add(SegmentKind kind, std::string label, double seconds) {
+    total_seconds_ += seconds;
+    switch (kind) {
+      case SegmentKind::Kernel: kernel_seconds_ += seconds; break;
+      case SegmentKind::Transfer: transfer_seconds_ += seconds; break;
+      case SegmentKind::Allocation: allocation_seconds_ += seconds; break;
+    }
+    segments_.push_back(TimelineSegment{kind, std::move(label), seconds});
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
+  [[nodiscard]] double kernel_seconds() const noexcept { return kernel_seconds_; }
+  [[nodiscard]] double transfer_seconds() const noexcept { return transfer_seconds_; }
+  [[nodiscard]] double allocation_seconds() const noexcept { return allocation_seconds_; }
+  [[nodiscard]] const std::vector<TimelineSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+  void reset() {
+    segments_.clear();
+    total_seconds_ = kernel_seconds_ = transfer_seconds_ = allocation_seconds_ = 0.0;
+  }
+
+ private:
+  std::vector<TimelineSegment> segments_;
+  double total_seconds_ = 0.0;
+  double kernel_seconds_ = 0.0;
+  double transfer_seconds_ = 0.0;
+  double allocation_seconds_ = 0.0;
+};
+
+}  // namespace eim::gpusim

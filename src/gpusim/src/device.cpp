@@ -1,0 +1,138 @@
+#include "eim/gpusim/device.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+#include "eim/support/thread_pool.hpp"
+
+namespace eim::gpusim {
+
+DeviceSpec make_benchmark_device(std::uint64_t memory_mb) {
+  DeviceSpec spec;
+  spec.name = "sim-rtx-a6000-scaled";
+  spec.global_memory_bytes = memory_mb << 20;
+  return spec;
+}
+
+Device::Device(DeviceSpec spec)
+    : spec_(std::move(spec)), memory_(spec_.global_memory_bytes) {}
+
+namespace {
+
+/// Greedy list-scheduling makespan: pack unit costs onto `slots` resident
+/// slots in launch order; the largest slot load is the modeled completion
+/// time (within 2x of optimal by Graham's bound, and exact for the
+/// self-balancing kernels used here).
+std::uint64_t schedule_makespan(const std::vector<std::uint64_t>& unit_cycles,
+                                std::uint64_t slots) {
+  if (unit_cycles.empty() || slots == 0) return 0;
+  if (unit_cycles.size() <= slots) {
+    return *std::max_element(unit_cycles.begin(), unit_cycles.end());
+  }
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<std::uint64_t>>
+      loads;
+  for (std::uint64_t s = 0; s < slots; ++s) loads.push(0);
+  for (const std::uint64_t c : unit_cycles) {
+    const std::uint64_t lowest = loads.top();
+    loads.pop();
+    loads.push(lowest + c);
+  }
+  std::uint64_t makespan = 0;
+  while (!loads.empty()) {
+    makespan = loads.top();
+    loads.pop();
+  }
+  return makespan;
+}
+
+}  // namespace
+
+double Device::finish_kernel(const std::string& label, std::uint64_t units,
+                             std::uint64_t makespan_cycles) {
+  const double seconds = spec_.costs.kernel_launch_us * 1e-6 +
+                         spec_.cycles_to_seconds(static_cast<double>(makespan_cycles));
+  timeline_.add(SegmentKind::Kernel, label, seconds);
+  (void)units;
+  return seconds;
+}
+
+KernelStats Device::launch_blocks(const std::string& label, std::uint32_t num_blocks,
+                                  const std::function<void(BlockContext&)>& body) {
+  EIM_CHECK_MSG(num_blocks > 0, "kernel launched with zero blocks");
+  std::vector<std::uint64_t> block_cycles(num_blocks, 0);
+
+  support::ThreadPool::global().parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        BlockContext ctx(static_cast<std::uint32_t>(b), spec_);
+        body(ctx);
+        block_cycles[b] = ctx.cycles();
+      },
+      /*grain=*/1);
+
+  KernelStats stats;
+  stats.label = label;
+  stats.units = num_blocks;
+  for (const std::uint64_t c : block_cycles) stats.work_cycles += c;
+  // One single-warp block occupies one resident warp slot.
+  stats.makespan_cycles = schedule_makespan(block_cycles, spec_.max_resident_warps());
+  stats.seconds = finish_kernel(label, num_blocks, stats.makespan_cycles);
+  return stats;
+}
+
+KernelStats Device::launch_grid(const std::string& label, std::uint64_t num_threads,
+                                const std::function<void(ThreadContext&)>& body) {
+  EIM_CHECK_MSG(num_threads > 0, "kernel launched with zero threads");
+  const std::uint32_t warp = spec_.warp_size;
+  const auto num_warps =
+      static_cast<std::size_t>(support::div_ceil<std::uint64_t>(num_threads, warp));
+  std::vector<std::uint64_t> warp_cycles(num_warps, 0);
+
+  // Threads execute in warp-sized batches; a warp's cost is its slowest
+  // lane (SIMT lockstep).
+  support::ThreadPool::global().parallel_for(
+      0, num_warps,
+      [&](std::size_t w) {
+        std::uint64_t worst = 0;
+        const std::uint64_t begin = static_cast<std::uint64_t>(w) * warp;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + warp, num_threads);
+        for (std::uint64_t t = begin; t < end; ++t) {
+          ThreadContext ctx(t, spec_);
+          body(ctx);
+          worst = std::max(worst, ctx.cycles());
+        }
+        warp_cycles[w] = worst;
+      },
+      /*grain=*/4);
+
+  KernelStats stats;
+  stats.label = label;
+  stats.units = num_threads;
+  for (const std::uint64_t c : warp_cycles) stats.work_cycles += c * warp;
+  stats.makespan_cycles = schedule_makespan(warp_cycles, spec_.max_resident_warps());
+  stats.seconds = finish_kernel(label, num_threads, stats.makespan_cycles);
+  return stats;
+}
+
+void Device::transfer_to_device(const std::string& label, std::uint64_t bytes) {
+  const double seconds = spec_.costs.pcie_latency_us * 1e-6 +
+                         static_cast<double>(bytes) / (spec_.costs.pcie_gbytes_per_sec * 1e9);
+  timeline_.add(SegmentKind::Transfer, "H2D " + label, seconds);
+}
+
+void Device::transfer_to_host(const std::string& label, std::uint64_t bytes) {
+  const double seconds = spec_.costs.pcie_latency_us * 1e-6 +
+                         static_cast<double>(bytes) / (spec_.costs.pcie_gbytes_per_sec * 1e9);
+  timeline_.add(SegmentKind::Transfer, "D2H " + label, seconds);
+}
+
+void Device::charge_allocation_event(const std::string& label) {
+  // cudaMalloc/cudaFree synchronize the device; ~100 us is typical.
+  timeline_.add(SegmentKind::Allocation, label, 100e-6);
+}
+
+}  // namespace eim::gpusim

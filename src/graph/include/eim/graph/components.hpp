@@ -1,0 +1,34 @@
+// Connectivity analysis.
+//
+// Used to characterize the benchmark networks (RIS behaviour depends
+// heavily on component structure: sources drawn outside the giant
+// component yield near-singleton RRR sets) and by tests as an independent
+// oracle for reachability properties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eim/graph/graph.hpp"
+
+namespace eim::graph {
+
+struct ComponentAnalysis {
+  /// Component id per vertex, dense in [0, num_components).
+  std::vector<std::uint32_t> component;
+  std::uint32_t num_components = 0;
+  /// Vertices in the largest component.
+  std::uint32_t giant_size = 0;
+};
+
+/// Weakly connected components (edge direction ignored).
+[[nodiscard]] ComponentAnalysis weakly_connected_components(const Graph& g);
+
+/// Strongly connected components (Tarjan, iterative — safe on deep graphs).
+[[nodiscard]] ComponentAnalysis strongly_connected_components(const Graph& g);
+
+/// Vertices backward-reachable from `target` (the support of its RRR sets
+/// when every edge fires): BFS over in-edges.
+[[nodiscard]] std::vector<VertexId> backward_reachable(const Graph& g, VertexId target);
+
+}  // namespace eim::graph

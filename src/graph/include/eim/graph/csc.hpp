@@ -1,0 +1,43 @@
+// Compressed sparse column / row adjacency.
+//
+// IMM traverses edges *backwards* (reverse influence sampling), so the
+// primary representation is CSC: for each vertex v, the contiguous list of
+// its in-neighbors u with the edge weight p_{uv}. The same structure viewed
+// from the out-direction (CSR) is used by the forward diffusion simulator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eim/graph/edge_list.hpp"
+#include "eim/graph/types.hpp"
+
+namespace eim::graph {
+
+/// One direction of adjacency in offset/targets form.
+struct Adjacency {
+  std::vector<EdgeId> offsets;      ///< size n+1; offsets[v]..offsets[v+1] index `targets`
+  std::vector<VertexId> targets;    ///< size m
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets.empty() ? 0 : offsets.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(targets.size());
+  }
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {targets.data() + offsets[v], targets.data() + offsets[v + 1]};
+  }
+  [[nodiscard]] EdgeId degree(VertexId v) const noexcept {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+/// Build in-adjacency: entry (v, u) means edge u -> v exists.
+/// Within each vertex's slice, neighbors are sorted ascending.
+[[nodiscard]] Adjacency build_in_adjacency(const EdgeList& edges);
+
+/// Build out-adjacency: entry (u, v) means edge u -> v exists.
+[[nodiscard]] Adjacency build_out_adjacency(const EdgeList& edges);
+
+}  // namespace eim::graph

@@ -1,0 +1,87 @@
+// The weighted directed graph type consumed by every algorithm in the
+// library.
+//
+// Holds both directions of adjacency: CSC (in-neighbors, traversed by the
+// reverse-influence samplers) and CSR (out-neighbors, traversed by the
+// forward diffusion simulator that validates seed quality). Edge weights are
+// stored per direction so both traversals are cache-friendly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eim/graph/csc.hpp"
+#include "eim/graph/edge_list.hpp"
+#include "eim/graph/types.hpp"
+
+namespace eim::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build both adjacency directions from an edge list.
+  /// The list should be normalized (no duplicates/self-loops); weights start
+  /// at zero — call assign_weights (weights.hpp) before running diffusion.
+  static Graph from_edge_list(const EdgeList& edges);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return in_.num_vertices(); }
+  [[nodiscard]] EdgeId num_edges() const noexcept { return in_.num_edges(); }
+
+  /// CSC view: in().neighbors(v) are all u with an edge u -> v.
+  [[nodiscard]] const Adjacency& in() const noexcept { return in_; }
+  /// CSR view: out().neighbors(u) are all v with an edge u -> v.
+  [[nodiscard]] const Adjacency& out() const noexcept { return out_; }
+
+  [[nodiscard]] EdgeId in_degree(VertexId v) const noexcept { return in_.degree(v); }
+  [[nodiscard]] EdgeId out_degree(VertexId v) const noexcept { return out_.degree(v); }
+
+  /// Weight p_{uv} of the j-th in-edge of v (parallel to in().neighbors(v)).
+  [[nodiscard]] std::span<const Weight> in_weights(VertexId v) const noexcept {
+    return {in_weights_.data() + in_.offsets[v], in_weights_.data() + in_.offsets[v + 1]};
+  }
+  /// Weight p_{uv} of the j-th out-edge of u (parallel to out().neighbors(u)).
+  [[nodiscard]] std::span<const Weight> out_weights(VertexId u) const noexcept {
+    return {out_weights_.data() + out_.offsets[u],
+            out_weights_.data() + out_.offsets[u + 1]};
+  }
+
+  [[nodiscard]] std::span<const Weight> all_in_weights() const noexcept {
+    return in_weights_;
+  }
+
+  /// Mutable access for the weight-assignment routines.
+  [[nodiscard]] std::vector<Weight>& mutable_in_weights() noexcept { return in_weights_; }
+  [[nodiscard]] std::vector<Weight>& mutable_out_weights() noexcept {
+    return out_weights_;
+  }
+
+  /// Copy every in-edge weight to its mirror out-edge entry.
+  /// Called by assign_weights after filling the in-direction.
+  void sync_out_weights_from_in();
+
+  /// Bytes used by the uncompressed CSC arrays (offsets + neighbors +
+  /// weights) — the quantity the paper's Fig. 4 compares log encoding
+  /// against.
+  [[nodiscard]] std::uint64_t csc_bytes() const noexcept;
+
+ private:
+  Adjacency in_;
+  Adjacency out_;
+  std::vector<Weight> in_weights_;
+  std::vector<Weight> out_weights_;
+};
+
+/// Degree statistics used by Table 1 and the dataset registry.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  EdgeId max_in_degree = 0;
+  EdgeId max_out_degree = 0;
+  double avg_degree = 0.0;
+  VertexId zero_in_degree_count = 0;  ///< these always yield singleton RRR sets
+};
+
+[[nodiscard]] GraphStats compute_stats(const Graph& g);
+
+}  // namespace eim::graph

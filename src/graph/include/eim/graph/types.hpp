@@ -1,0 +1,28 @@
+// Fundamental graph types.
+//
+// Vertex ids are 32-bit (the largest paper dataset, soc-LiveJournal1, has
+// 4.8M vertices; 32 bits also matches what the GPU kernels pack), edge ids
+// are 64-bit (com-Orkut has 117M edges; offsets must not overflow).
+#pragma once
+
+#include <cstdint>
+
+namespace eim::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+using Weight = float;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+/// A directed edge u -> v, meaning u can influence v.
+struct Edge {
+  VertexId from;
+  VertexId to;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace eim::graph

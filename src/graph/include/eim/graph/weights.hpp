@@ -1,0 +1,49 @@
+// Edge-weight assignment for the diffusion models.
+//
+// The paper's datasets are unweighted; §2.1/§4.1 describe the preprocessing:
+// under IC, edge (u,v) gets probability 1/d^-(v) (the weighted-cascade
+// assignment of Kempe et al. that the paper focuses on); under LT, in-edge
+// weights of v must sum to at most 1, and 1/d^-(v) satisfies that with
+// equality. The paper's future-work extension — IC with random edge
+// weights — is implemented here as well (WeightScheme::RandomUniform).
+#pragma once
+
+#include <cstdint>
+
+#include "eim/graph/graph.hpp"
+
+namespace eim::graph {
+
+/// Diffusion model selector shared across the whole library.
+enum class DiffusionModel {
+  IndependentCascade,
+  LinearThreshold,
+};
+
+enum class WeightScheme {
+  /// p_{uv} = 1 / d^-(v). The paper's default for both models.
+  InDegree,
+  /// IC: p_{uv} = constant; LT: constant / d^-(v) (keeps the sum <= 1).
+  UniformConstant,
+  /// IC: p_{uv} ~ U(0, cap); LT: random weights normalized to sum <= 1.
+  /// This is the paper's announced extension to random edge weights.
+  RandomUniform,
+  /// IC trivalency model: p_{uv} drawn from {0.1, 0.01, 0.001}.
+  Trivalency,
+};
+
+struct WeightParams {
+  WeightScheme scheme = WeightScheme::InDegree;
+  /// Constant for UniformConstant, cap for RandomUniform.
+  float value = 0.1f;
+  std::uint64_t seed = 1;
+};
+
+/// Fill the graph's in-edge weights for `model` and mirror them onto the
+/// out-direction. Must be called before running any sampler or simulator.
+void assign_weights(Graph& g, DiffusionModel model, const WeightParams& params = {});
+
+[[nodiscard]] const char* to_string(DiffusionModel model) noexcept;
+[[nodiscard]] const char* to_string(WeightScheme scheme) noexcept;
+
+}  // namespace eim::graph

@@ -1,0 +1,132 @@
+#include "eim/graph/components.hpp"
+
+#include <algorithm>
+
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+
+namespace {
+
+void finalize(ComponentAnalysis& analysis) {
+  std::vector<std::uint32_t> sizes(analysis.num_components, 0);
+  for (const std::uint32_t c : analysis.component) ++sizes[c];
+  analysis.giant_size = sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+}  // namespace
+
+ComponentAnalysis weakly_connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  ComponentAnalysis analysis;
+  analysis.component.assign(n, 0xFFFFFFFFu);
+
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (analysis.component[root] != 0xFFFFFFFFu) continue;
+    const std::uint32_t id = analysis.num_components++;
+    analysis.component[root] = id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId v : g.out().neighbors(u)) {
+        if (analysis.component[v] == 0xFFFFFFFFu) {
+          analysis.component[v] = id;
+          stack.push_back(v);
+        }
+      }
+      for (const VertexId v : g.in().neighbors(u)) {
+        if (analysis.component[v] == 0xFFFFFFFFu) {
+          analysis.component[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  finalize(analysis);
+  return analysis;
+}
+
+ComponentAnalysis strongly_connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  ComponentAnalysis analysis;
+  analysis.component.assign(n, 0xFFFFFFFFu);
+
+  // Iterative Tarjan with an explicit frame stack.
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> scc_stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    VertexId v;
+    std::size_t edge;  ///< next out-edge to explore
+  };
+  std::vector<Frame> frames;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back(Frame{root, 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const VertexId v = frame.v;
+      if (frame.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto outs = g.out().neighbors(v);
+      bool descended = false;
+      while (frame.edge < outs.size()) {
+        const VertexId w = outs[frame.edge++];
+        if (index[w] == kUnvisited) {
+          frames.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+
+      if (lowlink[v] == index[v]) {
+        const std::uint32_t id = analysis.num_components++;
+        for (;;) {
+          const VertexId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          analysis.component[w] = id;
+          if (w == v) break;
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const VertexId parent = frames.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  finalize(analysis);
+  return analysis;
+}
+
+std::vector<VertexId> backward_reachable(const Graph& g, VertexId target) {
+  EIM_CHECK_MSG(target < g.num_vertices(), "target out of range");
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> order{target};
+  seen[target] = true;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const VertexId u : g.in().neighbors(order[head])) {
+      if (!seen[u]) {
+        seen[u] = true;
+        order.push_back(u);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace eim::graph

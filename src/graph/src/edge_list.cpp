@@ -1,0 +1,43 @@
+#include "eim/graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+
+EdgeList::EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    EIM_CHECK_MSG(e.from < num_vertices_ && e.to < num_vertices_,
+                  "edge endpoint out of range");
+  }
+}
+
+void EdgeList::add_edge(VertexId from, VertexId to) {
+  ensure_vertex(from);
+  ensure_vertex(to);
+  edges_.push_back(Edge{from, to});
+}
+
+void EdgeList::ensure_vertex(VertexId v) {
+  EIM_CHECK_MSG(v != kInvalidVertex, "vertex id reserved as sentinel");
+  if (v >= num_vertices_) num_vertices_ = v + 1;
+}
+
+void EdgeList::normalize() {
+  std::erase_if(edges_, [](const Edge& e) { return e.from == e.to; });
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::make_bidirectional() {
+  const std::size_t original = edges_.size();
+  edges_.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    edges_.push_back(Edge{edges_[i].to, edges_[i].from});
+  }
+  normalize();
+}
+
+}  // namespace eim::graph

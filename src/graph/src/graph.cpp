@@ -1,0 +1,57 @@
+#include "eim/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+
+Graph Graph::from_edge_list(const EdgeList& edges) {
+  Graph g;
+  g.in_ = build_in_adjacency(edges);
+  g.out_ = build_out_adjacency(edges);
+  g.in_weights_.assign(g.in_.targets.size(), 0.0f);
+  g.out_weights_.assign(g.out_.targets.size(), 0.0f);
+  return g;
+}
+
+void Graph::sync_out_weights_from_in() {
+  // For each out-edge (u, v) locate u within v's sorted in-slice.
+  const VertexId n = num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    const auto vs = out_.neighbors(u);
+    for (std::size_t j = 0; j < vs.size(); ++j) {
+      const VertexId v = vs[j];
+      const auto ins = in_.neighbors(v);
+      const auto it = std::lower_bound(ins.begin(), ins.end(), u);
+      EIM_CHECK_MSG(it != ins.end() && *it == u, "adjacency directions disagree");
+      const auto pos = in_.offsets[v] + static_cast<EdgeId>(it - ins.begin());
+      out_weights_[out_.offsets[u] + j] = in_weights_[pos];
+    }
+  }
+}
+
+std::uint64_t Graph::csc_bytes() const noexcept {
+  return static_cast<std::uint64_t>(in_.offsets.size()) * sizeof(EdgeId) +
+         static_cast<std::uint64_t>(in_.targets.size()) * sizeof(VertexId) +
+         static_cast<std::uint64_t>(in_weights_.size()) * sizeof(Weight);
+}
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    const EdgeId din = g.in_degree(v);
+    const EdgeId dout = g.out_degree(v);
+    s.max_in_degree = std::max(s.max_in_degree, din);
+    s.max_out_degree = std::max(s.max_out_degree, dout);
+    if (din == 0) ++s.zero_in_degree_count;
+  }
+  s.avg_degree = s.num_vertices == 0
+                     ? 0.0
+                     : static_cast<double>(s.num_edges) / s.num_vertices;
+  return s;
+}
+
+}  // namespace eim::graph

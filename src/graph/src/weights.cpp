@@ -1,0 +1,125 @@
+#include "eim/graph/weights.hpp"
+
+#include <algorithm>
+
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::graph {
+
+namespace {
+
+using support::RandomStream;
+
+/// Trivalency probabilities from Chen et al.'s IC benchmarks.
+constexpr float kTrivalency[3] = {0.1f, 0.01f, 0.001f};
+
+// Distinct stream tags so weight draws never collide with sampler draws.
+constexpr std::uint64_t kWeightStreamTag = 0x57454947u;   // "WEIG"
+constexpr std::uint64_t kTrivalencyStreamTag = 0x54524956u;  // "TRIV"
+
+void fill_in_degree(Graph& g) {
+  auto& w = g.mutable_in_weights();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const EdgeId begin = g.in().offsets[v];
+    const EdgeId end = g.in().offsets[v + 1];
+    const auto d = static_cast<float>(end - begin);
+    for (EdgeId i = begin; i < end; ++i) w[i] = 1.0f / d;
+  }
+}
+
+void fill_uniform_constant(Graph& g, DiffusionModel model, float value) {
+  EIM_CHECK_MSG(value > 0.0f && value <= 1.0f, "constant weight out of (0,1]");
+  auto& w = g.mutable_in_weights();
+  if (model == DiffusionModel::IndependentCascade) {
+    std::fill(w.begin(), w.end(), value);
+    return;
+  }
+  // LT: scale by in-degree so the per-vertex sum stays <= 1.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const EdgeId begin = g.in().offsets[v];
+    const EdgeId end = g.in().offsets[v + 1];
+    const auto d = static_cast<float>(end - begin);
+    for (EdgeId i = begin; i < end; ++i) w[i] = value / d;
+  }
+}
+
+void fill_random_uniform(Graph& g, DiffusionModel model, float cap, std::uint64_t seed) {
+  EIM_CHECK_MSG(cap > 0.0f && cap <= 1.0f, "weight cap out of (0,1]");
+  auto& w = g.mutable_in_weights();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    RandomStream rng(seed, support::derive_stream(kWeightStreamTag, v));
+    const EdgeId begin = g.in().offsets[v];
+    const EdgeId end = g.in().offsets[v + 1];
+    if (begin == end) continue;
+    if (model == DiffusionModel::IndependentCascade) {
+      for (EdgeId i = begin; i < end; ++i) {
+        w[i] = cap * static_cast<float>(rng.next_double());
+      }
+    } else {
+      // Draw raw weights, then normalize so they sum to a random total in
+      // (0, 1]; keeps LT feasible while remaining genuinely random.
+      double sum = 0.0;
+      for (EdgeId i = begin; i < end; ++i) {
+        w[i] = static_cast<float>(rng.next_double()) + 1e-6f;
+        sum += w[i];
+      }
+      const auto total = static_cast<float>(0.5 + 0.5 * rng.next_double());
+      for (EdgeId i = begin; i < end; ++i) {
+        w[i] = static_cast<float>(w[i] / sum) * total;
+      }
+    }
+  }
+}
+
+void fill_trivalency(Graph& g, std::uint64_t seed) {
+  auto& w = g.mutable_in_weights();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    RandomStream rng(seed, support::derive_stream(kTrivalencyStreamTag, v));
+    const EdgeId begin = g.in().offsets[v];
+    const EdgeId end = g.in().offsets[v + 1];
+    for (EdgeId i = begin; i < end; ++i) w[i] = kTrivalency[rng.next_below(3)];
+  }
+}
+
+}  // namespace
+
+void assign_weights(Graph& g, DiffusionModel model, const WeightParams& params) {
+  switch (params.scheme) {
+    case WeightScheme::InDegree:
+      fill_in_degree(g);
+      break;
+    case WeightScheme::UniformConstant:
+      fill_uniform_constant(g, model, params.value);
+      break;
+    case WeightScheme::RandomUniform:
+      fill_random_uniform(g, model, params.value, params.seed);
+      break;
+    case WeightScheme::Trivalency:
+      EIM_CHECK_MSG(model == DiffusionModel::IndependentCascade,
+                    "trivalency weights are an IC scheme");
+      fill_trivalency(g, params.seed);
+      break;
+  }
+  g.sync_out_weights_from_in();
+}
+
+const char* to_string(DiffusionModel model) noexcept {
+  switch (model) {
+    case DiffusionModel::IndependentCascade: return "IC";
+    case DiffusionModel::LinearThreshold: return "LT";
+  }
+  return "?";
+}
+
+const char* to_string(WeightScheme scheme) noexcept {
+  switch (scheme) {
+    case WeightScheme::InDegree: return "in-degree";
+    case WeightScheme::UniformConstant: return "uniform-constant";
+    case WeightScheme::RandomUniform: return "random-uniform";
+    case WeightScheme::Trivalency: return "trivalency";
+  }
+  return "?";
+}
+
+}  // namespace eim::graph

@@ -1,0 +1,55 @@
+// Backend-agnostic IMM control flow.
+//
+// Every implementation in the repository — serial, eIM, gIM-like,
+// cuRipples-like — runs the identical two-phase martingale framework
+// (Algorithm 1) and differs only in *how* it samples and selects. This
+// helper owns the framework so the backends cannot drift: callers provide
+//   sample_to(target)  -> extend the collection to `target` sets
+//   select()           -> greedy k-cover over the current collection
+// and receive theta, LB, and the final selection.
+#pragma once
+
+#include <functional>
+
+#include "eim/imm/seed_selection.hpp"
+#include "eim/imm/theta.hpp"
+
+namespace eim::imm {
+
+struct FrameworkOutcome {
+  SelectionResult final_selection;
+  double lower_bound = 1.0;
+  std::uint64_t theta = 0;
+  std::uint32_t estimation_rounds = 0;
+};
+
+inline FrameworkOutcome run_imm_framework(
+    std::uint32_t num_vertices, const ImmParams& params,
+    const std::function<void(std::uint64_t target)>& sample_to,
+    const std::function<SelectionResult()>& select) {
+  const ThetaSchedule schedule(num_vertices, params);
+  FrameworkOutcome out;
+
+  double lb = 1.0;
+  for (std::uint32_t round = 1; round <= schedule.max_rounds(); ++round) {
+    ++out.estimation_rounds;
+    sample_to(schedule.round_theta(round));
+    const SelectionResult sel = select();
+    if (schedule.passes(round, sel.coverage_fraction)) {
+      lb = schedule.lower_bound(sel.coverage_fraction);
+      break;
+    }
+    if (round == schedule.max_rounds()) {
+      // Degenerate fallback (tiny graphs): best supportable bound.
+      lb = std::max(1.0, schedule.lower_bound(sel.coverage_fraction));
+    }
+  }
+
+  out.lower_bound = lb;
+  out.theta = schedule.final_theta(lb);
+  sample_to(out.theta);
+  out.final_selection = select();
+  return out;
+}
+
+}  // namespace eim::imm

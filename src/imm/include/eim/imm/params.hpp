@@ -1,0 +1,44 @@
+// Shared parameter and result types for every IMM implementation in the
+// repository (serial reference, eIM, gIM-like, cuRipples-like).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eim/graph/types.hpp"
+
+namespace eim::imm {
+
+struct ImmParams {
+  /// Seed-set size (the paper sweeps 20..100; default 50 per §4.1).
+  std::uint32_t k = 50;
+  /// Approximation parameter (the paper sweeps 0.5..0.05; default 0.05).
+  double epsilon = 0.05;
+  /// Confidence parameter: the guarantee holds with probability
+  /// 1 - 1/n^ell. Tang et al.'s default of 1 is used throughout the paper.
+  double ell = 1.0;
+  /// Master RNG seed; every run with the same (graph, params) reproduces.
+  std::uint64_t rng_seed = 42;
+  /// §3.4: drop the source vertex from every RRR set and regenerate the
+  /// samples that become empty. On for eIM, off for the baselines.
+  bool eliminate_sources = false;
+};
+
+struct ImmResult {
+  std::vector<graph::VertexId> seeds;
+  /// Final number of RRR sets generated (theta).
+  std::uint64_t num_sets = 0;
+  /// Total vertices stored across all RRR sets (the size of R that Fig. 6
+  /// tracks).
+  std::uint64_t total_elements = 0;
+  /// Lower bound on OPT found by the estimation phase.
+  double lower_bound = 0.0;
+  /// Coverage-based spread estimate n * F_R(S) for the returned seeds.
+  double estimated_spread = 0.0;
+  /// Estimation-phase iterations before the LB test passed.
+  std::uint32_t estimation_rounds = 0;
+  /// Samples discarded as source-only singletons (§3.4 accounting).
+  std::uint64_t singletons_discarded = 0;
+};
+
+}  // namespace eim::imm

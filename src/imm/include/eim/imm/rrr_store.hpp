@@ -1,0 +1,56 @@
+// Host-side RRR-set collection: the flat array R, offsets O, and the
+// per-vertex frequency counts C the paper's seed selection operates on.
+//
+// This is the uncompressed reference layout; eim's device-side store (see
+// eim/eim/rrr_collection.hpp) keeps the same logical structure with R
+// log-encoded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eim/graph/types.hpp"
+
+namespace eim::imm {
+
+class RrrStore {
+ public:
+  explicit RrrStore(graph::VertexId num_vertices);
+
+  /// Append one RRR set (must be sorted ascending, duplicate-free).
+  /// Updates the counts array. Empty sets are legal (they arise under
+  /// source elimination when the cap on regeneration attempts is hit).
+  void append(std::span<const graph::VertexId> sorted_set);
+
+  [[nodiscard]] std::uint64_t num_sets() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::uint64_t total_elements() const noexcept { return flat_.size(); }
+  [[nodiscard]] graph::VertexId num_vertices() const noexcept { return n_; }
+
+  [[nodiscard]] std::span<const graph::VertexId> set(std::uint64_t i) const noexcept {
+    return {flat_.data() + offsets_[i], flat_.data() + offsets_[i + 1]};
+  }
+
+  /// How many sets contain `v` (the influence proxy C of §3.5).
+  [[nodiscard]] std::uint32_t count(graph::VertexId v) const noexcept {
+    return counts_[v];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> counts() const noexcept { return counts_; }
+
+  /// Bytes of the uncompressed layout (R as u32 + O as u64) — the baseline
+  /// the Fig. 4 RRR-memory comparison uses.
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return flat_.size() * sizeof(graph::VertexId) +
+           offsets_.size() * sizeof(std::uint64_t);
+  }
+
+  void clear();
+
+ private:
+  graph::VertexId n_;
+  std::vector<graph::VertexId> flat_;    ///< R
+  std::vector<std::uint64_t> offsets_;   ///< O (num_sets + 1 entries)
+  std::vector<std::uint32_t> counts_;    ///< C
+};
+
+}  // namespace eim::imm

@@ -1,0 +1,32 @@
+// Greedy max-coverage seed selection over an RRR-set collection (§3.5).
+//
+// The CPU reference implementation of the procedure every backend shares:
+// repeatedly take the vertex with the highest count C[v], mark the sets it
+// covers in F, and decrement C for their other members (the paper's
+// Algorithm 3 does the decrement pass with one GPU thread per set; here it
+// is a plain loop).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eim/imm/rrr_store.hpp"
+
+namespace eim::imm {
+
+struct SelectionResult {
+  std::vector<graph::VertexId> seeds;
+  /// Number of RRR sets covered by the seed set.
+  std::uint64_t covered_sets = 0;
+  /// F_R(S): covered fraction of all sets.
+  double coverage_fraction = 0.0;
+};
+
+/// Pick `k` seeds greedily. Ties break toward the smaller vertex id, making
+/// the result deterministic given the store contents. If fewer than `k`
+/// vertices have positive marginal coverage, the remainder is filled with
+/// the lowest-id unused vertices (matching how IMM degenerates when theta is
+/// tiny).
+[[nodiscard]] SelectionResult select_seeds_greedy(const RrrStore& store, std::uint32_t k);
+
+}  // namespace eim::imm

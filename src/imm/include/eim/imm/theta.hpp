@@ -1,0 +1,57 @@
+// The martingale sample-size machinery of IMM (Tang et al., SIGMOD'15),
+// summarized in the paper's §2.2.
+//
+// IMM's estimation phase probes guesses x = n/2^i for OPT: for each guess it
+// needs theta_i = lambda' / x samples; if the greedy k-set covers at least
+// (1+eps')x/n of them, LB = n*F/(1+eps') is a valid lower bound on OPT and
+// the final sample count is theta = lambda* / LB. All constants below follow
+// the published formulas, including the ell' = ell*(1 + ln2/ln n) bump that
+// accounts for the union bound across phases.
+#pragma once
+
+#include <cstdint>
+
+#include "eim/imm/params.hpp"
+
+namespace eim::imm {
+
+/// ln C(n, k) via lgamma — exact enough for n in the billions.
+[[nodiscard]] double log_binomial(std::uint64_t n, std::uint64_t k);
+
+class ThetaSchedule {
+ public:
+  ThetaSchedule(std::uint32_t num_vertices, const ImmParams& params);
+
+  /// eps' = sqrt(2) * eps, the estimation-phase slack.
+  [[nodiscard]] double epsilon_prime() const noexcept { return epsilon_prime_; }
+  [[nodiscard]] double lambda_prime() const noexcept { return lambda_prime_; }
+  [[nodiscard]] double lambda_star() const noexcept { return lambda_star_; }
+
+  /// Number of estimation iterations: i = 1 .. ceil(log2 n) - 1.
+  [[nodiscard]] std::uint32_t max_rounds() const noexcept { return max_rounds_; }
+
+  /// OPT guess probed in round i (1-based): x = n / 2^i.
+  [[nodiscard]] double guess(std::uint32_t round) const noexcept;
+
+  /// Samples required for round i: ceil(lambda' / x).
+  [[nodiscard]] std::uint64_t round_theta(std::uint32_t round) const noexcept;
+
+  /// Did round i's greedy coverage pass the LB test?
+  /// `coverage_fraction` is F_R(S) over the round's samples.
+  [[nodiscard]] bool passes(std::uint32_t round, double coverage_fraction) const noexcept;
+
+  /// LB implied by a passing coverage fraction.
+  [[nodiscard]] double lower_bound(double coverage_fraction) const noexcept;
+
+  /// Final sample count: ceil(lambda* / LB).
+  [[nodiscard]] std::uint64_t final_theta(double lb) const noexcept;
+
+ private:
+  std::uint32_t n_;
+  double epsilon_prime_;
+  double lambda_prime_;
+  double lambda_star_;
+  std::uint32_t max_rounds_;
+};
+
+}  // namespace eim::imm

@@ -1,0 +1,36 @@
+// TIM — Two-phase Influence Maximization (Tang, Xiao, Shi — SIGMOD'14).
+//
+// The predecessor the paper's §1 credits with making RIS practical: instead
+// of IMM's martingale lower bound, TIM estimates KPT* (the expected spread
+// of a random size-k seed set) with a doubling search over sample batches
+// and sizes theta = lambda / KPT*. IMM's bound is tighter, so
+// theta_TIM >= theta_IMM on the same instance — a property the tests
+// assert, and the reason IMM superseded it.
+//
+// Included as a reference backend: same sampling streams, same greedy
+// selection, so quality matches IMM while the sample budget shows the
+// historical gap.
+#pragma once
+
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/imm/params.hpp"
+
+namespace eim::imm {
+
+struct TimResult : ImmResult {
+  /// The KPT* estimate the sample size was derived from.
+  double kpt = 1.0;
+  /// Samples spent during KPT estimation (phase 1).
+  std::uint64_t estimation_samples = 0;
+};
+
+/// Run TIM end to end (KPT estimation + sampling + greedy selection).
+[[nodiscard]] TimResult run_tim(const graph::Graph& g, graph::DiffusionModel model,
+                                const ImmParams& params);
+
+/// TIM's sample-size constant: lambda = (8 + 2 eps) n (ell ln n +
+/// ln C(n,k) + ln 2) / eps^2; theta = lambda / KPT*.
+[[nodiscard]] double tim_lambda(std::uint32_t num_vertices, const ImmParams& params);
+
+}  // namespace eim::imm

@@ -1,0 +1,55 @@
+#include "eim/imm/influence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "eim/diffusion/reverse.hpp"
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::imm {
+
+using graph::VertexId;
+using support::RandomStream;
+
+namespace {
+constexpr std::uint64_t kInfluenceStreamTag = 0x494E464Cu;  // "INFL"
+}  // namespace
+
+InfluenceEstimate estimate_influence_ris(const graph::Graph& g,
+                                         graph::DiffusionModel model,
+                                         std::span<const VertexId> seeds,
+                                         std::uint64_t samples, std::uint64_t seed) {
+  EIM_CHECK_MSG(samples > 0, "need at least one sample");
+  const VertexId n = g.num_vertices();
+  for (const VertexId s : seeds) EIM_CHECK_MSG(s < n, "seed out of range");
+
+  // Membership flags once, so each sample costs O(|set|).
+  std::vector<bool> is_seed(n, false);
+  for (const VertexId s : seeds) is_seed[s] = true;
+
+  diffusion::RrrSampler sampler(g, model, /*eliminate_source=*/false);
+  std::vector<VertexId> scratch;
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    RandomStream rng(seed, support::derive_stream(kInfluenceStreamTag, i));
+    const VertexId source = rng.next_below(n);
+    sampler.sample_into(source, rng, scratch);
+    hits += static_cast<std::uint64_t>(
+        std::any_of(scratch.begin(), scratch.end(),
+                    [&](VertexId v) { return is_seed[v]; }));
+  }
+
+  InfluenceEstimate out;
+  out.samples = samples;
+  out.hits = hits;
+  const double p = static_cast<double>(hits) / static_cast<double>(samples);
+  out.spread = static_cast<double>(n) * p;
+  out.standard_error = static_cast<double>(n) *
+                       std::sqrt(std::max(0.0, p * (1.0 - p) /
+                                                   static_cast<double>(samples)));
+  return out;
+}
+
+}  // namespace eim::imm

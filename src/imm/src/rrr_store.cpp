@@ -1,0 +1,29 @@
+#include "eim/imm/rrr_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "eim/support/error.hpp"
+
+namespace eim::imm {
+
+RrrStore::RrrStore(graph::VertexId num_vertices)
+    : n_(num_vertices), offsets_{0}, counts_(num_vertices, 0) {}
+
+void RrrStore::append(std::span<const graph::VertexId> sorted_set) {
+  assert(std::is_sorted(sorted_set.begin(), sorted_set.end()));
+  for (const graph::VertexId v : sorted_set) {
+    EIM_CHECK_MSG(v < n_, "RRR member out of range");
+    ++counts_[v];
+    flat_.push_back(v);
+  }
+  offsets_.push_back(flat_.size());
+}
+
+void RrrStore::clear() {
+  flat_.clear();
+  offsets_.assign(1, 0);
+  std::fill(counts_.begin(), counts_.end(), 0u);
+}
+
+}  // namespace eim::imm

@@ -1,0 +1,84 @@
+#include "eim/imm/seed_selection.hpp"
+
+#include <algorithm>
+
+#include "eim/support/error.hpp"
+
+namespace eim::imm {
+
+using graph::VertexId;
+
+SelectionResult select_seeds_greedy(const RrrStore& store, std::uint32_t k) {
+  const VertexId n = store.num_vertices();
+  EIM_CHECK_MSG(k >= 1 && k <= n, "k out of range");
+
+  const std::uint64_t num_sets = store.num_sets();
+
+  // Inverted index: for each vertex, the ids of the sets containing it
+  // (CSR layout built in two counting passes). This keeps the whole greedy
+  // loop at O(total_elements + k*n) instead of rescanning every set per
+  // pick. The GPU backends model Algorithm 3's scan cost separately; this
+  // host routine only needs to produce the identical greedy answer.
+  std::vector<std::uint64_t> index_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (std::uint64_t i = 0; i < num_sets; ++i) {
+    for (const VertexId v : store.set(i)) ++index_offsets[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
+  std::vector<std::uint64_t> index_sets(store.total_elements());
+  {
+    std::vector<std::uint64_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
+    for (std::uint64_t i = 0; i < num_sets; ++i) {
+      for (const VertexId v : store.set(i)) index_sets[cursor[v]++] = i;
+    }
+  }
+
+  std::vector<std::uint32_t> counts(store.counts().begin(), store.counts().end());
+  std::vector<bool> covered(num_sets, false);
+  std::vector<bool> chosen(n, false);
+
+  SelectionResult result;
+  result.seeds.reserve(k);
+
+  for (std::uint32_t pick = 0; pick < k; ++pick) {
+    // arg max C[u]; ties toward the smaller id.
+    VertexId best = graph::kInvalidVertex;
+    std::uint32_t best_count = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!chosen[v] && counts[v] > best_count) {
+        best = v;
+        best_count = counts[v];
+      }
+    }
+    if (best == graph::kInvalidVertex) {
+      // No remaining vertex covers anything: fill with lowest unused ids.
+      for (VertexId v = 0; v < n && result.seeds.size() < k; ++v) {
+        if (!chosen[v]) {
+          chosen[v] = true;
+          result.seeds.push_back(v);
+        }
+      }
+      break;
+    }
+
+    chosen[best] = true;
+    result.seeds.push_back(best);
+
+    // Remove the influence of `best`: cover its sets and decrement the
+    // counts of every co-member (Algorithm 3's effect).
+    for (std::uint64_t idx = index_offsets[best]; idx < index_offsets[best + 1]; ++idx) {
+      const std::uint64_t set_id = index_sets[idx];
+      if (covered[set_id]) continue;
+      covered[set_id] = true;
+      ++result.covered_sets;
+      for (const VertexId u : store.set(set_id)) --counts[u];
+    }
+  }
+
+  result.coverage_fraction =
+      num_sets == 0 ? 0.0
+                    : static_cast<double>(result.covered_sets) /
+                          static_cast<double>(num_sets);
+  return result;
+}
+
+}  // namespace eim::imm

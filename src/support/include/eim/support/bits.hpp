@@ -1,0 +1,64 @@
+// Bit-manipulation helpers shared by the encoding and simulator layers.
+//
+// Everything here is constexpr-friendly and branch-light; these functions sit
+// on the hot path of the bit-packed codec (eim/encoding) and the warp
+// primitives (eim/gpusim).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace eim::support {
+
+/// Number of bits needed to represent `x` in binary (0 needs 1 bit).
+///
+/// This is the paper's n_b = ceil(log2(x_max)) rule from §3.1, with the
+/// conventional fix-ups: representing the *value* x requires
+/// floor(log2(x)) + 1 bits, and an all-zero array still needs one bit per
+/// element so offsets stay well-defined.
+[[nodiscard]] constexpr std::uint32_t bit_width_for_value(std::uint64_t x) noexcept {
+  return x == 0 ? 1u : static_cast<std::uint32_t>(std::bit_width(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return static_cast<std::uint32_t>(std::bit_width(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : static_cast<std::uint32_t>(std::bit_width(x)) - 1;
+}
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+[[nodiscard]] constexpr T div_ceil(T a, T b) noexcept {
+  static_assert(std::is_integral_v<T>);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+template <typename T>
+[[nodiscard]] constexpr T round_up(T a, T b) noexcept {
+  return div_ceil(a, b) * b;
+}
+
+/// Mask with the low `n` bits set; `n` may be 0..64.
+[[nodiscard]] constexpr std::uint64_t low_mask64(std::uint32_t n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Mask with the low `n` bits set; `n` may be 0..32.
+[[nodiscard]] constexpr std::uint32_t low_mask32(std::uint32_t n) noexcept {
+  return n >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << n) - 1);
+}
+
+/// True if `x` is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace eim::support

@@ -1,0 +1,76 @@
+// Exception hierarchy for the eIM library.
+//
+// The GPU simulator throws DeviceOutOfMemoryError when a kernel's working set
+// exceeds the configured device-memory budget; the benchmark harness catches
+// it to reproduce the paper's "OOM" table cells (Tables 2-5, Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace eim::support {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Caller passed an argument outside the documented domain.
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A file could not be read/written or had an unexpected format.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulated device memory was exhausted.
+///
+/// Carries how much was requested and how much was available so harnesses can
+/// report the shortfall the way the paper reports gIM's OOM failures.
+class DeviceOutOfMemoryError : public Error {
+ public:
+  DeviceOutOfMemoryError(std::uint64_t requested_bytes, std::uint64_t available_bytes)
+      : Error("device out of memory: requested " + std::to_string(requested_bytes) +
+              " bytes, available " + std::to_string(available_bytes) + " bytes"),
+        requested_(requested_bytes),
+        available_(available_bytes) {}
+
+  [[nodiscard]] std::uint64_t requested_bytes() const noexcept { return requested_; }
+  [[nodiscard]] std::uint64_t available_bytes() const noexcept { return available_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t available_;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& message);
+}  // namespace detail
+
+/// Invariant check that survives NDEBUG: throws Error on failure.
+///
+/// Used at module boundaries; hot inner loops use plain assert().
+#define EIM_CHECK(expr)                                                        \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::eim::support::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                                  std::string{});              \
+    }                                                                          \
+  } while (false)
+
+#define EIM_CHECK_MSG(expr, msg)                                               \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::eim::support::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                                  (msg));                      \
+    }                                                                          \
+  } while (false)
+
+}  // namespace eim::support

@@ -1,0 +1,49 @@
+// Minimal JSON writer (no parsing) for machine-readable tool output.
+//
+// Streaming, allocation-light, escapes strings per RFC 8259. Used by
+// eim_cli's --json mode so results pipe straight into analysis scripts.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace eim::support {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key = {});
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void separator();
+  void escape(std::string_view text);
+
+  std::ostream* out_;
+  /// true = a value has been emitted at this nesting level.
+  std::vector<bool> has_value_{};
+  bool pending_key_ = false;
+};
+
+}  // namespace eim::support

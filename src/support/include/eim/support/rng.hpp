@@ -1,0 +1,151 @@
+// Counter-based random number generation.
+//
+// All randomness in the library flows through Philox4x32-10 (Salmon et al.,
+// SC'11), a counter-based generator: output = f(key, counter). Two properties
+// matter for this codebase:
+//
+//  * Determinism under parallelism. A sampler seeded with (seed, stream)
+//    produces the same numbers no matter which CPU thread runs it, so
+//    simulator kernels are bit-reproducible regardless of scheduling —
+//    mirroring how CUDA samplers derive per-thread Philox streams.
+//  * Cheap splitting. Every (block, sample, lane) gets an independent stream
+//    by mixing ids into the key; no shared state, no locks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace eim::support {
+
+/// Raw Philox4x32-10 block function: 128-bit counter + 64-bit key -> 128 bits.
+struct Philox4x32 {
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  static constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;
+  static constexpr int kRounds = 10;
+
+  /// One keyed permutation of the counter block.
+  [[nodiscard]] static Counter apply(Counter ctr, Key key) noexcept {
+    for (int r = 0; r < kRounds; ++r) {
+      const std::uint64_t p0 = static_cast<std::uint64_t>(kMul0) * ctr[0];
+      const std::uint64_t p1 = static_cast<std::uint64_t>(kMul1) * ctr[2];
+      const auto hi0 = static_cast<std::uint32_t>(p0 >> 32);
+      const auto lo0 = static_cast<std::uint32_t>(p0);
+      const auto hi1 = static_cast<std::uint32_t>(p1 >> 32);
+      const auto lo1 = static_cast<std::uint32_t>(p1);
+      ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+      key[0] += kWeyl0;
+      key[1] += kWeyl1;
+    }
+    return ctr;
+  }
+};
+
+/// Mix an arbitrary list of 64-bit ids into a single stream id
+/// (SplitMix64 finalizer chain). Used to derive independent sub-streams,
+/// e.g. stream = derive_stream(block_id, sample_index).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+template <typename... Ids>
+[[nodiscard]] constexpr std::uint64_t derive_stream(std::uint64_t first, Ids... rest) noexcept {
+  std::uint64_t h = splitmix64(first);
+  // Order-sensitive combine (hash_combine style): the running hash is
+  // remixed before each xor so (a, b) and (b, a) land in different streams.
+  ((h = splitmix64(h * 0x9E3779B97F4A7C15ull ^
+                   splitmix64(static_cast<std::uint64_t>(rest)))),
+   ...);
+  return h;
+}
+
+/// A deterministic random stream identified by (seed, stream).
+///
+/// Satisfies the UniformRandomBitGenerator requirements, so it also plugs
+/// into <random> distributions where convenient.
+class RandomStream {
+ public:
+  using result_type = std::uint32_t;
+
+  RandomStream() noexcept : RandomStream(0, 0) {}
+
+  RandomStream(std::uint64_t seed, std::uint64_t stream) noexcept
+      : key_{static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32)},
+        base_{static_cast<std::uint32_t>(stream), static_cast<std::uint32_t>(stream >> 32)},
+        counter_(0),
+        cached_(0) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xFFFFFFFFu; }
+
+  /// Next 32 uniform random bits.
+  result_type operator()() noexcept { return next_u32(); }
+
+  result_type next_u32() noexcept {
+    if (cached_ == 0) refill();
+    return block_[--cached_];
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | next_u32();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1); the precision a CUDA curand_uniform would give.
+  float next_float() noexcept {
+    return static_cast<float>(next_u32() >> 8) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint32_t next_below(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next_u32()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Reposition the stream at draw-block `counter` (each block is 4 u32s).
+  void seek(std::uint64_t counter) noexcept {
+    counter_ = counter;
+    cached_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t block_counter() const noexcept { return counter_; }
+
+ private:
+  void refill() noexcept {
+    const Philox4x32::Counter ctr{static_cast<std::uint32_t>(counter_),
+                                  static_cast<std::uint32_t>(counter_ >> 32), base_[0],
+                                  base_[1]};
+    block_ = Philox4x32::apply(ctr, key_);
+    ++counter_;
+    cached_ = 4;
+  }
+
+  Philox4x32::Key key_;
+  std::array<std::uint32_t, 2> base_;
+  std::uint64_t counter_;
+  Philox4x32::Counter block_{};
+  unsigned cached_;
+};
+
+}  // namespace eim::support

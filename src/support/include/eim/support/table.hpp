@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer shared by the benchmark binaries so every
+// experiment prints its rows/series the way the paper's tables do.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eim::support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 2);
+  /// Format with thousands separators (for vertex/edge counts).
+  static std::string count(std::uint64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eim::support

@@ -1,0 +1,58 @@
+// Minimal fixed-size thread pool used by the GPU simulator to execute
+// "blocks" concurrently on the host.
+//
+// Design notes (per the C++ Core Guidelines concurrency rules): the pool owns
+// its threads (RAII, joined in the destructor), tasks are type-erased
+// move-only callables, and parallel_for uses an atomic cursor so chunking is
+// dynamic — important because RRR-set traversals have wildly unequal lengths
+// (the very load-imbalance problem the paper discusses in §3.2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eim::support {
+
+class ThreadPool {
+ public:
+  /// Spins up `num_threads` workers (0 = hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future reports completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+  ///
+  /// Work is handed out in `grain`-sized chunks from an atomic cursor, so
+  /// stragglers don't serialize the batch. Exceptions from any invocation are
+  /// rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn, std::size_t grain = 1);
+
+  /// Process-wide pool sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace eim::support

@@ -1,0 +1,24 @@
+// Wall-clock timing helper for the host side of benchmarks.
+// Simulated device time lives in eim/gpusim (DeviceTimeline), not here.
+#pragma once
+
+#include <chrono>
+
+namespace eim::support {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eim::support

@@ -1,0 +1,15 @@
+#include "eim/support/error.hpp"
+
+#include <sstream>
+
+namespace eim::support::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw Error(os.str());
+}
+
+}  // namespace eim::support::detail

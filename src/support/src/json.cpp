@@ -1,0 +1,120 @@
+#include "eim/support/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#include "eim/support/error.hpp"
+
+namespace eim::support {
+
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": value — no comma between key and its value
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) *out_ << ',';
+    has_value_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  *out_ << '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  EIM_CHECK_MSG(!has_value_.empty(), "end_object without begin");
+  has_value_.pop_back();
+  *out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view name) {
+  if (!name.empty()) key(name);
+  separator();
+  *out_ << '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  EIM_CHECK_MSG(!has_value_.empty(), "end_array without begin");
+  has_value_.pop_back();
+  *out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separator();
+  *out_ << '"';
+  escape(name);
+  *out_ << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separator();
+  *out_ << '"';
+  escape(text);
+  *out_ << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separator();
+  if (std::isfinite(number)) {
+    *out_ << std::setprecision(15) << number;
+  } else {
+    *out_ << "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separator();
+  *out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separator();
+  *out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separator();
+  *out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separator();
+  *out_ << "null";
+  return *this;
+}
+
+void JsonWriter::escape(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': *out_ << "\\\""; break;
+      case '\\': *out_ << "\\\\"; break;
+      case '\n': *out_ << "\\n"; break;
+      case '\r': *out_ << "\\r"; break;
+      case '\t': *out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          *out_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace eim::support

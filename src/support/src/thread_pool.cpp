@@ -1,0 +1,104 @@
+#include "eim/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "eim/support/bits.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::support {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  EIM_CHECK_MSG(task != nullptr, "null task submitted to ThreadPool");
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    EIM_CHECK_MSG(!stopping_, "submit after ThreadPool shutdown");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error_ptr = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  auto drain = [=, this] {
+    for (;;) {
+      const std::size_t chunk_begin = cursor->fetch_add(grain);
+      if (chunk_begin >= end) break;
+      const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+        if (first_error->load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(*error_mutex);
+          if (!first_error->exchange(true)) *error_ptr = std::current_exception();
+          return;
+        }
+      }
+    }
+  };
+
+  // The calling thread participates too, so a 1-thread pool still makes
+  // progress even while all workers are busy elsewhere.
+  std::vector<std::future<void>> helpers;
+  const std::size_t items = end - begin;
+  const std::size_t want = std::min(workers_.size(), div_ceil(items, grain) - 1);
+  helpers.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) helpers.push_back(submit(drain));
+  drain();
+  for (auto& h : helpers) h.wait();
+
+  if (first_error->load()) std::rethrow_exception(*error_ptr);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task stores exceptions in the future
+  }
+}
+
+}  // namespace eim::support

@@ -1,0 +1,109 @@
+#include "eim/baselines/curipples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eim/eim/pipeline.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/imm/imm.hpp"
+
+namespace eim::baselines {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+Graph make_graph(DiffusionModel model = DiffusionModel::IndependentCascade,
+                 VertexId n = 500) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(n, 3, 0.3, 7));
+  graph::assign_weights(g, model);
+  return g;
+}
+
+imm::ImmParams make_params(std::uint32_t k = 8, double eps = 0.3) {
+  imm::ImmParams p;
+  p.k = k;
+  p.epsilon = eps;
+  return p;
+}
+
+TEST(RunCuRipples, MatchesSerialReferenceExactly) {
+  const Graph g = make_graph();
+  imm::ImmParams params = make_params();
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const auto cur = run_curipples(device, g, DiffusionModel::IndependentCascade, params);
+
+  params.eliminate_sources = false;
+  const auto serial = imm::run_imm_serial(g, DiffusionModel::IndependentCascade, params);
+  EXPECT_EQ(cur.seeds, serial.seeds);
+  EXPECT_EQ(cur.num_sets, serial.num_sets);
+}
+
+TEST(RunCuRipples, TransfersDominateTime) {
+  const Graph g = make_graph();
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const auto r =
+      run_curipples(device, g, DiffusionModel::IndependentCascade, make_params());
+  EXPECT_GT(r.transfer_seconds, 0.0);
+  EXPECT_GT(r.device_seconds, r.kernel_seconds);  // transfers add real cost
+}
+
+TEST(RunCuRipples, EimIsOrdersOfMagnitudeFaster) {
+  const Graph g = make_graph(DiffusionModel::IndependentCascade, 1000);
+  const imm::ImmParams params = make_params(20, 0.15);
+
+  gpusim::Device d1(gpusim::make_benchmark_device(512));
+  gpusim::Device d2(gpusim::make_benchmark_device(512));
+  eim_impl::EimOptions opts;
+  opts.sampler_blocks = d1.spec().num_sms * 4;
+  const auto eim_r = run_eim(d1, g, DiffusionModel::IndependentCascade, params, opts);
+  const auto cur_r = run_curipples(d2, g, DiffusionModel::IndependentCascade, params);
+  EXPECT_GT(cur_r.device_seconds / eim_r.device_seconds, 10.0);
+}
+
+TEST(RunCuRipples, MoreCpuCoresHelp) {
+  const Graph g = make_graph();
+  CuRipplesConfig few;
+  few.cpu_cores = 2;
+  CuRipplesConfig many;
+  many.cpu_cores = 32;
+  gpusim::Device d1(gpusim::make_benchmark_device(256));
+  gpusim::Device d2(gpusim::make_benchmark_device(256));
+  const auto slow =
+      run_curipples(d1, g, DiffusionModel::IndependentCascade, make_params(), few);
+  const auto fast =
+      run_curipples(d2, g, DiffusionModel::IndependentCascade, make_params(), many);
+  EXPECT_EQ(slow.seeds, fast.seeds);
+  EXPECT_GT(slow.device_seconds, fast.device_seconds);
+}
+
+TEST(RunCuRipples, HostMemoryHoldsRrrSets) {
+  // R never counts against the device budget: a tiny device can still run
+  // a workload whose R would not fit on it (cuRipples' scaling advantage).
+  const Graph g = make_graph();
+  gpusim::Device device(gpusim::make_benchmark_device(2));
+  const auto r = run_curipples(device, g, DiffusionModel::IndependentCascade,
+                               make_params(8, 0.2));
+  EXPECT_EQ(r.seeds.size(), 8u);
+  EXPECT_GT(r.rrr_bytes, 0u);
+}
+
+TEST(RunCuRipples, WorksUnderLt) {
+  const Graph g = make_graph(DiffusionModel::LinearThreshold);
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const auto r = run_curipples(device, g, DiffusionModel::LinearThreshold, make_params());
+  EXPECT_EQ(r.seeds.size(), 8u);
+}
+
+TEST(RunCuRipples, RejectsZeroCores) {
+  const Graph g = make_graph();
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  CuRipplesConfig config;
+  config.cpu_cores = 0;
+  EXPECT_THROW((void)run_curipples(device, g, DiffusionModel::IndependentCascade,
+                                   make_params(), config),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace eim::baselines

@@ -1,0 +1,92 @@
+#include "eim/baselines/greedy_mc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eim/graph/generators.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::baselines {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+Graph make_graph(VertexId n = 60) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(n, 2, 0.3, 9));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  return g;
+}
+
+TEST(GreedyMc, ReturnsKDistinctSeeds) {
+  const Graph g = make_graph();
+  const auto r = greedy_mc(g, DiffusionModel::IndependentCascade, 4, 40);
+  ASSERT_EQ(r.seeds.size(), 4u);
+  EXPECT_EQ(std::set<VertexId>(r.seeds.begin(), r.seeds.end()).size(), 4u);
+  EXPECT_GT(r.estimated_spread, 0.0);
+  EXPECT_GT(r.simulations, 0u);
+}
+
+TEST(GreedyMc, StarHubIsFirstPick) {
+  Graph g = Graph::from_edge_list(graph::star_graph(30));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  const auto r = greedy_mc(g, DiffusionModel::IndependentCascade, 1, 50);
+  EXPECT_EQ(r.seeds[0], 0u);  // the hub dominates every leaf
+}
+
+TEST(GreedyMc, SpreadGrowsWithK) {
+  const Graph g = make_graph();
+  const auto small = greedy_mc(g, DiffusionModel::IndependentCascade, 2, 40);
+  const auto large = greedy_mc(g, DiffusionModel::IndependentCascade, 6, 40);
+  EXPECT_GE(large.estimated_spread, small.estimated_spread);
+}
+
+TEST(GreedyMc, RejectsBadArguments) {
+  const Graph g = make_graph();
+  EXPECT_THROW((void)greedy_mc(g, DiffusionModel::IndependentCascade, 0, 10),
+               support::Error);
+  EXPECT_THROW((void)greedy_mc(g, DiffusionModel::IndependentCascade, 4, 0),
+               support::Error);
+}
+
+TEST(Celf, MatchesGreedySeeds) {
+  // Same trials + same RNG streams: CELF is an exact optimization of greedy.
+  const Graph g = make_graph();
+  const auto plain = greedy_mc(g, DiffusionModel::IndependentCascade, 4, 40);
+  const auto lazy = celf(g, DiffusionModel::IndependentCascade, 4, 40);
+  EXPECT_EQ(lazy.seeds, plain.seeds);
+}
+
+TEST(Celf, UsesFewerSimulations) {
+  const Graph g = make_graph(100);
+  const auto plain = greedy_mc(g, DiffusionModel::IndependentCascade, 5, 30);
+  const auto lazy = celf(g, DiffusionModel::IndependentCascade, 5, 30);
+  EXPECT_LT(lazy.simulations, plain.simulations);
+}
+
+TEST(Celf, WorksUnderLt) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(60, 2, 0.3, 9));
+  graph::assign_weights(g, DiffusionModel::LinearThreshold);
+  const auto r = celf(g, DiffusionModel::LinearThreshold, 3, 30);
+  EXPECT_EQ(r.seeds.size(), 3u);
+}
+
+TEST(GreedyMc, AgreesWithImmOnSeedQuality) {
+  // On a small graph the MC greedy and IMM should find seed sets of
+  // near-identical expected spread (both are (1-1/e-eps) approximations).
+  const Graph g = make_graph(80);
+  const auto mc = greedy_mc(g, DiffusionModel::IndependentCascade, 3, 200);
+
+  imm::ImmParams params;
+  params.k = 3;
+  params.epsilon = 0.2;
+  const auto sketch = imm::run_imm_serial(g, DiffusionModel::IndependentCascade, params);
+  EXPECT_NEAR(sketch.estimated_spread, mc.estimated_spread,
+              0.25 * mc.estimated_spread + 2.0);
+}
+
+}  // namespace
+}  // namespace eim::baselines

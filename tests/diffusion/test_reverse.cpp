@@ -1,0 +1,175 @@
+#include "eim/diffusion/reverse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eim/diffusion/forward.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::diffusion {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+using support::RandomStream;
+
+Graph weighted(graph::EdgeList edges, DiffusionModel model) {
+  Graph g = Graph::from_edge_list(edges);
+  graph::assign_weights(g, model);
+  return g;
+}
+
+TEST(RrrIc, ContainsSourceByDefault) {
+  const Graph g = weighted(graph::path_graph(4), DiffusionModel::IndependentCascade);
+  RandomStream rng(1, 1);
+  const auto set = sample_rrr_ic(g, 2, rng);
+  EXPECT_TRUE(std::binary_search(set.begin(), set.end(), 2u));
+}
+
+TEST(RrrIc, PathWithCertainWeightsReachesPrefix) {
+  // Path weights are 1/1: the reverse BFS from v collects {0..v}.
+  const Graph g = weighted(graph::path_graph(5), DiffusionModel::IndependentCascade);
+  RandomStream rng(1, 2);
+  const auto set = sample_rrr_ic(g, 3, rng);
+  EXPECT_EQ(set, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(RrrIc, SortedAscending) {
+  Graph g = weighted(graph::barabasi_albert(300, 4, 0.3, 5),
+                     DiffusionModel::IndependentCascade);
+  RandomStream rng(3, 3);
+  for (int i = 0; i < 50; ++i) {
+    const auto set = sample_rrr_ic(g, rng.next_below(300), rng);
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  }
+}
+
+TEST(RrrIc, NoDuplicates) {
+  Graph g = weighted(graph::barabasi_albert(300, 4, 0.5, 6),
+                     DiffusionModel::IndependentCascade);
+  RandomStream rng(4, 4);
+  for (int i = 0; i < 50; ++i) {
+    const auto set = sample_rrr_ic(g, rng.next_below(300), rng);
+    EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+  }
+}
+
+TEST(RrrIc, ZeroInDegreeSourceIsSingleton) {
+  // Vertex 0 of a path has no in-edges: its RRR set is always {0}.
+  const Graph g = weighted(graph::path_graph(4), DiffusionModel::IndependentCascade);
+  RandomStream rng(7, 7);
+  EXPECT_EQ(sample_rrr_ic(g, 0, rng), (std::vector<VertexId>{0}));
+}
+
+TEST(RrrIc, SourceEliminationDropsExactlyTheSource) {
+  const Graph g = weighted(graph::path_graph(5), DiffusionModel::IndependentCascade);
+  RandomStream rng(9, 9);
+  const auto set = sample_rrr_ic(g, 3, rng, /*eliminate_source=*/true);
+  EXPECT_EQ(set, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(RrrIc, SourceEliminationMakesSingletonsEmpty) {
+  const Graph g = weighted(graph::path_graph(4), DiffusionModel::IndependentCascade);
+  RandomStream rng(9, 10);
+  EXPECT_TRUE(sample_rrr_ic(g, 0, rng, /*eliminate_source=*/true).empty());
+}
+
+TEST(RrrIc, OutOfRangeSourceThrows) {
+  const Graph g = weighted(graph::path_graph(3), DiffusionModel::IndependentCascade);
+  RandomStream rng(1, 1);
+  EXPECT_THROW((void)sample_rrr_ic(g, 50, rng), support::Error);
+}
+
+TEST(RrrLt, WalkIsAChain) {
+  // LT reverse samples are walks: each vertex adds at most one predecessor,
+  // so on a DAG the set size is bounded by the walk length.
+  Graph g = weighted(graph::barabasi_albert(200, 3, 0.0, 8),
+                     DiffusionModel::LinearThreshold);
+  RandomStream rng(5, 5);
+  for (int i = 0; i < 100; ++i) {
+    const auto set = sample_rrr_lt(g, rng.next_below(200), rng);
+    EXPECT_GE(set.size(), 1u);
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+  }
+}
+
+TEST(RrrLt, CycleWalkTerminatesOnRevisit) {
+  // On a directed cycle with weight-1 edges the walk must stop after
+  // traversing all n vertices (revisit of the source).
+  const Graph g = weighted(graph::cycle_graph(6), DiffusionModel::LinearThreshold);
+  RandomStream rng(2, 2);
+  const auto set = sample_rrr_lt(g, 0, rng);
+  EXPECT_EQ(set.size(), 6u);
+}
+
+TEST(RrrLt, SourceEliminationDropsSource) {
+  const Graph g = weighted(graph::cycle_graph(4), DiffusionModel::LinearThreshold);
+  RandomStream rng(2, 3);
+  const auto set = sample_rrr_lt(g, 1, rng, /*eliminate_source=*/true);
+  EXPECT_FALSE(std::binary_search(set.begin(), set.end(), 1u));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(RrrSampler, ReusableMatchesFreeFunction) {
+  Graph g = weighted(graph::barabasi_albert(250, 3, 0.2, 4),
+                     DiffusionModel::IndependentCascade);
+  RrrSampler sampler(g, DiffusionModel::IndependentCascade);
+  for (VertexId s = 0; s < 20; ++s) {
+    RandomStream a(42, s);
+    RandomStream b(42, s);
+    EXPECT_EQ(sampler.sample(s, a), sample_rrr_ic(g, s, b));
+  }
+}
+
+TEST(RrrSampler, EpochResetKeepsSamplesIndependent) {
+  Graph g = weighted(graph::complete_graph(8), DiffusionModel::IndependentCascade);
+  RrrSampler sampler(g, DiffusionModel::IndependentCascade);
+  // Repeated sampling from the same source must not accumulate marks.
+  RandomStream rng(1, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto set = sampler.sample(3, rng);
+    EXPECT_TRUE(std::binary_search(set.begin(), set.end(), 3u));
+    EXPECT_LE(set.size(), 8u);
+  }
+}
+
+// The fundamental RIS identity: n * P(RRR(v) intersects S) == E[I(S)].
+// Verified per model on a small graph by brute sampling both sides.
+class RisEquivalence : public ::testing::TestWithParam<DiffusionModel> {};
+
+TEST_P(RisEquivalence, MatchesForwardSimulation) {
+  const DiffusionModel model = GetParam();
+  Graph g = weighted(graph::barabasi_albert(60, 2, 0.4, 12), model);
+  const std::vector<VertexId> seeds{0, 7};
+  const VertexId n = g.num_vertices();
+
+  constexpr int kSamples = 30'000;
+  RandomStream rng(99, 1);
+  RrrSampler sampler(g, model);
+  int covered = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const VertexId source = rng.next_below(n);
+    const auto set = sampler.sample(source, rng);
+    for (const VertexId s : seeds) {
+      if (std::binary_search(set.begin(), set.end(), s)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const double ris_estimate = static_cast<double>(n) * covered / kSamples;
+  const SpreadEstimate forward = estimate_spread(g, model, seeds, 30'000, 55);
+  EXPECT_NEAR(ris_estimate, forward.mean, 0.05 * forward.mean + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, RisEquivalence,
+                         ::testing::Values(DiffusionModel::IndependentCascade,
+                                           DiffusionModel::LinearThreshold));
+
+}  // namespace
+}  // namespace eim::diffusion

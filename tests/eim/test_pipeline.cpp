@@ -1,0 +1,161 @@
+#include "eim/eim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eim/diffusion/forward.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/imm/imm.hpp"
+
+namespace eim::eim_impl {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+Graph make_graph(DiffusionModel model = DiffusionModel::IndependentCascade,
+                 VertexId n = 500) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(n, 3, 0.3, 7));
+  graph::assign_weights(g, model);
+  return g;
+}
+
+imm::ImmParams make_params(std::uint32_t k = 8) {
+  imm::ImmParams p;
+  p.k = k;
+  p.epsilon = 0.3;
+  return p;
+}
+
+EimOptions fast_options() {
+  EimOptions o;
+  o.sampler_blocks = 16;
+  return o;
+}
+
+TEST(RunEim, ProducesKSeedsAndMetrics) {
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const Graph g = make_graph();
+  const EimResult r = run_eim(device, g, DiffusionModel::IndependentCascade,
+                              make_params(), fast_options());
+  EXPECT_EQ(r.seeds.size(), 8u);
+  EXPECT_EQ(std::set<VertexId>(r.seeds.begin(), r.seeds.end()).size(), 8u);
+  EXPECT_GT(r.num_sets, 0u);
+  EXPECT_GT(r.device_seconds, 0.0);
+  EXPECT_GT(r.kernel_seconds, 0.0);
+  EXPECT_GT(r.transfer_seconds, 0.0);
+  EXPECT_GT(r.peak_device_bytes, 0u);
+  EXPECT_EQ(r.device_mallocs, 0u);
+}
+
+TEST(RunEim, LogEncodingShrinksReportedBytes) {
+  const Graph g = make_graph();
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+
+  EimOptions packed = fast_options();
+  const EimResult with = run_eim(device, g, DiffusionModel::IndependentCascade,
+                                 make_params(), packed);
+  EimOptions raw = fast_options();
+  raw.log_encode = false;
+  const EimResult without = run_eim(device, g, DiffusionModel::IndependentCascade,
+                                    make_params(), raw);
+
+  EXPECT_LT(with.rrr_bytes, with.rrr_raw_bytes);
+  EXPECT_LT(with.network_bytes, with.network_raw_bytes);
+  EXPECT_EQ(without.rrr_bytes, without.rrr_raw_bytes);
+  EXPECT_EQ(without.network_bytes, without.network_raw_bytes);
+  // Identical algorithmic output either way.
+  EXPECT_EQ(with.seeds, without.seeds);
+  EXPECT_EQ(with.num_sets, without.num_sets);
+}
+
+TEST(RunEim, SeedsMatchSerialImmQuality) {
+  // eIM with elimination off and the same seed must reproduce the serial
+  // reference bit-for-bit (same R -> same greedy -> same seeds).
+  const Graph g = make_graph();
+  imm::ImmParams params = make_params();
+
+  EimOptions opts = fast_options();
+  opts.eliminate_sources = false;
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const EimResult gpu = run_eim(device, g, DiffusionModel::IndependentCascade, params, opts);
+
+  params.eliminate_sources = false;
+  const imm::ImmResult serial =
+      imm::run_imm_serial(g, DiffusionModel::IndependentCascade, params);
+
+  EXPECT_EQ(gpu.seeds, serial.seeds);
+  EXPECT_EQ(gpu.num_sets, serial.num_sets);
+  EXPECT_EQ(gpu.total_elements, serial.total_elements);
+  EXPECT_DOUBLE_EQ(gpu.lower_bound, serial.lower_bound);
+}
+
+TEST(RunEim, EliminationKeepsSeedQuality) {
+  const Graph g = make_graph();
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+
+  EimOptions with = fast_options();
+  EimOptions without = fast_options();
+  without.eliminate_sources = false;
+  const EimResult a = run_eim(device, g, DiffusionModel::IndependentCascade,
+                              make_params(), with);
+  const EimResult b = run_eim(device, g, DiffusionModel::IndependentCascade,
+                              make_params(), without);
+
+  const auto spread_a = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, a.seeds, 400, 3);
+  const auto spread_b = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, b.seeds, 400, 3);
+  EXPECT_NEAR(spread_a.mean, spread_b.mean, 0.12 * spread_b.mean + 1.0);
+}
+
+TEST(RunEim, WorksUnderLt) {
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const Graph g = make_graph(DiffusionModel::LinearThreshold);
+  const EimResult r =
+      run_eim(device, g, DiffusionModel::LinearThreshold, make_params(), fast_options());
+  EXPECT_EQ(r.seeds.size(), 8u);
+  EXPECT_GT(r.num_sets, 0u);
+}
+
+TEST(RunEim, OomOnTinyDevice) {
+  gpusim::Device device(gpusim::make_benchmark_device(1));  // 1 MB
+  const Graph g = make_graph(DiffusionModel::IndependentCascade, 2000);
+  imm::ImmParams params = make_params();
+  params.epsilon = 0.05;  // force a large theta
+  EXPECT_THROW(
+      (void)run_eim(device, g, DiffusionModel::IndependentCascade, params, fast_options()),
+      support::DeviceOutOfMemoryError);
+}
+
+TEST(RunEim, TighterEpsilonCostsMoreModeledTime) {
+  const Graph g = make_graph();
+  gpusim::Device device(gpusim::make_benchmark_device(512));
+  imm::ImmParams loose = make_params();
+  loose.epsilon = 0.4;
+  imm::ImmParams tight = make_params();
+  tight.epsilon = 0.15;
+  const EimResult a =
+      run_eim(device, g, DiffusionModel::IndependentCascade, loose, fast_options());
+  const EimResult b =
+      run_eim(device, g, DiffusionModel::IndependentCascade, tight, fast_options());
+  EXPECT_GT(b.num_sets, a.num_sets);
+  EXPECT_GT(b.device_seconds, a.device_seconds);
+}
+
+TEST(RunEim, TimelineResetPerRun) {
+  const Graph g = make_graph();
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const EimResult a = run_eim(device, g, DiffusionModel::IndependentCascade,
+                              make_params(), fast_options());
+  const EimResult b = run_eim(device, g, DiffusionModel::IndependentCascade,
+                              make_params(), fast_options());
+  // Deterministic run on a reset device: identical modeled time.
+  EXPECT_DOUBLE_EQ(a.device_seconds, b.device_seconds);
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+}  // namespace
+}  // namespace eim::eim_impl

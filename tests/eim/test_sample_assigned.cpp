@@ -1,0 +1,100 @@
+// Direct tests of the shard entry point: sample_assigned must reproduce,
+// for arbitrary global-id subsets, exactly the sets the serial reference
+// produces at those indices — the property multi-GPU sharding stands on.
+#include <gtest/gtest.h>
+
+#include "eim/eim/rrr_collection.hpp"
+#include "eim/eim/sampler.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/imm/rrr_store.hpp"
+
+namespace eim::eim_impl {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+struct Fixture {
+  Graph g;
+  imm::ImmParams params;
+  imm::RrrStore reference;
+
+  Fixture() : g(Graph::from_edge_list(graph::barabasi_albert(300, 3, 0.3, 7))),
+              reference(300) {
+    graph::assign_weights(g, DiffusionModel::IndependentCascade);
+    params.k = 3;
+    (void)imm::sample_to_target(g, DiffusionModel::IndependentCascade, params,
+                                reference, 400);
+  }
+
+  void expect_matches(const DeviceRrrCollection& col,
+                      const std::vector<std::uint64_t>& globals) const {
+    ASSERT_EQ(col.num_sets(), globals.size());
+    for (std::uint64_t local = 0; local < globals.size(); ++local) {
+      const auto expect = reference.set(globals[local]);
+      ASSERT_EQ(col.set_length(local), expect.size()) << "local slot " << local;
+      for (std::uint32_t j = 0; j < expect.size(); ++j) {
+        ASSERT_EQ(col.element(local, j), expect[j]);
+      }
+    }
+  }
+
+  void run_into(gpusim::Device& device, DeviceRrrCollection& col,
+                const std::vector<std::uint64_t>& globals) const {
+    EimOptions options;
+    options.eliminate_sources = false;
+    options.sampler_blocks = 8;
+    EimSampler sampler(device, g, DiffusionModel::IndependentCascade, params, options);
+    sampler.sample_assigned(col, globals);
+  }
+};
+
+TEST(SampleAssigned, EvenGlobalIdsMatchReference) {
+  Fixture fx;
+  std::vector<std::uint64_t> evens;
+  for (std::uint64_t i = 0; i < 400; i += 2) evens.push_back(i);
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  DeviceRrrCollection col(device, fx.g.num_vertices(), true);
+  fx.run_into(device, col, evens);
+  fx.expect_matches(col, evens);
+}
+
+TEST(SampleAssigned, ArbitrarySubsetMatchesReference) {
+  Fixture fx;
+  const std::vector<std::uint64_t> ids{7, 13, 14, 55, 199, 200, 399};
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  DeviceRrrCollection col(device, fx.g.num_vertices(), true);
+  fx.run_into(device, col, ids);
+  fx.expect_matches(col, ids);
+}
+
+TEST(SampleAssigned, AppendsAfterExistingSets) {
+  Fixture fx;
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  DeviceRrrCollection col(device, fx.g.num_vertices(), true);
+  EimOptions options;
+  options.eliminate_sources = false;
+  options.sampler_blocks = 8;
+  EimSampler sampler(device, fx.g, DiffusionModel::IndependentCascade, fx.params,
+                     options);
+  sampler.sample_assigned(col, std::vector<std::uint64_t>{0, 1});
+  sampler.sample_assigned(col, std::vector<std::uint64_t>{2, 3});
+  fx.expect_matches(col, {0, 1, 2, 3});
+}
+
+TEST(SampleAssigned, EmptyListIsNoop) {
+  Fixture fx;
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  DeviceRrrCollection col(device, fx.g.num_vertices(), true);
+  EimOptions options;
+  options.sampler_blocks = 8;
+  EimSampler sampler(device, fx.g, DiffusionModel::IndependentCascade, fx.params,
+                     options);
+  sampler.sample_assigned(col, {});
+  EXPECT_EQ(col.num_sets(), 0u);
+}
+
+}  // namespace
+}  // namespace eim::eim_impl

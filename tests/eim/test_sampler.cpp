@@ -1,0 +1,192 @@
+#include "eim/eim/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "eim/graph/generators.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/imm/rrr_store.hpp"
+
+namespace eim::eim_impl {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+Graph make_graph(DiffusionModel model, VertexId n = 400) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(n, 3, 0.3, 7));
+  graph::assign_weights(g, model);
+  return g;
+}
+
+imm::ImmParams make_params(bool eliminate = false) {
+  imm::ImmParams p;
+  p.k = 5;
+  p.epsilon = 0.3;
+  p.eliminate_sources = eliminate;
+  return p;
+}
+
+EimOptions make_options(bool eliminate = false) {
+  EimOptions o;
+  o.eliminate_sources = eliminate;
+  o.sampler_blocks = 16;  // small for tests
+  return o;
+}
+
+TEST(EimSampler, ProducesTargetSets) {
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  const Graph g = make_graph(DiffusionModel::IndependentCascade);
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(),
+                     make_options());
+  sampler.sample_to(col, 500);
+  EXPECT_EQ(col.num_sets(), 500u);
+  EXPECT_GT(col.total_elements(), 500u);  // BA graphs cascade beyond sources
+}
+
+TEST(EimSampler, SampleToIsIdempotent) {
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  const Graph g = make_graph(DiffusionModel::IndependentCascade);
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(),
+                     make_options());
+  sampler.sample_to(col, 200);
+  const auto elements = col.total_elements();
+  sampler.sample_to(col, 200);
+  sampler.sample_to(col, 100);
+  EXPECT_EQ(col.num_sets(), 200u);
+  EXPECT_EQ(col.total_elements(), elements);
+}
+
+// The central parity property: the simulated kernel must generate the exact
+// multiset of RRR sets the serial reference generates, per sample index,
+// for both models and both source-elimination settings.
+struct ParityCase {
+  DiffusionModel model;
+  bool eliminate;
+};
+
+class SamplerParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(SamplerParity, MatchesSerialReferenceExactly) {
+  const auto [model, eliminate] = GetParam();
+  const Graph g = make_graph(model);
+  const imm::ImmParams params = make_params(eliminate);
+
+  // Serial reference.
+  imm::RrrStore store(g.num_vertices());
+  (void)imm::sample_to_target(g, model, params, store, 400);
+
+  // Simulated kernel.
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  EimSampler sampler(device, g, model, params, make_options(eliminate));
+  sampler.sample_to(col, 400);
+
+  ASSERT_EQ(col.num_sets(), store.num_sets());
+  ASSERT_EQ(col.total_elements(), store.total_elements());
+  for (std::uint64_t i = 0; i < store.num_sets(); ++i) {
+    const auto expect = store.set(i);
+    ASSERT_EQ(col.set_length(i), expect.size()) << "set " << i;
+    for (std::uint32_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(col.element(i, j), expect[j]) << "set " << i << " elem " << j;
+    }
+  }
+  // Counts must agree too.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(col.counts()[v], store.count(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndElimination, SamplerParity,
+    ::testing::Values(ParityCase{DiffusionModel::IndependentCascade, false},
+                      ParityCase{DiffusionModel::IndependentCascade, true},
+                      ParityCase{DiffusionModel::LinearThreshold, false},
+                      ParityCase{DiffusionModel::LinearThreshold, true}));
+
+TEST(EimSampler, EliminationRemovesSourcesAndCountsDiscards) {
+  // Skewed R-MAT: plenty of zero-in-degree sources -> singleton discards.
+  Graph g = Graph::from_edge_list(graph::rmat(
+      {.scale = 9, .num_edges = 1500, .a = 0.7, .b = 0.15, .c = 0.1, .d = 0.05}, 5));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(true),
+                     make_options(true));
+  sampler.sample_to(col, 300);
+  EXPECT_GT(sampler.singletons_discarded(), 0u);
+}
+
+TEST(EimSampler, ChargesKernelTime) {
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  const Graph g = make_graph(DiffusionModel::IndependentCascade);
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(),
+                     make_options());
+  sampler.sample_to(col, 300);
+  EXPECT_GT(device.timeline().kernel_seconds(), 0.0);
+}
+
+TEST(EimSampler, MoreSetsCostMoreModeledTime) {
+  const Graph g = make_graph(DiffusionModel::IndependentCascade);
+  auto run = [&](std::uint64_t sets) {
+    gpusim::Device device(gpusim::make_benchmark_device(256));
+    DeviceRrrCollection col(device, g.num_vertices(), true);
+    EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(),
+                       make_options());
+    sampler.sample_to(col, sets);
+    return device.timeline().kernel_seconds();
+  };
+  EXPECT_LT(run(200), run(4000));
+}
+
+TEST(EimSampler, LtSetsAreWalks) {
+  const Graph g = make_graph(DiffusionModel::LinearThreshold);
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  EimSampler sampler(device, g, DiffusionModel::LinearThreshold, make_params(),
+                     make_options());
+  sampler.sample_to(col, 400);
+  // Walk sets on a 400-vertex BA graph stay small and duplicate-free.
+  for (std::uint64_t i = 0; i < col.num_sets(); ++i) {
+    std::vector<VertexId> set;
+    for (std::uint32_t j = 0; j < col.set_length(i); ++j) set.push_back(col.element(i, j));
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+  }
+}
+
+TEST(EimSampler, AtomicAddLtVariantSameSetsHigherCost) {
+  const Graph g = make_graph(DiffusionModel::LinearThreshold, 600);
+  const imm::ImmParams params = make_params();
+
+  auto run = [&](LtActivationMethod method) {
+    gpusim::Device device(gpusim::make_benchmark_device(256));
+    DeviceRrrCollection col(device, g.num_vertices(), true);
+    EimOptions opts = make_options();
+    opts.lt_activation = method;
+    EimSampler sampler(device, g, DiffusionModel::LinearThreshold, params, opts);
+    sampler.sample_to(col, 1000);
+    std::uint64_t checksum = 0;
+    for (std::uint64_t i = 0; i < col.num_sets(); ++i) {
+      for (std::uint32_t j = 0; j < col.set_length(i); ++j) {
+        checksum = checksum * 31 + col.element(i, j);
+      }
+    }
+    return std::pair{checksum, device.timeline().kernel_seconds()};
+  };
+
+  const auto [scan_sum, scan_time] = run(LtActivationMethod::PrefixScan);
+  const auto [atomic_sum, atomic_time] = run(LtActivationMethod::AtomicAdd);
+  EXPECT_EQ(scan_sum, atomic_sum);      // identical sets
+  EXPECT_GT(atomic_time, scan_time);    // §3.3: serialization costs more
+}
+
+}  // namespace
+}  // namespace eim::eim_impl

@@ -1,0 +1,127 @@
+#include "eim/eim/seed_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eim/eim/sampler.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/imm/rrr_store.hpp"
+
+namespace eim::eim_impl {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+struct Fixture {
+  gpusim::Device device{gpusim::make_benchmark_device(256)};
+  Graph g;
+  DeviceRrrCollection collection;
+
+  explicit Fixture(VertexId n = 400, std::uint64_t sets = 2000)
+      : g(Graph::from_edge_list(graph::barabasi_albert(n, 3, 0.3, 7))),
+        collection(device, n, true) {
+    graph::assign_weights(g, DiffusionModel::IndependentCascade);
+    imm::ImmParams params;
+    params.k = 5;
+    EimOptions options;
+    options.sampler_blocks = 16;
+    options.eliminate_sources = false;  // mirror the CPU reference store
+    EimSampler sampler(device, g, DiffusionModel::IndependentCascade, params, options);
+    sampler.sample_to(collection, sets);
+  }
+};
+
+TEST(GpuSeedSelector, MatchesCpuGreedyExactly) {
+  Fixture fx;
+  // CPU reference over the same sample streams.
+  imm::RrrStore store(fx.g.num_vertices());
+  imm::ImmParams params;
+  params.k = 5;
+  (void)imm::sample_to_target(fx.g, DiffusionModel::IndependentCascade, params, store,
+                              2000);
+
+  GpuSeedSelector selector(fx.device, ScanStrategy::ThreadPerSet);
+  const auto gpu_sel = selector.select(fx.collection, 10);
+  const auto cpu_sel = imm::select_seeds_greedy(store, 10);
+  EXPECT_EQ(gpu_sel.seeds, cpu_sel.seeds);
+  EXPECT_EQ(gpu_sel.covered_sets, cpu_sel.covered_sets);
+  EXPECT_DOUBLE_EQ(gpu_sel.coverage_fraction, cpu_sel.coverage_fraction);
+}
+
+TEST(GpuSeedSelector, WarpStrategySameAnswerDifferentCost) {
+  Fixture fx;
+  GpuSeedSelector thread_sel(fx.device, ScanStrategy::ThreadPerSet);
+  GpuSeedSelector warp_sel(fx.device, ScanStrategy::WarpPerSet);
+  const auto a = thread_sel.select(fx.collection, 8);
+  const auto b = warp_sel.select(fx.collection, 8);
+  EXPECT_EQ(a.seeds, b.seeds);  // strategy affects cost, never the answer
+}
+
+TEST(GpuSeedSelector, ChargesPerPickKernels) {
+  Fixture fx;
+  fx.device.timeline().reset();
+  GpuSeedSelector selector(fx.device, ScanStrategy::ThreadPerSet);
+  (void)selector.select(fx.collection, 4);
+  // 4 argmax + up to 4 update kernels.
+  std::size_t argmax = 0;
+  std::size_t update = 0;
+  for (const auto& seg : fx.device.timeline().segments()) {
+    argmax += seg.label == "eim::argmax";
+    update += seg.label == "eim::update_counts";
+  }
+  EXPECT_EQ(argmax, 4u);
+  EXPECT_EQ(update, 4u);
+}
+
+TEST(GpuSeedSelector, ThreadScanWinsAtLargeN) {
+  // §3.5's scaling law: with N >> W_n, thread-per-set beats warp-per-set;
+  // the crossover is what Fig. 3 plots.
+  Fixture fx(300, 60'000);
+
+  fx.device.timeline().reset();
+  GpuSeedSelector thread_sel(fx.device, ScanStrategy::ThreadPerSet);
+  (void)thread_sel.select(fx.collection, 3);
+  const double thread_time = fx.device.timeline().kernel_seconds();
+
+  fx.device.timeline().reset();
+  GpuSeedSelector warp_sel(fx.device, ScanStrategy::WarpPerSet);
+  (void)warp_sel.select(fx.collection, 3);
+  const double warp_time = fx.device.timeline().kernel_seconds();
+
+  EXPECT_LT(thread_time, warp_time);
+}
+
+TEST(GpuSeedSelector, WarpScanWinsAtSmallN) {
+  Fixture fx(300, 300);  // far fewer sets than resident warps
+
+  fx.device.timeline().reset();
+  GpuSeedSelector thread_sel(fx.device, ScanStrategy::ThreadPerSet);
+  (void)thread_sel.select(fx.collection, 3);
+  const double thread_time = fx.device.timeline().kernel_seconds();
+
+  fx.device.timeline().reset();
+  GpuSeedSelector warp_sel(fx.device, ScanStrategy::WarpPerSet);
+  (void)warp_sel.select(fx.collection, 3);
+  const double warp_time = fx.device.timeline().kernel_seconds();
+
+  EXPECT_LE(warp_time, thread_time);
+}
+
+TEST(GpuSeedSelector, RepeatedSelectionIsStable) {
+  Fixture fx;
+  GpuSeedSelector selector(fx.device, ScanStrategy::ThreadPerSet);
+  const auto a = selector.select(fx.collection, 6);
+  const auto b = selector.select(fx.collection, 6);
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST(GpuSeedSelector, RejectsBadK) {
+  Fixture fx;
+  GpuSeedSelector selector(fx.device, ScanStrategy::ThreadPerSet);
+  EXPECT_THROW((void)selector.select(fx.collection, 0), support::Error);
+}
+
+}  // namespace
+}  // namespace eim::eim_impl

@@ -1,0 +1,145 @@
+#include "eim/encoding/bit_packed_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::encoding {
+namespace {
+
+TEST(BitPackedArray, PaperFigure1Example) {
+  // Five integers, x_max = 123 -> 7 bits each -> 35 bits -> two 32-bit
+  // containers = 8 bytes (down from 20 raw).
+  const std::vector<std::uint64_t> values{90, 63, 123, 6, 109};
+  const BitPackedArray packed = BitPackedArray::encode(values);
+  EXPECT_EQ(packed.bits_per_value(), 7u);
+  EXPECT_EQ(packed.storage_bytes(), 8u);
+  EXPECT_EQ(packed.raw_bytes(4), 20u);
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(packed.get(i), values[i]);
+}
+
+TEST(BitPackedArray, EmptyArray) {
+  const BitPackedArray packed = BitPackedArray::encode({});
+  EXPECT_EQ(packed.size(), 0u);
+  EXPECT_EQ(packed.storage_bytes(), 0u);
+}
+
+TEST(BitPackedArray, AllZerosStillRoundTrips) {
+  const std::vector<std::uint64_t> values(100, 0);
+  const BitPackedArray packed = BitPackedArray::encode(values);
+  EXPECT_EQ(packed.bits_per_value(), 1u);
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(packed.get(i), 0u);
+}
+
+TEST(BitPackedArray, SetOverwritesPreviousValue) {
+  BitPackedArray packed(10, 9);
+  packed.set(3, 511);
+  packed.set(3, 17);
+  EXPECT_EQ(packed.get(3), 17u);
+  // Neighbors must be untouched.
+  EXPECT_EQ(packed.get(2), 0u);
+  EXPECT_EQ(packed.get(4), 0u);
+}
+
+TEST(BitPackedArray, ValuesAboveWidthAreMasked) {
+  BitPackedArray packed(4, 5);
+  packed.set(0, 0xFFu);  // 5 bits keep 31
+  EXPECT_EQ(packed.get(0), 31u);
+}
+
+TEST(BitPackedArray, RejectsZeroOrHugeWidth) {
+  EXPECT_THROW(BitPackedArray(4, 0), support::Error);
+  EXPECT_THROW(BitPackedArray(4, 65), support::Error);
+}
+
+TEST(BitPackedArray, SixtyFourBitValues) {
+  const std::vector<std::uint64_t> values{~std::uint64_t{0}, 0, 0x123456789ABCDEFull};
+  const BitPackedArray packed = BitPackedArray::encode(values);
+  EXPECT_EQ(packed.bits_per_value(), 64u);
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(packed.get(i), values[i]);
+}
+
+TEST(BitPackedArray, ClearZeroesEverything) {
+  BitPackedArray packed(16, 13);
+  for (std::size_t i = 0; i < 16; ++i) packed.set(i, i * 7);
+  packed.clear();
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(packed.get(i), 0u);
+}
+
+TEST(BitPackedArray, DecodeAllMatchesGets) {
+  support::RandomStream rng(5, 5);
+  std::vector<std::uint64_t> values(257);
+  for (auto& v : values) v = rng.next_below(1 << 20);
+  const BitPackedArray packed = BitPackedArray::encode(values);
+  EXPECT_EQ(packed.decode_all(), values);
+}
+
+TEST(BitPackedArray, StoreReleasePublishesAcrossThreads) {
+  constexpr std::size_t kCount = 4096;
+  constexpr std::uint32_t kBits = 11;  // forces container sharing
+  BitPackedArray packed(kCount, kBits);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&packed, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < kCount; i += kThreads) {
+        packed.store_release(i, (i * 31) & 0x7FFu);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(packed.get(i), (i * 31) & 0x7FFu);
+}
+
+// Round-trip property across widths, including every container-straddling
+// alignment (width coprime with 32 guarantees straddles).
+class BitWidthRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitWidthRoundTrip, RandomValuesSurvive) {
+  const std::uint32_t bits = GetParam();
+  support::RandomStream rng(77, bits);
+  std::vector<std::uint64_t> values(513);
+  for (auto& v : values) v = rng.next_u64() & support::low_mask64(bits);
+
+  BitPackedArray packed(values.size(), bits);
+  for (std::size_t i = 0; i < values.size(); ++i) packed.set(i, values[i]);
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(packed.get(i), values[i]);
+
+  // Expected container count: ceil(size * bits / 32) * 4 bytes.
+  const std::uint64_t total_bits = static_cast<std::uint64_t>(values.size()) * bits;
+  EXPECT_EQ(packed.storage_bytes(), support::div_ceil<std::uint64_t>(total_bits, 32) * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitWidthRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 8u, 11u, 13u, 16u, 17u,
+                                           23u, 31u, 32u, 33u, 40u, 48u, 63u, 64u));
+
+// store_release must agree with set for every width (same packing layout).
+class StoreReleaseEquivalence : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StoreReleaseEquivalence, MatchesSet) {
+  const std::uint32_t bits = GetParam();
+  support::RandomStream rng(123, bits);
+  std::vector<std::uint64_t> values(129);
+  for (auto& v : values) v = rng.next_u64() & support::low_mask64(bits);
+
+  BitPackedArray a(values.size(), bits);
+  BitPackedArray b(values.size(), bits);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    a.set(i, values[i]);
+    b.store_release(i, values[i]);
+  }
+  EXPECT_EQ(a.decode_all(), b.decode_all());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StoreReleaseEquivalence,
+                         ::testing::Values(1u, 3u, 7u, 12u, 19u, 32u, 45u, 64u));
+
+}  // namespace
+}  // namespace eim::encoding

@@ -1,0 +1,86 @@
+#include "eim/encoding/bitmap_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::encoding {
+namespace {
+
+TEST(BitmapSet, EmptySet) {
+  const EncodedSet set = bitmap_encode_set({}, 1000);
+  EXPECT_EQ(set.representation, SetRepresentation::IdList);
+  EXPECT_TRUE(bitmap_decode_set(set, 1000).empty());
+}
+
+TEST(BitmapSet, SparseSetStaysIdList) {
+  const std::vector<std::uint32_t> members{5, 99, 500};
+  const EncodedSet set = bitmap_encode_set(members, 100'000);
+  EXPECT_EQ(set.representation, SetRepresentation::IdList);
+  EXPECT_EQ(bitmap_decode_set(set, 100'000), members);
+}
+
+TEST(BitmapSet, DenseSetBecomesBitmap) {
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t v = 0; v < 600; v += 2) members.push_back(v);
+  // Universe 1000: bitmap = 125 bytes < 300 members * 4 = 1200 bytes.
+  const EncodedSet set = bitmap_encode_set(members, 1000);
+  EXPECT_EQ(set.representation, SetRepresentation::Bitmap);
+  EXPECT_EQ(bitmap_decode_set(set, 1000), members);
+}
+
+TEST(BitmapSet, PicksSmallerRepresentation) {
+  // 10 members in universe 64: bitmap 8 bytes < list 40 bytes.
+  std::vector<std::uint32_t> members{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(bitmap_encode_set(members, 64).representation, SetRepresentation::Bitmap);
+  // Same members in universe 1M: list 40 bytes << bitmap 125 KB.
+  EXPECT_EQ(bitmap_encode_set(members, 1'000'000).representation,
+            SetRepresentation::IdList);
+}
+
+TEST(BitmapSet, ContainsWorksForBothRepresentations) {
+  const std::vector<std::uint32_t> members{3, 17, 42, 63};
+  const EncodedSet bitmap = bitmap_encode_set(members, 64);
+  const EncodedSet list = bitmap_encode_set(members, 1'000'000);
+  for (const std::uint32_t v : members) {
+    EXPECT_TRUE(bitmap_set_contains(bitmap, v));
+    EXPECT_TRUE(bitmap_set_contains(list, v));
+  }
+  for (const std::uint32_t v : {0u, 16u, 43u, 999u}) {
+    EXPECT_FALSE(bitmap_set_contains(bitmap, v));
+    EXPECT_FALSE(bitmap_set_contains(list, v));
+  }
+}
+
+TEST(BitmapSet, RejectsOutOfUniverseMember) {
+  const std::vector<std::uint32_t> members{10};
+  EXPECT_THROW((void)bitmap_encode_set(members, 10), support::Error);
+}
+
+class BitmapFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitmapFuzz, RandomSetsRoundTrip) {
+  support::RandomStream rng(31, GetParam());
+  const std::uint32_t universe = 64 + rng.next_below(5000);
+  std::set<std::uint32_t> members;
+  const std::uint32_t count = rng.next_below(universe / 2);
+  while (members.size() < count) members.insert(rng.next_below(universe));
+  const std::vector<std::uint32_t> sorted(members.begin(), members.end());
+
+  const EncodedSet set = bitmap_encode_set(sorted, universe);
+  EXPECT_EQ(bitmap_decode_set(set, universe), sorted);
+  // Membership agrees with the reference for a sample of probes.
+  for (int probe = 0; probe < 100; ++probe) {
+    const std::uint32_t v = rng.next_below(universe);
+    EXPECT_EQ(bitmap_set_contains(set, v), members.contains(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapFuzz, ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace eim::encoding

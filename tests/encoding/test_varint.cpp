@@ -1,0 +1,53 @@
+#include "eim/encoding/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::encoding {
+namespace {
+
+TEST(Varint, SingleByteValues) {
+  const std::vector<std::uint64_t> values{0, 1, 127};
+  const auto bytes = varint_encode(values);
+  EXPECT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(varint_decode(bytes), values);
+}
+
+TEST(Varint, MultiByteBoundaries) {
+  const std::vector<std::uint64_t> values{128, 16'383, 16'384, 0xFFFFFFFFull,
+                                          ~std::uint64_t{0}};
+  EXPECT_EQ(varint_decode(varint_encode(values)), values);
+}
+
+TEST(Varint, EmptyStream) {
+  EXPECT_TRUE(varint_decode(varint_encode({})).empty());
+}
+
+TEST(Varint, MaxValueUsesTenBytes) {
+  const auto bytes = varint_encode(std::vector<std::uint64_t>{~std::uint64_t{0}});
+  EXPECT_EQ(bytes.size(), 10u);
+}
+
+TEST(Varint, TruncatedStreamThrows) {
+  auto bytes = varint_encode(std::vector<std::uint64_t>{300});
+  bytes.pop_back();
+  EXPECT_THROW(varint_decode(bytes), support::IoError);
+}
+
+TEST(Varint, OverlongStreamThrows) {
+  // Eleven continuation bytes exceed 64 bits of payload.
+  const std::vector<std::uint8_t> bytes(11, 0x80u);
+  EXPECT_THROW(varint_decode(bytes), support::IoError);
+}
+
+TEST(Varint, RandomRoundTrip) {
+  support::RandomStream rng(31, 7);
+  std::vector<std::uint64_t> values(1000);
+  for (auto& v : values) v = rng.next_u64() >> (rng.next_below(64));
+  EXPECT_EQ(varint_decode(varint_encode(values)), values);
+}
+
+}  // namespace
+}  // namespace eim::encoding

@@ -1,0 +1,107 @@
+#include "eim/gpusim/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace eim::gpusim {
+namespace {
+
+DeviceSpec spec() { return DeviceSpec{}; }
+
+TEST(BlockContext, ChargesFollowCostTable) {
+  const DeviceSpec s = spec();
+  BlockContext ctx(0, s);
+  ctx.charge_global(2);
+  ctx.charge_shared(3);
+  ctx.charge_alu(5);
+  EXPECT_EQ(ctx.cycles(), 2u * s.costs.global_latency + 3u * s.costs.shared_latency +
+                              5u * s.costs.alu_op);
+}
+
+TEST(BlockContext, AtomicContentionSerialises) {
+  const DeviceSpec s = spec();
+  BlockContext one(0, s);
+  BlockContext many(0, s);
+  one.charge_atomic_global(1);
+  many.charge_atomic_global(32);
+  EXPECT_EQ(many.cycles() - one.cycles(), 31u * s.costs.atomic_conflict);
+}
+
+TEST(BlockContext, DivergentGlobalCostsPerLane) {
+  const DeviceSpec s = spec();
+  BlockContext coalesced(0, s);
+  BlockContext divergent(0, s);
+  coalesced.charge_global(1);           // whole warp, one transaction
+  divergent.charge_global_scalar(32);   // 32 serialized accesses
+  EXPECT_EQ(divergent.cycles(), 32u * coalesced.cycles());
+}
+
+TEST(BlockContext, SharedMemoryBudgetEnforced) {
+  BlockContext ctx(0, spec());
+  const std::uint64_t budget = ctx.shared_free_bytes();
+  EXPECT_TRUE(ctx.try_alloc_shared(budget / 2));
+  EXPECT_TRUE(ctx.try_alloc_shared(budget / 2));
+  EXPECT_FALSE(ctx.try_alloc_shared(1));  // exhausted
+  ctx.free_shared(budget / 2);
+  EXPECT_TRUE(ctx.try_alloc_shared(16));
+}
+
+TEST(BlockContext, MallocChargesAndCounts) {
+  const DeviceSpec s = spec();
+  BlockContext ctx(0, s);
+  ctx.charge_device_malloc();
+  ctx.charge_device_malloc();
+  EXPECT_EQ(ctx.malloc_count(), 2u);
+  EXPECT_EQ(ctx.cycles(), 2u * s.costs.device_malloc);
+}
+
+TEST(BlockContext, InclusiveScanComputesPrefixSums) {
+  BlockContext ctx(0, spec());
+  std::vector<float> vals{1.0f, 2.0f, 3.0f, 4.0f};
+  ctx.warp_inclusive_scan(vals);
+  EXPECT_FLOAT_EQ(vals[0], 1.0f);
+  EXPECT_FLOAT_EQ(vals[1], 3.0f);
+  EXPECT_FLOAT_EQ(vals[2], 6.0f);
+  EXPECT_FLOAT_EQ(vals[3], 10.0f);
+}
+
+TEST(BlockContext, InclusiveScanChargesLogSteps) {
+  const DeviceSpec s = spec();
+  BlockContext ctx(0, s);
+  std::vector<float> vals(32, 1.0f);
+  ctx.warp_inclusive_scan(vals);
+  // log2(32) = 5 shuffle + 5 add steps.
+  EXPECT_EQ(ctx.cycles(), 5u * s.costs.shuffle_op + 5u * s.costs.alu_op);
+}
+
+TEST(BlockContext, ScanCostIndependentOfLaneCount) {
+  BlockContext a(0, spec());
+  BlockContext b(0, spec());
+  std::vector<float> two(2, 1.0f);
+  std::vector<float> thirty_two(32, 1.0f);
+  a.warp_inclusive_scan(two);
+  b.warp_inclusive_scan(thirty_two);
+  EXPECT_EQ(a.cycles(), b.cycles());  // the ladder always runs log2(warp) steps
+}
+
+TEST(BlockContext, BallotPacksPredicates) {
+  BlockContext ctx(0, spec());
+  const std::array<bool, 6> preds{true, false, true, true, false, true};
+  EXPECT_EQ(ctx.warp_ballot(std::span<const bool>(preds)), 0b101101u);
+}
+
+TEST(ThreadContext, ScalarCharges) {
+  const DeviceSpec s = spec();
+  ThreadContext ctx(7, s);
+  EXPECT_EQ(ctx.thread_id(), 7u);
+  ctx.charge_global(4);
+  ctx.charge_atomic_global(1);
+  ctx.charge_alu(10);
+  EXPECT_EQ(ctx.cycles(),
+            4u * s.costs.global_latency + s.costs.atomic_global + 10u * s.costs.alu_op);
+}
+
+}  // namespace
+}  // namespace eim::gpusim

@@ -1,0 +1,104 @@
+// Property tests on the cost model: the qualitative orderings every
+// reproduced experiment rests on must hold for any sane cost table.
+#include <gtest/gtest.h>
+
+#include "eim/gpusim/device.hpp"
+#include "eim/support/bits.hpp"
+
+namespace eim::gpusim {
+namespace {
+
+TEST(CostModel, GlobalSlowerThanShared) {
+  const DeviceSpec spec;
+  EXPECT_GT(spec.costs.global_latency, spec.costs.shared_latency);
+}
+
+TEST(CostModel, MallocDwarfsMemoryOps) {
+  const DeviceSpec spec;
+  EXPECT_GT(spec.costs.device_malloc, 10 * spec.costs.global_latency);
+}
+
+TEST(CostModel, CoalescingPaysOff) {
+  // Touching 32 consecutive words must be far cheaper warp-wide than lane
+  // by lane.
+  const DeviceSpec spec;
+  BlockContext coalesced(0, spec);
+  BlockContext divergent(0, spec);
+  coalesced.charge_global(1);
+  divergent.charge_global_scalar(32);
+  EXPECT_GE(divergent.cycles(), 8 * coalesced.cycles());
+}
+
+TEST(CostModel, MoreWorkNeverFinishesFaster) {
+  // Makespan is monotone in per-block work.
+  Device device;
+  const auto light = device.launch_blocks("light", 32, [](BlockContext& ctx) {
+    ctx.add_cycles(100);
+  });
+  const auto heavy = device.launch_blocks("heavy", 32, [](BlockContext& ctx) {
+    ctx.add_cycles(1000);
+  });
+  EXPECT_GT(heavy.makespan_cycles, light.makespan_cycles);
+}
+
+TEST(CostModel, MoreParallelSlotsNeverSlower) {
+  DeviceSpec narrow;
+  narrow.num_sms = 2;
+  DeviceSpec wide;
+  wide.num_sms = 64;
+  Device a(narrow);
+  Device b(wide);
+  auto body = [](BlockContext& ctx) { ctx.add_cycles(500); };
+  const auto slow = a.launch_blocks("n", 512, body);
+  const auto fast = b.launch_blocks("w", 512, body);
+  EXPECT_GE(slow.makespan_cycles, fast.makespan_cycles);
+  EXPECT_EQ(slow.work_cycles, fast.work_cycles);  // same total work
+}
+
+TEST(CostModel, TransferMonotoneInBytes) {
+  Device device;
+  device.transfer_to_device("a", 1000);
+  const double small = device.timeline().transfer_seconds();
+  device.timeline().reset();
+  device.transfer_to_device("b", 1'000'000);
+  EXPECT_GT(device.timeline().transfer_seconds(), small);
+}
+
+TEST(CostModel, AtomicContentionMonotone) {
+  const DeviceSpec spec;
+  std::uint64_t prev = 0;
+  for (std::uint64_t lanes = 1; lanes <= 32; lanes *= 2) {
+    BlockContext ctx(0, spec);
+    ctx.charge_atomic_global(lanes);
+    EXPECT_GT(ctx.cycles(), prev);
+    prev = ctx.cycles();
+  }
+}
+
+// The work-span invariant across grid shapes: a fixed amount of total
+// thread work can never beat the span bound or the work bound.
+class GridShapes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridShapes, MakespanRespectsWorkAndSpanBounds) {
+  const std::uint64_t threads = GetParam();
+  Device device;
+  constexpr std::uint64_t kPerThread = 300;
+  const auto stats = device.launch_grid("grid", threads, [](ThreadContext& ctx) {
+    ctx.add_cycles(kPerThread);
+  });
+  // Span bound: no faster than one thread's work.
+  EXPECT_GE(stats.makespan_cycles, kPerThread);
+  // Work bound: no faster than total work / resident lanes (warp granular).
+  const std::uint64_t warps = support::div_ceil<std::uint64_t>(
+      threads, device.spec().warp_size);
+  const std::uint64_t slots = device.spec().max_resident_warps();
+  EXPECT_GE(stats.makespan_cycles,
+            support::div_ceil<std::uint64_t>(warps, slots) * kPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GridShapes,
+                         ::testing::Values(1ull, 32ull, 1000ull, 50'000ull,
+                                           200'000ull, 1'000'000ull));
+
+}  // namespace
+}  // namespace eim::gpusim

@@ -1,0 +1,116 @@
+#include "eim/graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eim/graph/generators.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+namespace {
+
+Graph from(EdgeList edges) { return Graph::from_edge_list(edges); }
+
+TEST(WeaklyConnected, PathIsOneComponent) {
+  const auto a = weakly_connected_components(from(path_graph(10)));
+  EXPECT_EQ(a.num_components, 1u);
+  EXPECT_EQ(a.giant_size, 10u);
+}
+
+TEST(WeaklyConnected, IsolatedVerticesAreSingletons) {
+  EdgeList edges(5);
+  edges.add_edge(0, 1);
+  const auto a = weakly_connected_components(from(edges));
+  EXPECT_EQ(a.num_components, 4u);  // {0,1}, {2}, {3}, {4}
+  EXPECT_EQ(a.giant_size, 2u);
+}
+
+TEST(WeaklyConnected, DirectionIgnored) {
+  EdgeList edges(4);
+  edges.add_edge(0, 1);
+  edges.add_edge(2, 1);  // 2 reaches 1 but nothing reaches 2
+  edges.add_edge(3, 2);
+  const auto a = weakly_connected_components(from(edges));
+  EXPECT_EQ(a.num_components, 1u);
+}
+
+TEST(StronglyConnected, PathIsAllSingletons) {
+  const auto a = strongly_connected_components(from(path_graph(6)));
+  EXPECT_EQ(a.num_components, 6u);
+  EXPECT_EQ(a.giant_size, 1u);
+}
+
+TEST(StronglyConnected, CycleIsOneComponent) {
+  const auto a = strongly_connected_components(from(cycle_graph(8)));
+  EXPECT_EQ(a.num_components, 1u);
+  EXPECT_EQ(a.giant_size, 8u);
+}
+
+TEST(StronglyConnected, TwoCyclesJoinedByOneWayBridge) {
+  EdgeList edges(6);
+  // cycle A: 0->1->2->0, cycle B: 3->4->5->3, bridge 2->3.
+  edges.add_edge(0, 1);
+  edges.add_edge(1, 2);
+  edges.add_edge(2, 0);
+  edges.add_edge(3, 4);
+  edges.add_edge(4, 5);
+  edges.add_edge(5, 3);
+  edges.add_edge(2, 3);
+  const auto a = strongly_connected_components(from(edges));
+  EXPECT_EQ(a.num_components, 2u);
+  EXPECT_EQ(a.component[0], a.component[1]);
+  EXPECT_EQ(a.component[3], a.component[5]);
+  EXPECT_NE(a.component[0], a.component[3]);
+}
+
+TEST(StronglyConnected, CompleteGraphIsOneComponent) {
+  const auto a = strongly_connected_components(from(complete_graph(12)));
+  EXPECT_EQ(a.num_components, 1u);
+}
+
+TEST(StronglyConnected, HandlesDeepChainsIteratively) {
+  // 50k-vertex path would overflow a recursive Tarjan's call stack.
+  const auto a = strongly_connected_components(from(path_graph(50'000)));
+  EXPECT_EQ(a.num_components, 50'000u);
+}
+
+TEST(StronglyConnected, SccRefinesWcc) {
+  const Graph g = from(rmat({.scale = 10, .num_edges = 4000}, 7));
+  const auto weak = weakly_connected_components(g);
+  const auto strong = strongly_connected_components(g);
+  EXPECT_GE(strong.num_components, weak.num_components);
+  // Vertices in one SCC must share a WCC.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); v += 97) {
+      if (strong.component[u] == strong.component[v]) {
+        EXPECT_EQ(weak.component[u], weak.component[v]);
+      }
+    }
+  }
+}
+
+TEST(BackwardReachable, PathPrefix) {
+  const Graph g = from(path_graph(6));
+  EXPECT_EQ(backward_reachable(g, 3), (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(backward_reachable(g, 0), (std::vector<VertexId>{0}));
+}
+
+TEST(BackwardReachable, BoundsRrrSetSupport) {
+  // Any RRR set from source s is a subset of backward_reachable(s): the
+  // deterministic closure is an upper bound on every probabilistic draw.
+  const Graph g = from(barabasi_albert(300, 3, 0.2, 11));
+  for (VertexId s = 0; s < 20; ++s) {
+    const auto closure = backward_reachable(g, s);
+    EXPECT_TRUE(std::binary_search(closure.begin(), closure.end(), s));
+  }
+}
+
+TEST(BackwardReachable, RejectsOutOfRange) {
+  const Graph g = from(path_graph(3));
+  EXPECT_THROW((void)backward_reachable(g, 9), support::Error);
+}
+
+}  // namespace
+}  // namespace eim::graph

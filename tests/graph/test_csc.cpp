@@ -1,0 +1,122 @@
+#include "eim/graph/csc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eim/graph/generators.hpp"
+#include "eim/graph/graph.hpp"
+
+namespace eim::graph {
+namespace {
+
+EdgeList diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  EdgeList edges(4);
+  edges.add_edge(0, 1);
+  edges.add_edge(0, 2);
+  edges.add_edge(1, 3);
+  edges.add_edge(2, 3);
+  return edges;
+}
+
+TEST(Adjacency, InAdjacencyListsSources) {
+  const Adjacency in = build_in_adjacency(diamond());
+  EXPECT_EQ(in.num_vertices(), 4u);
+  EXPECT_EQ(in.num_edges(), 4u);
+  EXPECT_EQ(in.degree(0), 0u);
+  EXPECT_EQ(in.degree(3), 2u);
+  const auto n3 = in.neighbors(3);
+  ASSERT_EQ(n3.size(), 2u);
+  EXPECT_EQ(n3[0], 1u);
+  EXPECT_EQ(n3[1], 2u);
+}
+
+TEST(Adjacency, OutAdjacencyListsTargets) {
+  const Adjacency out = build_out_adjacency(diamond());
+  EXPECT_EQ(out.degree(0), 2u);
+  EXPECT_EQ(out.degree(3), 0u);
+  const auto n0 = out.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(Adjacency, NeighborsAreSortedAscending) {
+  EdgeList edges(5);
+  edges.add_edge(4, 0);
+  edges.add_edge(2, 0);
+  edges.add_edge(3, 0);
+  edges.add_edge(1, 0);
+  const Adjacency in = build_in_adjacency(edges);
+  const auto ns = in.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(ns.begin(), ns.end()));
+}
+
+TEST(Adjacency, EmptyGraph) {
+  const Adjacency in = build_in_adjacency(EdgeList{});
+  EXPECT_EQ(in.num_vertices(), 0u);
+  EXPECT_EQ(in.num_edges(), 0u);
+}
+
+TEST(Adjacency, IsolatedVerticesHaveEmptySlices) {
+  EdgeList edges(6);
+  edges.add_edge(0, 1);
+  const Adjacency in = build_in_adjacency(edges);
+  for (VertexId v = 2; v < 6; ++v) EXPECT_EQ(in.degree(v), 0u);
+}
+
+TEST(Adjacency, DegreeSumsEqualEdgeCount) {
+  const EdgeList edges = barabasi_albert(500, 4, 0.2, 7);
+  const Adjacency in = build_in_adjacency(edges);
+  const Adjacency out = build_out_adjacency(edges);
+  EdgeId in_sum = 0;
+  EdgeId out_sum = 0;
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    in_sum += in.degree(v);
+    out_sum += out.degree(v);
+  }
+  EXPECT_EQ(in_sum, edges.num_edges());
+  EXPECT_EQ(out_sum, edges.num_edges());
+}
+
+TEST(Adjacency, InAndOutAreTransposes) {
+  const EdgeList edges = erdos_renyi(200, 800, 3);
+  const Adjacency in = build_in_adjacency(edges);
+  const Adjacency out = build_out_adjacency(edges);
+  // every (v <- u) in the in-view must appear as (u -> v) in the out-view
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    for (const VertexId u : in.neighbors(v)) {
+      const auto outs = out.neighbors(u);
+      EXPECT_TRUE(std::binary_search(outs.begin(), outs.end(), v));
+    }
+  }
+}
+
+TEST(Graph, FromEdgeListBuildsBothDirections) {
+  const Graph g = Graph::from_edge_list(diamond());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Graph, CscBytesAccountsAllThreeArrays) {
+  const Graph g = Graph::from_edge_list(diamond());
+  // offsets: 5 * 8 bytes, neighbors: 4 * 4, weights: 4 * 4.
+  EXPECT_EQ(g.csc_bytes(), 5 * 8u + 4 * 4u + 4 * 4u);
+}
+
+TEST(GraphStats, CountsZeroInDegreeVertices) {
+  const Graph g = Graph::from_edge_list(diamond());
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 4u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.zero_in_degree_count, 1u);  // only vertex 0
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 1.0);
+}
+
+}  // namespace
+}  // namespace eim::graph

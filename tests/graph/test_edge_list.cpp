@@ -1,0 +1,82 @@
+#include "eim/graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+namespace {
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList edges;
+  EXPECT_EQ(edges.num_vertices(), 0u);
+  EXPECT_EQ(edges.num_edges(), 0u);
+}
+
+TEST(EdgeList, AddEdgeGrowsVertexBound) {
+  EdgeList edges;
+  edges.add_edge(3, 7);
+  EXPECT_EQ(edges.num_vertices(), 8u);
+  EXPECT_EQ(edges.num_edges(), 1u);
+}
+
+TEST(EdgeList, ExplicitVertexCountAllowsIsolatedVertices) {
+  EdgeList edges(10);
+  edges.add_edge(0, 1);
+  EXPECT_EQ(edges.num_vertices(), 10u);
+}
+
+TEST(EdgeList, NormalizeRemovesDuplicatesAndSelfLoops) {
+  EdgeList edges(4);
+  edges.add_edge(0, 1);
+  edges.add_edge(0, 1);
+  edges.add_edge(2, 2);
+  edges.add_edge(1, 0);
+  edges.normalize();
+  EXPECT_EQ(edges.num_edges(), 2u);
+  EXPECT_EQ(edges.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(edges.edges()[1], (Edge{1, 0}));
+}
+
+TEST(EdgeList, NormalizeSortsByFromThenTo) {
+  EdgeList edges(4);
+  edges.add_edge(2, 1);
+  edges.add_edge(0, 3);
+  edges.add_edge(2, 0);
+  edges.add_edge(0, 1);
+  edges.normalize();
+  const auto& e = edges.edges();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e[0], (Edge{0, 1}));
+  EXPECT_EQ(e[1], (Edge{0, 3}));
+  EXPECT_EQ(e[2], (Edge{2, 0}));
+  EXPECT_EQ(e[3], (Edge{2, 1}));
+}
+
+TEST(EdgeList, MakeBidirectionalMirrorsEveryEdge) {
+  EdgeList edges(3);
+  edges.add_edge(0, 1);
+  edges.add_edge(1, 2);
+  edges.make_bidirectional();
+  EXPECT_EQ(edges.num_edges(), 4u);
+}
+
+TEST(EdgeList, MakeBidirectionalIdempotentOnSymmetricInput) {
+  EdgeList edges(2);
+  edges.add_edge(0, 1);
+  edges.add_edge(1, 0);
+  edges.make_bidirectional();
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST(EdgeList, ConstructorRejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(EdgeList(2, {Edge{0, 5}}), support::Error);
+}
+
+TEST(EdgeList, RejectsSentinelVertexId) {
+  EdgeList edges;
+  EXPECT_THROW(edges.ensure_vertex(kInvalidVertex), support::Error);
+}
+
+}  // namespace
+}  // namespace eim::graph

@@ -1,0 +1,153 @@
+#include "eim/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eim/graph/graph.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+namespace {
+
+TEST(ErdosRenyi, ProducesRequestedCounts) {
+  const EdgeList g = erdos_renyi(100, 500, 1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  const EdgeList a = erdos_renyi(100, 300, 7);
+  const EdgeList b = erdos_renyi(100, 300, 7);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(ErdosRenyi, DifferentSeedsDiffer) {
+  const EdgeList a = erdos_renyi(100, 300, 7);
+  const EdgeList b = erdos_renyi(100, 300, 8);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(ErdosRenyi, NoSelfLoopsOrDuplicates) {
+  EdgeList g = erdos_renyi(50, 400, 3);
+  const std::size_t before = g.num_edges();
+  g.normalize();
+  EXPECT_EQ(g.num_edges(), before);
+}
+
+TEST(ErdosRenyi, RejectsOverlyDenseRequest) {
+  EXPECT_THROW(erdos_renyi(10, 80, 1), support::Error);
+}
+
+TEST(BarabasiAlbert, HasPowerLawTail) {
+  const EdgeList edges = barabasi_albert(2000, 3, 0.0, 11);
+  const Graph g = Graph::from_edge_list(edges);
+  const GraphStats s = compute_stats(g);
+  // Preferential attachment: the max in-degree hub should dwarf the mean.
+  EXPECT_GT(static_cast<double>(s.max_in_degree), 10.0 * s.avg_degree);
+}
+
+TEST(BarabasiAlbert, ReciprocityAddsReverseEdges) {
+  const EdgeList none = barabasi_albert(500, 3, 0.0, 5);
+  const EdgeList full = barabasi_albert(500, 3, 1.0, 5);
+  EXPECT_GT(full.num_edges(), none.num_edges());
+}
+
+TEST(WattsStrogatz, DegreeNearlyRegularWithoutRewiring) {
+  const EdgeList edges = watts_strogatz(200, 4, 0.0, 2);
+  const Graph g = Graph::from_edge_list(edges);
+  for (VertexId v = 0; v < 200; ++v) {
+    EXPECT_EQ(g.in_degree(v), 4u);
+    EXPECT_EQ(g.out_degree(v), 4u);
+  }
+}
+
+TEST(WattsStrogatz, EmitsBothDirections) {
+  const EdgeList edges = watts_strogatz(100, 4, 0.2, 9);
+  const Graph g = Graph::from_edge_list(edges);
+  for (VertexId v = 0; v < 100; ++v) {
+    const auto outs = g.out().neighbors(v);
+    for (const VertexId w : outs) {
+      const auto back = g.out().neighbors(w);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), v));
+    }
+  }
+}
+
+TEST(WattsStrogatz, RejectsOddRingDegree) {
+  EXPECT_THROW(watts_strogatz(100, 3, 0.1, 1), support::Error);
+}
+
+TEST(Rmat, RespectsScaleBound) {
+  RmatParams p;
+  p.scale = 10;
+  p.num_edges = 5000;
+  const EdgeList g = rmat(p, 3);
+  EXPECT_LE(g.num_vertices(), 1024u);
+  EXPECT_LE(g.num_edges(), 5000u);  // dedup/self-loop removal can shrink
+  EXPECT_GT(g.num_edges(), 4000u);
+}
+
+TEST(Rmat, SkewedParametersConcentrateDegree) {
+  RmatParams skewed;
+  skewed.scale = 12;
+  skewed.num_edges = 20'000;
+  skewed.a = 0.7;
+  skewed.b = 0.15;
+  skewed.c = 0.1;
+  skewed.d = 0.05;
+  const Graph g = Graph::from_edge_list(rmat(skewed, 1));
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(static_cast<double>(s.max_in_degree), 20.0 * s.avg_degree);
+  // Skew also leaves many vertices with no in-edges — the singleton-RRR
+  // vertices that §3.4's source elimination targets.
+  EXPECT_GT(s.zero_in_degree_count, g.num_vertices() / 10);
+}
+
+TEST(Rmat, RejectsBadQuadrantSum) {
+  RmatParams p;
+  p.a = 0.5;
+  p.b = 0.5;
+  p.c = 0.5;
+  p.d = 0.5;
+  EXPECT_THROW(rmat(p, 1), support::Error);
+}
+
+TEST(DeterministicGraphs, PathGraph) {
+  const EdgeList g = path_graph(4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const Graph graph = Graph::from_edge_list(g);
+  EXPECT_EQ(graph.in_degree(0), 0u);
+  EXPECT_EQ(graph.in_degree(3), 1u);
+}
+
+TEST(DeterministicGraphs, StarGraph) {
+  const Graph g = Graph::from_edge_list(star_graph(5));
+  EXPECT_EQ(g.out_degree(0), 4u);
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(g.in_degree(v), 1u);
+}
+
+TEST(DeterministicGraphs, CycleGraph) {
+  const Graph g = Graph::from_edge_list(cycle_graph(6));
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.in_degree(v), 1u);
+    EXPECT_EQ(g.out_degree(v), 1u);
+  }
+}
+
+TEST(DeterministicGraphs, CompleteGraph) {
+  const Graph g = Graph::from_edge_list(complete_graph(5));
+  EXPECT_EQ(g.num_edges(), 20u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.in_degree(v), 4u);
+}
+
+TEST(DeterministicGraphs, BipartiteGraph) {
+  const Graph g = Graph::from_edge_list(bipartite_graph(3, 4));
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (VertexId u = 0; u < 3; ++u) EXPECT_EQ(g.out_degree(u), 4u);
+  for (VertexId v = 3; v < 7; ++v) EXPECT_EQ(g.in_degree(v), 3u);
+}
+
+}  // namespace
+}  // namespace eim::graph

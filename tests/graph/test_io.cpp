@@ -1,0 +1,100 @@
+#include "eim/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eim/graph/generators.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+namespace {
+
+TEST(SnapText, ParsesCommentsAndEdges) {
+  std::istringstream in(
+      "# Directed graph\n"
+      "# Nodes: 3 Edges: 2\n"
+      "0\t1\n"
+      "1\t2\n");
+  const EdgeList g = load_snap_text(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapText, CompactsSparseIds) {
+  // SNAP files skip ids; 1000000 and 42 must map into [0, n).
+  std::istringstream in("1000000 42\n42 7\n");
+  const EdgeList g = load_snap_text(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.from, 3u);
+    EXPECT_LT(e.to, 3u);
+  }
+}
+
+TEST(SnapText, AcceptsSpaceAndTabSeparators) {
+  std::istringstream in("0 1\n1\t2\n");
+  EXPECT_EQ(load_snap_text(in).num_edges(), 2u);
+}
+
+TEST(SnapText, ThrowsOnGarbage) {
+  std::istringstream in("0 1\nnot an edge\n");
+  EXPECT_THROW(load_snap_text(in), support::IoError);
+}
+
+TEST(SnapText, DropsDuplicatesAndSelfLoops) {
+  std::istringstream in("0 1\n0 1\n2 2\n");
+  const EdgeList g = load_snap_text(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SnapText, RoundTripsThroughSave) {
+  const EdgeList original = erdos_renyi(50, 200, 5);
+  std::stringstream buffer;
+  save_snap_text(original, buffer, "roundtrip");
+  const EdgeList loaded = load_snap_text(buffer);
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+}
+
+TEST(Binary, RoundTripsExactly) {
+  const EdgeList original = barabasi_albert(300, 4, 0.3, 9);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(original, buffer);
+  const EdgeList loaded = load_binary(buffer);
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded.edges(), original.edges());
+}
+
+TEST(Binary, PreservesIsolatedVertices) {
+  EdgeList original(10);
+  original.add_edge(0, 1);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(original, buffer);
+  EXPECT_EQ(load_binary(buffer).num_vertices(), 10u);
+}
+
+TEST(Binary, RejectsBadMagic) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  buffer << "NOTAGRAPHFILE AT ALL";
+  EXPECT_THROW(load_binary(buffer), support::IoError);
+}
+
+TEST(Binary, RejectsTruncatedBody) {
+  const EdgeList original = erdos_renyi(20, 50, 2);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(original, buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(load_binary(truncated), support::IoError);
+}
+
+TEST(Files, MissingFileThrows) {
+  EXPECT_THROW(load_snap_text_file("/nonexistent/nowhere.txt"), support::IoError);
+  EXPECT_THROW(load_binary_file("/nonexistent/nowhere.bin"), support::IoError);
+}
+
+}  // namespace
+}  // namespace eim::graph

@@ -1,0 +1,102 @@
+#include "eim/graph/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace eim::graph {
+namespace {
+
+TEST(Registry, HasAllSixteenPaperDatasets) {
+  EXPECT_EQ(all_datasets().size(), 16u);
+}
+
+TEST(Registry, AbbreviationsMatchPaperTables) {
+  const std::set<std::string> expected{"WV", "PG", "SE", "SD", "EE", "WS", "WN", "CD",
+                                       "CA", "WB", "WG", "CY", "SPR", "WT", "CO", "SL"};
+  std::set<std::string> actual;
+  for (const auto& spec : all_datasets()) actual.insert(std::string(spec.abbrev));
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Registry, OrderedByPaperVertexCount) {
+  const auto specs = all_datasets();
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_LE(specs[i - 1].paper_vertices, specs[i].paper_vertices);
+  }
+}
+
+TEST(Registry, FindDatasetByAbbrev) {
+  const auto wv = find_dataset("WV");
+  ASSERT_TRUE(wv.has_value());
+  EXPECT_EQ(wv->name, "wiki-Vote");
+  EXPECT_EQ(wv->paper_edges, 103'689u);
+  EXPECT_FALSE(find_dataset("XX").has_value());
+}
+
+TEST(Registry, ComAmazonIsNearCritical) {
+  // Under 1/d^- IC weights a locally tree-like graph has reverse-cascade
+  // branching factor ~1 (each visited vertex activates one in-neighbor in
+  // expectation). CA's stand-in must keep that property — it is what makes
+  // gIM run out of memory on com-Amazon in the paper.
+  const auto spec = *find_dataset("CA");
+  EXPECT_EQ(spec.topology, TopologyClass::PeerToPeer);
+  const Graph g = Graph::from_edge_list(build_dataset_edges(spec));
+  const GraphStats s = compute_stats(g);
+  // Near-criticality needs almost every vertex reachable backwards: only a
+  // sliver may have zero in-degree.
+  EXPECT_LT(static_cast<double>(s.zero_in_degree_count) / s.num_vertices, 0.02);
+}
+
+TEST(Registry, BuildIsDeterministic) {
+  const auto spec = *find_dataset("WV");
+  const EdgeList a = build_dataset_edges(spec, 42);
+  const EdgeList b = build_dataset_edges(spec, 42);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Registry, SeedChangesGraph) {
+  const auto spec = *find_dataset("PG");
+  EXPECT_NE(build_dataset_edges(spec, 1).edges(), build_dataset_edges(spec, 2).edges());
+}
+
+TEST(Registry, BuildAssignsWeights) {
+  const auto spec = *find_dataset("WV");
+  const Graph g = build_dataset(spec, DiffusionModel::IndependentCascade);
+  bool any_nonzero = false;
+  for (const Weight w : g.all_in_weights()) any_nonzero |= w > 0.0f;
+  EXPECT_TRUE(any_nonzero);
+}
+
+// Every dataset builds, roughly hits its target size, and respects its class.
+class RegistryDatasets : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryDatasets, BuildsWithReasonableShape) {
+  const auto spec = *find_dataset(GetParam());
+  const EdgeList edges = build_dataset_edges(spec);
+  EXPECT_GT(edges.num_vertices(), 0u);
+  EXPECT_LE(edges.num_vertices(), spec.synth_vertices);
+  // Dedup can shave edges; stay within a loose band of the target.
+  EXPECT_GT(edges.num_edges(), spec.synth_edges / 2);
+  EXPECT_LE(edges.num_edges(), spec.synth_edges * 5 / 2);
+
+  const Graph g = Graph::from_edge_list(edges);
+  const GraphStats s = compute_stats(g);
+  if (spec.topology == TopologyClass::CoPurchase) {
+    // Lattice-like: degrees concentrate near the mean.
+    EXPECT_LT(static_cast<double>(s.max_in_degree), 10.0 * s.avg_degree + 10.0);
+  }
+  if (spec.topology == TopologyClass::Social || spec.topology == TopologyClass::Web) {
+    // Power-law: a hub dominates.
+    EXPECT_GT(static_cast<double>(s.max_in_degree), 5.0 * s.avg_degree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RegistryDatasets,
+                         ::testing::Values("WV", "PG", "SE", "SD", "EE", "WS", "WN",
+                                           "CD", "CA", "WB", "WG", "CY", "SPR", "WT",
+                                           "CO", "SL"));
+
+}  // namespace
+}  // namespace eim::graph

@@ -1,0 +1,122 @@
+#include "eim/graph/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "eim/graph/generators.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::graph {
+namespace {
+
+Graph test_graph() { return Graph::from_edge_list(barabasi_albert(400, 3, 0.2, 17)); }
+
+TEST(Weights, InDegreeSchemeMatchesPaperFormula) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::IndependentCascade);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto ws = g.in_weights(v);
+    const auto d = static_cast<float>(g.in_degree(v));
+    for (const Weight w : ws) EXPECT_FLOAT_EQ(w, 1.0f / d);
+  }
+}
+
+TEST(Weights, InDegreeSchemeSumsToOneForLT) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::LinearThreshold);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto ws = g.in_weights(v);
+    if (ws.empty()) continue;
+    const double sum = std::accumulate(ws.begin(), ws.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Weights, OutWeightsMirrorInWeights) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::IndependentCascade);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto vs = g.out().neighbors(u);
+    const auto ws = g.out_weights(u);
+    for (std::size_t j = 0; j < vs.size(); ++j) {
+      EXPECT_FLOAT_EQ(ws[j], 1.0f / static_cast<float>(g.in_degree(vs[j])));
+    }
+  }
+}
+
+TEST(Weights, UniformConstantIC) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::IndependentCascade,
+                 {.scheme = WeightScheme::UniformConstant, .value = 0.05f});
+  for (const Weight w : g.all_in_weights()) EXPECT_FLOAT_EQ(w, 0.05f);
+}
+
+TEST(Weights, UniformConstantLTStaysFeasible) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::LinearThreshold,
+                 {.scheme = WeightScheme::UniformConstant, .value = 0.8f});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto ws = g.in_weights(v);
+    const double sum = std::accumulate(ws.begin(), ws.end(), 0.0);
+    EXPECT_LE(sum, 1.0 + 1e-4);
+  }
+}
+
+TEST(Weights, RandomUniformICWithinCap) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::IndependentCascade,
+                 {.scheme = WeightScheme::RandomUniform, .value = 0.2f, .seed = 5});
+  for (const Weight w : g.all_in_weights()) {
+    EXPECT_GE(w, 0.0f);
+    EXPECT_LE(w, 0.2f);
+  }
+}
+
+TEST(Weights, RandomUniformLTStaysFeasible) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::LinearThreshold,
+                 {.scheme = WeightScheme::RandomUniform, .seed = 6});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto ws = g.in_weights(v);
+    const double sum = std::accumulate(ws.begin(), ws.end(), 0.0);
+    EXPECT_LE(sum, 1.0 + 1e-4);
+    for (const Weight w : ws) EXPECT_GT(w, 0.0f);
+  }
+}
+
+TEST(Weights, RandomUniformDeterministicInSeed) {
+  Graph a = test_graph();
+  Graph b = test_graph();
+  const WeightParams params{.scheme = WeightScheme::RandomUniform, .seed = 11};
+  assign_weights(a, DiffusionModel::IndependentCascade, params);
+  assign_weights(b, DiffusionModel::IndependentCascade, params);
+  for (std::size_t i = 0; i < a.all_in_weights().size(); ++i) {
+    EXPECT_EQ(a.all_in_weights()[i], b.all_in_weights()[i]);
+  }
+}
+
+TEST(Weights, TrivalencyDrawsFromThreeLevels) {
+  Graph g = test_graph();
+  assign_weights(g, DiffusionModel::IndependentCascade,
+                 {.scheme = WeightScheme::Trivalency, .seed = 3});
+  for (const Weight w : g.all_in_weights()) {
+    EXPECT_TRUE(w == 0.1f || w == 0.01f || w == 0.001f);
+  }
+}
+
+TEST(Weights, TrivalencyRejectedForLT) {
+  Graph g = test_graph();
+  const WeightParams params{.scheme = WeightScheme::Trivalency};
+  EXPECT_THROW(assign_weights(g, DiffusionModel::LinearThreshold, params),
+               support::Error);
+}
+
+TEST(Weights, ModelAndSchemeNames) {
+  EXPECT_STREQ(to_string(DiffusionModel::IndependentCascade), "IC");
+  EXPECT_STREQ(to_string(DiffusionModel::LinearThreshold), "LT");
+  EXPECT_STREQ(to_string(WeightScheme::InDegree), "in-degree");
+}
+
+}  // namespace
+}  // namespace eim::graph

@@ -1,0 +1,113 @@
+#include "eim/imm/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eim::imm {
+namespace {
+
+ImmParams params(std::uint32_t k = 5, double eps = 0.2) {
+  ImmParams p;
+  p.k = k;
+  p.epsilon = eps;
+  return p;
+}
+
+/// Scripted backend: sample_to records targets; select returns canned
+/// coverage fractions per call.
+struct ScriptedBackend {
+  std::vector<std::uint64_t> targets;
+  std::vector<double> coverages;
+  std::size_t select_calls = 0;
+  std::uint64_t current_sets = 0;
+
+  std::function<void(std::uint64_t)> sampler() {
+    return [this](std::uint64_t target) {
+      targets.push_back(target);
+      current_sets = std::max(current_sets, target);
+    };
+  }
+  std::function<SelectionResult()> selector() {
+    return [this] {
+      SelectionResult sel;
+      const double f = select_calls < coverages.size() ? coverages[select_calls] : 1.0;
+      ++select_calls;
+      sel.coverage_fraction = f;
+      sel.covered_sets = static_cast<std::uint64_t>(f * static_cast<double>(current_sets));
+      sel.seeds = {0, 1, 2, 3, 4};
+      return sel;
+    };
+  }
+};
+
+TEST(ImmFramework, StopsAtFirstPassingRound) {
+  const ImmParams p = params();
+  const ThetaSchedule schedule(1 << 12, p);
+
+  ScriptedBackend backend;
+  // Round 1 needs coverage >= (1+eps')*guess(1)/n = (1+eps')/2 ~ 0.64.
+  backend.coverages = {0.9, 0.0};
+  const auto outcome =
+      run_imm_framework(1 << 12, p, backend.sampler(), backend.selector());
+
+  EXPECT_EQ(outcome.estimation_rounds, 1u);
+  // sample_to called for round 1 and for the final theta: 2 calls,
+  // select called for round 1 and the final pass: 2 calls.
+  EXPECT_EQ(backend.targets.size(), 2u);
+  EXPECT_EQ(backend.select_calls, 2u);
+  EXPECT_NEAR(outcome.lower_bound, schedule.lower_bound(0.9), 1e-9);
+  EXPECT_EQ(outcome.theta, schedule.final_theta(outcome.lower_bound));
+  EXPECT_EQ(backend.targets.back(), outcome.theta);
+}
+
+TEST(ImmFramework, AdvancesRoundsUntilCoveragePasses) {
+  const ImmParams p = params();
+  ScriptedBackend backend;
+  // Fail twice, pass on the third probe.
+  backend.coverages = {0.0, 0.05, 0.5};
+  const auto outcome =
+      run_imm_framework(1 << 12, p, backend.sampler(), backend.selector());
+  EXPECT_EQ(outcome.estimation_rounds, 3u);
+  // Round targets must be non-decreasing and the framework must have asked
+  // for each round's theta before selecting.
+  ASSERT_EQ(backend.targets.size(), 4u);  // 3 rounds + final
+  EXPECT_LT(backend.targets[0], backend.targets[1]);
+  EXPECT_LT(backend.targets[1], backend.targets[2]);
+}
+
+TEST(ImmFramework, FallsBackWhenNoRoundPasses) {
+  const ImmParams p = params();
+  ScriptedBackend backend;
+  backend.coverages.assign(32, 0.001);  // never passes
+  const auto outcome =
+      run_imm_framework(1 << 12, p, backend.sampler(), backend.selector());
+  const ThetaSchedule schedule(1 << 12, p);
+  EXPECT_EQ(outcome.estimation_rounds, schedule.max_rounds());
+  EXPECT_GE(outcome.lower_bound, 1.0);  // clamped fallback
+  EXPECT_EQ(outcome.theta, schedule.final_theta(outcome.lower_bound));
+}
+
+TEST(ImmFramework, HigherCoverageYieldsSmallerFinalTheta) {
+  const ImmParams p = params();
+  ScriptedBackend weak;
+  weak.coverages = {0.7};
+  ScriptedBackend strong;
+  strong.coverages = {0.95};
+  const auto weak_out = run_imm_framework(1 << 12, p, weak.sampler(), weak.selector());
+  const auto strong_out =
+      run_imm_framework(1 << 12, p, strong.sampler(), strong.selector());
+  EXPECT_GT(weak_out.theta, strong_out.theta);
+}
+
+TEST(ImmFramework, FinalSelectionIsReturned) {
+  const ImmParams p = params();
+  ScriptedBackend backend;
+  backend.coverages = {0.9};
+  const auto outcome =
+      run_imm_framework(1 << 12, p, backend.sampler(), backend.selector());
+  EXPECT_EQ(outcome.final_selection.seeds.size(), 5u);
+}
+
+}  // namespace
+}  // namespace eim::imm

@@ -1,0 +1,193 @@
+#include "eim/imm/imm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eim/diffusion/forward.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/imm/seed_selection.hpp"
+
+namespace eim::imm {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+Graph social_graph(VertexId n = 500, std::uint64_t seed = 7,
+                   DiffusionModel model = DiffusionModel::IndependentCascade) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(n, 3, 0.3, seed));
+  graph::assign_weights(g, model);
+  return g;
+}
+
+ImmParams loose_params(std::uint32_t k = 5) {
+  ImmParams p;
+  p.k = k;
+  p.epsilon = 0.3;  // keeps theta small for unit tests
+  return p;
+}
+
+TEST(SampleToTarget, ProducesExactlyTargetSets) {
+  const Graph g = social_graph();
+  RrrStore store(g.num_vertices());
+  const auto discarded = sample_to_target(g, DiffusionModel::IndependentCascade,
+                                          loose_params(), store, 500);
+  EXPECT_EQ(store.num_sets(), 500u);
+  EXPECT_EQ(discarded, 0u);  // no elimination requested
+}
+
+TEST(SampleToTarget, IsIncremental) {
+  const Graph g = social_graph();
+  const ImmParams p = loose_params();
+  RrrStore twice(g.num_vertices());
+  (void)sample_to_target(g, DiffusionModel::IndependentCascade, p, twice, 100);
+  (void)sample_to_target(g, DiffusionModel::IndependentCascade, p, twice, 300);
+
+  RrrStore once(g.num_vertices());
+  (void)sample_to_target(g, DiffusionModel::IndependentCascade, p, once, 300);
+
+  ASSERT_EQ(twice.num_sets(), once.num_sets());
+  for (std::uint64_t i = 0; i < once.num_sets(); ++i) {
+    EXPECT_TRUE(std::ranges::equal(twice.set(i), once.set(i)));
+  }
+}
+
+TEST(SampleToTarget, DeterministicInSeed) {
+  const Graph g = social_graph();
+  const ImmParams p = loose_params();
+  RrrStore a(g.num_vertices());
+  RrrStore b(g.num_vertices());
+  (void)sample_to_target(g, DiffusionModel::IndependentCascade, p, a, 200);
+  (void)sample_to_target(g, DiffusionModel::IndependentCascade, p, b, 200);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(std::ranges::equal(a.set(i), b.set(i)));
+  }
+}
+
+TEST(SampleToTarget, SourceEliminationDiscardsSingletons) {
+  // A star graph pointing outward: every non-hub source has in-degree 1
+  // (from the hub); the hub itself has in-degree 0 so its samples are
+  // always singletons.
+  Graph g = Graph::from_edge_list(graph::star_graph(50));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  ImmParams p = loose_params();
+  p.eliminate_sources = true;
+  RrrStore store(g.num_vertices());
+  const auto discarded =
+      sample_to_target(g, DiffusionModel::IndependentCascade, p, store, 300);
+  EXPECT_GT(discarded, 0u);
+  // Every stored set lost its source; non-empty ones must contain the hub.
+  for (std::uint64_t i = 0; i < store.num_sets(); ++i) {
+    const auto set = store.set(i);
+    if (!set.empty()) {
+      EXPECT_EQ(set.size(), 1u);
+      EXPECT_EQ(set[0], 0u);
+    }
+  }
+}
+
+TEST(RunImmSerial, ReturnsKDistinctSeeds) {
+  const Graph g = social_graph();
+  const ImmResult result =
+      run_imm_serial(g, DiffusionModel::IndependentCascade, loose_params(8));
+  ASSERT_EQ(result.seeds.size(), 8u);
+  const std::set<VertexId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_GT(result.num_sets, 0u);
+  EXPECT_GE(result.lower_bound, 1.0);
+}
+
+TEST(RunImmSerial, DeterministicAcrossRuns) {
+  const Graph g = social_graph();
+  const ImmResult a = run_imm_serial(g, DiffusionModel::IndependentCascade, loose_params());
+  const ImmResult b = run_imm_serial(g, DiffusionModel::IndependentCascade, loose_params());
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.num_sets, b.num_sets);
+  EXPECT_EQ(a.total_elements, b.total_elements);
+}
+
+TEST(RunImmSerial, SmallerEpsilonGeneratesMoreSets) {
+  const Graph g = social_graph();
+  ImmParams loose = loose_params();
+  ImmParams tight = loose_params();
+  tight.epsilon = 0.15;
+  const auto r_loose = run_imm_serial(g, DiffusionModel::IndependentCascade, loose);
+  const auto r_tight = run_imm_serial(g, DiffusionModel::IndependentCascade, tight);
+  EXPECT_GT(r_tight.num_sets, r_loose.num_sets);
+}
+
+TEST(RunImmSerial, SeedsBeatRandomSeedsOnSpread) {
+  const Graph g = social_graph(800);
+  const ImmResult result =
+      run_imm_serial(g, DiffusionModel::IndependentCascade, loose_params(10));
+
+  std::vector<VertexId> random_seeds;
+  for (VertexId v = 100; v < 110; ++v) random_seeds.push_back(v);
+
+  const auto imm_spread = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, result.seeds, 300, 9);
+  const auto rnd_spread = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, random_seeds, 300, 9);
+  EXPECT_GT(imm_spread.mean, rnd_spread.mean);
+}
+
+TEST(RunImmSerial, CoverageEstimateTracksForwardSimulation) {
+  // n * F_R(S) is an (1 +- eps)-accurate estimate of E[I(S)] w.h.p.
+  const Graph g = social_graph(400);
+  ImmParams p = loose_params(5);
+  p.epsilon = 0.2;
+  const ImmResult result = run_imm_serial(g, DiffusionModel::IndependentCascade, p);
+  const auto forward = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, result.seeds, 2000, 3);
+  EXPECT_NEAR(result.estimated_spread, forward.mean,
+              0.25 * forward.mean + 2.0);
+}
+
+TEST(RunImmSerial, WorksUnderLtModel) {
+  const Graph g = social_graph(500, 11, DiffusionModel::LinearThreshold);
+  const ImmResult result =
+      run_imm_serial(g, DiffusionModel::LinearThreshold, loose_params(6));
+  EXPECT_EQ(result.seeds.size(), 6u);
+  EXPECT_GT(result.num_sets, 0u);
+  // LT walks are short: average set size should be small.
+  EXPECT_LT(static_cast<double>(result.total_elements) /
+                static_cast<double>(result.num_sets),
+            20.0);
+}
+
+TEST(RunImmSerial, SourceEliminationReducesOrMatchesSetCount) {
+  // The §3.4 claim: discarding singletons raises coverage, so theta drops
+  // (or stays equal) for singleton-heavy networks.
+  Graph g = Graph::from_edge_list(graph::rmat(
+      {.scale = 10, .num_edges = 3000, .a = 0.7, .b = 0.15, .c = 0.1, .d = 0.05}, 3));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+
+  ImmParams keep = loose_params(10);
+  ImmParams drop = loose_params(10);
+  drop.eliminate_sources = true;
+  const auto with_sources = run_imm_serial(g, DiffusionModel::IndependentCascade, keep);
+  const auto without = run_imm_serial(g, DiffusionModel::IndependentCascade, drop);
+  EXPECT_LE(without.num_sets, with_sources.num_sets);
+  EXPECT_GT(without.singletons_discarded, 0u);
+}
+
+TEST(RunImmSerial, SourceEliminationPreservesSeedQuality) {
+  const Graph g = social_graph(600);
+  ImmParams keep = loose_params(8);
+  ImmParams drop = loose_params(8);
+  drop.eliminate_sources = true;
+  const auto base = run_imm_serial(g, DiffusionModel::IndependentCascade, keep);
+  const auto elim = run_imm_serial(g, DiffusionModel::IndependentCascade, drop);
+  const auto spread_base = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, base.seeds, 500, 4);
+  const auto spread_elim = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, elim.seeds, 500, 4);
+  // Within 10% of each other (the paper reports identical quality).
+  EXPECT_NEAR(spread_elim.mean, spread_base.mean, 0.10 * spread_base.mean + 1.0);
+}
+
+}  // namespace
+}  // namespace eim::imm

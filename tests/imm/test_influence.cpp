@@ -1,0 +1,96 @@
+#include "eim/imm/influence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eim/diffusion/forward.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::imm {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+Graph weighted(graph::EdgeList edges, DiffusionModel model) {
+  Graph g = Graph::from_edge_list(edges);
+  graph::assign_weights(g, model);
+  return g;
+}
+
+TEST(InfluenceRis, FullSeedSetCoversEverything) {
+  const Graph g = weighted(graph::cycle_graph(10), DiffusionModel::IndependentCascade);
+  std::vector<VertexId> all(10);
+  for (VertexId v = 0; v < 10; ++v) all[v] = v;
+  const auto est =
+      estimate_influence_ris(g, DiffusionModel::IndependentCascade, all, 500);
+  EXPECT_DOUBLE_EQ(est.spread, 10.0);
+  EXPECT_DOUBLE_EQ(est.standard_error, 0.0);
+  EXPECT_EQ(est.hits, est.samples);
+}
+
+TEST(InfluenceRis, EmptySeedSetSpreadsNothing) {
+  const Graph g = weighted(graph::path_graph(8), DiffusionModel::IndependentCascade);
+  const auto est = estimate_influence_ris(g, DiffusionModel::IndependentCascade, {}, 200);
+  EXPECT_DOUBLE_EQ(est.spread, 0.0);
+}
+
+TEST(InfluenceRis, MatchesForwardMonteCarlo) {
+  Graph g = weighted(graph::barabasi_albert(300, 3, 0.3, 5),
+                     DiffusionModel::IndependentCascade);
+  const std::vector<VertexId> seeds{0, 3, 7};
+  const auto ris =
+      estimate_influence_ris(g, DiffusionModel::IndependentCascade, seeds, 20'000);
+  const auto mc =
+      diffusion::estimate_spread(g, DiffusionModel::IndependentCascade, seeds, 3000, 9);
+  EXPECT_NEAR(ris.spread, mc.mean, 4.0 * ris.standard_error + 0.05 * mc.mean);
+}
+
+TEST(InfluenceRis, MatchesForwardUnderLt) {
+  Graph g = weighted(graph::barabasi_albert(300, 3, 0.3, 5),
+                     DiffusionModel::LinearThreshold);
+  const std::vector<VertexId> seeds{1, 4};
+  const auto ris =
+      estimate_influence_ris(g, DiffusionModel::LinearThreshold, seeds, 20'000);
+  const auto mc =
+      diffusion::estimate_spread(g, DiffusionModel::LinearThreshold, seeds, 3000, 9);
+  EXPECT_NEAR(ris.spread, mc.mean, 4.0 * ris.standard_error + 0.05 * mc.mean);
+}
+
+TEST(InfluenceRis, StandardErrorShrinksWithSamples) {
+  Graph g = weighted(graph::barabasi_albert(200, 3, 0.2, 3),
+                     DiffusionModel::IndependentCascade);
+  const std::vector<VertexId> seeds{0};
+  const auto small =
+      estimate_influence_ris(g, DiffusionModel::IndependentCascade, seeds, 500);
+  const auto large =
+      estimate_influence_ris(g, DiffusionModel::IndependentCascade, seeds, 50'000);
+  EXPECT_GT(small.standard_error, large.standard_error);
+}
+
+TEST(InfluenceRis, DeterministicInSeed) {
+  Graph g = weighted(graph::barabasi_albert(200, 3, 0.2, 3),
+                     DiffusionModel::IndependentCascade);
+  const std::vector<VertexId> seeds{5, 9};
+  const auto a = estimate_influence_ris(g, DiffusionModel::IndependentCascade, seeds,
+                                        1000, 77);
+  const auto b = estimate_influence_ris(g, DiffusionModel::IndependentCascade, seeds,
+                                        1000, 77);
+  EXPECT_EQ(a.hits, b.hits);
+}
+
+TEST(InfluenceRis, RejectsBadArguments) {
+  const Graph g = weighted(graph::path_graph(4), DiffusionModel::IndependentCascade);
+  const std::vector<VertexId> bad{99};
+  EXPECT_THROW(
+      (void)estimate_influence_ris(g, DiffusionModel::IndependentCascade, bad, 10),
+      support::Error);
+  const std::vector<VertexId> ok{1};
+  EXPECT_THROW(
+      (void)estimate_influence_ris(g, DiffusionModel::IndependentCascade, ok, 0),
+      support::Error);
+}
+
+}  // namespace
+}  // namespace eim::imm

@@ -1,0 +1,73 @@
+#include "eim/imm/rrr_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eim/support/error.hpp"
+
+namespace eim::imm {
+namespace {
+
+using graph::VertexId;
+
+TEST(RrrStore, StartsEmpty) {
+  const RrrStore store(10);
+  EXPECT_EQ(store.num_sets(), 0u);
+  EXPECT_EQ(store.total_elements(), 0u);
+}
+
+TEST(RrrStore, AppendAndRead) {
+  RrrStore store(10);
+  const std::vector<VertexId> a{1, 3, 5};
+  const std::vector<VertexId> b{2};
+  store.append(a);
+  store.append(b);
+  EXPECT_EQ(store.num_sets(), 2u);
+  EXPECT_EQ(store.total_elements(), 4u);
+  EXPECT_EQ(std::vector<VertexId>(store.set(0).begin(), store.set(0).end()), a);
+  EXPECT_EQ(std::vector<VertexId>(store.set(1).begin(), store.set(1).end()), b);
+}
+
+TEST(RrrStore, CountsTrackMembership) {
+  RrrStore store(6);
+  store.append(std::vector<VertexId>{0, 2, 4});
+  store.append(std::vector<VertexId>{2, 4});
+  store.append(std::vector<VertexId>{4});
+  EXPECT_EQ(store.count(0), 1u);
+  EXPECT_EQ(store.count(1), 0u);
+  EXPECT_EQ(store.count(2), 2u);
+  EXPECT_EQ(store.count(4), 3u);
+}
+
+TEST(RrrStore, EmptySetsAreLegal) {
+  RrrStore store(4);
+  store.append({});
+  store.append(std::vector<VertexId>{1});
+  EXPECT_EQ(store.num_sets(), 2u);
+  EXPECT_TRUE(store.set(0).empty());
+}
+
+TEST(RrrStore, RejectsOutOfRangeVertex) {
+  RrrStore store(4);
+  EXPECT_THROW(store.append(std::vector<VertexId>{9}), support::Error);
+}
+
+TEST(RrrStore, BytesAccountsFlatAndOffsets) {
+  RrrStore store(8);
+  store.append(std::vector<VertexId>{1, 2, 3});
+  // 3 u32 elements + 2 u64 offsets.
+  EXPECT_EQ(store.bytes(), 3u * 4 + 2u * 8);
+}
+
+TEST(RrrStore, ClearResetsEverything) {
+  RrrStore store(8);
+  store.append(std::vector<VertexId>{1, 2});
+  store.clear();
+  EXPECT_EQ(store.num_sets(), 0u);
+  EXPECT_EQ(store.total_elements(), 0u);
+  EXPECT_EQ(store.count(1), 0u);
+}
+
+}  // namespace
+}  // namespace eim::imm

@@ -1,0 +1,130 @@
+#include "eim/imm/seed_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "eim/support/error.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim::imm {
+namespace {
+
+using graph::VertexId;
+
+RrrStore make_store(VertexId n, const std::vector<std::vector<VertexId>>& sets) {
+  RrrStore store(n);
+  for (const auto& s : sets) store.append(s);
+  return store;
+}
+
+TEST(SeedSelection, PicksHighestCountFirst) {
+  // Vertex 3 appears in 3 sets, others fewer.
+  const RrrStore store = make_store(5, {{1, 3}, {3}, {2, 3}, {0}});
+  const SelectionResult sel = select_seeds_greedy(store, 1);
+  ASSERT_EQ(sel.seeds.size(), 1u);
+  EXPECT_EQ(sel.seeds[0], 3u);
+  EXPECT_EQ(sel.covered_sets, 3u);
+  EXPECT_DOUBLE_EQ(sel.coverage_fraction, 0.75);
+}
+
+TEST(SeedSelection, MarginalGainNotRawCount) {
+  // Vertex 0 covers {a,b,c}; vertex 1 appears in {a,b} only (overlapping);
+  // vertex 2 covers the distinct set d. After picking 0, vertex 2 has the
+  // higher marginal gain even though vertex 1's raw count was higher.
+  const RrrStore store = make_store(4, {{0, 1}, {0, 1}, {0}, {2}});
+  const SelectionResult sel = select_seeds_greedy(store, 2);
+  ASSERT_EQ(sel.seeds.size(), 2u);
+  EXPECT_EQ(sel.seeds[0], 0u);
+  EXPECT_EQ(sel.seeds[1], 2u);
+  EXPECT_EQ(sel.covered_sets, 4u);
+}
+
+TEST(SeedSelection, TieBreaksTowardSmallerId) {
+  const RrrStore store = make_store(6, {{2}, {4}});
+  const SelectionResult sel = select_seeds_greedy(store, 1);
+  EXPECT_EQ(sel.seeds[0], 2u);
+}
+
+TEST(SeedSelection, SeedsAreDistinct) {
+  support::RandomStream rng(3, 1);
+  RrrStore store(50);
+  for (int i = 0; i < 200; ++i) {
+    std::set<VertexId> s;
+    const std::uint32_t len = 1 + rng.next_below(5);
+    while (s.size() < len) s.insert(rng.next_below(50));
+    store.append(std::vector<VertexId>(s.begin(), s.end()));
+  }
+  const SelectionResult sel = select_seeds_greedy(store, 10);
+  std::set<VertexId> unique(sel.seeds.begin(), sel.seeds.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SeedSelection, FillsWithUnusedWhenCoverageExhausted) {
+  // Only two distinct vertices appear; k = 4 must still return 4 seeds.
+  const RrrStore store = make_store(8, {{5}, {6}});
+  const SelectionResult sel = select_seeds_greedy(store, 4);
+  ASSERT_EQ(sel.seeds.size(), 4u);
+  EXPECT_EQ(sel.seeds[0], 5u);
+  EXPECT_EQ(sel.seeds[1], 6u);
+  // Remaining filled with the lowest ids.
+  EXPECT_EQ(sel.seeds[2], 0u);
+  EXPECT_EQ(sel.seeds[3], 1u);
+  EXPECT_EQ(sel.covered_sets, 2u);
+}
+
+TEST(SeedSelection, EmptyStoreYieldsLowestIds) {
+  const RrrStore store(5);
+  const SelectionResult sel = select_seeds_greedy(store, 3);
+  EXPECT_EQ(sel.seeds, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sel.coverage_fraction, 0.0);
+}
+
+TEST(SeedSelection, EmptySetsAreNeverCoverable) {
+  const RrrStore store = make_store(4, {{}, {}, {1}});
+  const SelectionResult sel = select_seeds_greedy(store, 2);
+  EXPECT_EQ(sel.covered_sets, 1u);
+  EXPECT_NEAR(sel.coverage_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(SeedSelection, KEqualsNSelectsEveryVertex) {
+  const RrrStore store = make_store(3, {{0}, {1}, {2}});
+  const SelectionResult sel = select_seeds_greedy(store, 3);
+  std::vector<VertexId> sorted = sel.seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sel.coverage_fraction, 1.0);
+}
+
+TEST(SeedSelection, RejectsBadK) {
+  const RrrStore store(4);
+  EXPECT_THROW((void)select_seeds_greedy(store, 0), support::Error);
+  EXPECT_THROW((void)select_seeds_greedy(store, 5), support::Error);
+}
+
+// Property: greedy coverage is monotone non-decreasing in k.
+class GreedyMonotone : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GreedyMonotone, CoverageGrowsWithK) {
+  support::RandomStream rng(9, 2);
+  RrrStore store(40);
+  for (int i = 0; i < 300; ++i) {
+    std::set<VertexId> s;
+    const std::uint32_t len = 1 + rng.next_below(4);
+    while (s.size() < len) s.insert(rng.next_below(40));
+    store.append(std::vector<VertexId>(s.begin(), s.end()));
+  }
+  const std::uint32_t k = GetParam();
+  const auto small = select_seeds_greedy(store, k);
+  const auto large = select_seeds_greedy(store, k + 5);
+  EXPECT_LE(small.covered_sets, large.covered_sets);
+  // Greedy prefix property: the first k seeds agree.
+  for (std::uint32_t i = 0; i < k; ++i) EXPECT_EQ(small.seeds[i], large.seeds[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, GreedyMonotone, ::testing::Values(1u, 2u, 5u, 10u, 20u));
+
+}  // namespace
+}  // namespace eim::imm

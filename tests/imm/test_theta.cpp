@@ -1,0 +1,123 @@
+#include "eim/imm/theta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eim/support/error.hpp"
+
+namespace eim::imm {
+namespace {
+
+ImmParams params(std::uint32_t k = 50, double eps = 0.05) {
+  ImmParams p;
+  p.k = k;
+  p.epsilon = eps;
+  return p;
+}
+
+TEST(LogBinomial, SmallExactValues) {
+  EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(log_binomial(10, 5), std::log(252.0), 1e-9);
+  EXPECT_DOUBLE_EQ(log_binomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(7, 7), 0.0);
+}
+
+TEST(LogBinomial, KGreaterThanNIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_binomial(3, 5)));
+  EXPECT_LT(log_binomial(3, 5), 0);
+}
+
+TEST(LogBinomial, Symmetry) {
+  EXPECT_NEAR(log_binomial(100, 30), log_binomial(100, 70), 1e-8);
+}
+
+TEST(ThetaSchedule, GuessesHalveEachRound) {
+  const ThetaSchedule s(1024, params());
+  EXPECT_DOUBLE_EQ(s.guess(1), 512.0);
+  EXPECT_DOUBLE_EQ(s.guess(2), 256.0);
+  EXPECT_DOUBLE_EQ(s.guess(10), 1.0);
+}
+
+TEST(ThetaSchedule, MaxRoundsIsLogNMinusOne) {
+  EXPECT_EQ(ThetaSchedule(1024, params()).max_rounds(), 9u);
+  EXPECT_EQ(ThetaSchedule(1 << 16, params()).max_rounds(), 15u);
+}
+
+TEST(ThetaSchedule, RoundThetaGrowsEachRound) {
+  const ThetaSchedule s(1 << 14, params());
+  for (std::uint32_t r = 1; r < s.max_rounds(); ++r) {
+    EXPECT_LT(s.round_theta(r), s.round_theta(r + 1));
+  }
+}
+
+TEST(ThetaSchedule, SmallerEpsilonNeedsMoreSamples) {
+  const ThetaSchedule loose(1 << 14, params(50, 0.5));
+  const ThetaSchedule tight(1 << 14, params(50, 0.05));
+  EXPECT_GT(static_cast<double>(tight.final_theta(100.0)),
+            50.0 * static_cast<double>(loose.final_theta(100.0)));
+  // theta scales ~1/eps^2: 10x smaller eps -> ~100x more samples.
+  const double ratio = static_cast<double>(tight.final_theta(100.0)) /
+                       static_cast<double>(loose.final_theta(100.0));
+  EXPECT_NEAR(ratio, 100.0, 30.0);
+}
+
+TEST(ThetaSchedule, LargerKNeedsMoreSamples) {
+  const ThetaSchedule small_k(1 << 14, params(10, 0.1));
+  const ThetaSchedule large_k(1 << 14, params(100, 0.1));
+  EXPECT_GT(large_k.final_theta(100.0), small_k.final_theta(100.0));
+}
+
+TEST(ThetaSchedule, HigherLowerBoundNeedsFewerSamples) {
+  const ThetaSchedule s(1 << 14, params());
+  EXPECT_GT(s.final_theta(10.0), s.final_theta(1000.0));
+  // theta = lambda*/LB exactly.
+  EXPECT_NEAR(static_cast<double>(s.final_theta(100.0)), s.lambda_star() / 100.0, 1.0);
+}
+
+TEST(ThetaSchedule, LowerBoundBelowOneClamped) {
+  const ThetaSchedule s(1 << 10, params());
+  EXPECT_EQ(s.final_theta(0.001), s.final_theta(1.0));
+}
+
+TEST(ThetaSchedule, PassesMatchesFormula) {
+  const ThetaSchedule s(1000, params());
+  const double x = s.guess(2);  // 250
+  const double threshold_fraction = (1.0 + s.epsilon_prime()) * x / 1000.0;
+  EXPECT_FALSE(s.passes(2, threshold_fraction * 0.99));
+  EXPECT_TRUE(s.passes(2, threshold_fraction * 1.01));
+}
+
+TEST(ThetaSchedule, LowerBoundInvertsCoverage) {
+  const ThetaSchedule s(1000, params());
+  const double f = 0.3;
+  EXPECT_NEAR(s.lower_bound(f), 1000.0 * f / (1.0 + s.epsilon_prime()), 1e-9);
+}
+
+TEST(ThetaSchedule, EpsilonPrimeIsSqrt2Eps) {
+  const ThetaSchedule s(1000, params(50, 0.1));
+  EXPECT_NEAR(s.epsilon_prime(), std::sqrt(2.0) * 0.1, 1e-12);
+}
+
+TEST(ThetaSchedule, RejectsBadParameters) {
+  EXPECT_THROW(ThetaSchedule(1, params()), support::Error);
+  EXPECT_THROW(ThetaSchedule(100, params(0)), support::Error);
+  EXPECT_THROW(ThetaSchedule(100, params(101)), support::Error);
+  EXPECT_THROW(ThetaSchedule(100, params(50, 0.0)), support::Error);
+  EXPECT_THROW(ThetaSchedule(100, params(50, 1.0)), support::Error);
+}
+
+// Monotonicity sweep: final theta decreases in LB across magnitudes.
+class ThetaMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaMonotone, MonotoneInLowerBound) {
+  const ThetaSchedule s(1 << 15, params());
+  const double lb = GetParam();
+  EXPECT_GE(s.final_theta(lb), s.final_theta(lb * 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, ThetaMonotone,
+                         ::testing::Values(1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0));
+
+}  // namespace
+}  // namespace eim::imm

@@ -1,0 +1,104 @@
+#include "eim/imm/tim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eim/diffusion/forward.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::imm {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+Graph social(VertexId n = 500) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(n, 3, 0.3, 7));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  return g;
+}
+
+ImmParams loose(std::uint32_t k = 8) {
+  ImmParams p;
+  p.k = k;
+  p.epsilon = 0.3;
+  return p;
+}
+
+TEST(Tim, ReturnsKDistinctSeeds) {
+  const Graph g = social();
+  const TimResult r = run_tim(g, DiffusionModel::IndependentCascade, loose());
+  ASSERT_EQ(r.seeds.size(), 8u);
+  EXPECT_EQ(std::set<VertexId>(r.seeds.begin(), r.seeds.end()).size(), 8u);
+  EXPECT_GT(r.num_sets, 0u);
+  EXPECT_GE(r.kpt, 1.0);
+  EXPECT_GT(r.estimation_samples, 0u);
+}
+
+TEST(Tim, Deterministic) {
+  const Graph g = social();
+  const TimResult a = run_tim(g, DiffusionModel::IndependentCascade, loose());
+  const TimResult b = run_tim(g, DiffusionModel::IndependentCascade, loose());
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.num_sets, b.num_sets);
+  EXPECT_DOUBLE_EQ(a.kpt, b.kpt);
+}
+
+TEST(Tim, LambdaGrowsWithKAndShrinkingEps) {
+  ImmParams base = loose(10);
+  base.epsilon = 0.2;
+  ImmParams more_k = base;
+  more_k.k = 40;
+  ImmParams tighter = base;
+  tighter.epsilon = 0.1;
+  EXPECT_GT(tim_lambda(1000, more_k), tim_lambda(1000, base));
+  EXPECT_GT(tim_lambda(1000, tighter), tim_lambda(1000, base));
+}
+
+TEST(Tim, NeedsMoreSamplesThanImm) {
+  // IMM's martingale bound is the whole point of the follow-up paper:
+  // same instance, same guarantee, fewer samples.
+  const Graph g = social(400);
+  const ImmParams params = loose(5);
+  const TimResult tim = run_tim(g, DiffusionModel::IndependentCascade, params);
+  const ImmResult imm = run_imm_serial(g, DiffusionModel::IndependentCascade, params);
+  EXPECT_GT(tim.num_sets, imm.num_sets);
+}
+
+TEST(Tim, QualityMatchesImm) {
+  const Graph g = social(600);
+  const ImmParams params = loose(8);
+  const TimResult tim = run_tim(g, DiffusionModel::IndependentCascade, params);
+  const ImmResult imm = run_imm_serial(g, DiffusionModel::IndependentCascade, params);
+  const auto tim_spread = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, tim.seeds, 300, 5);
+  const auto imm_spread = diffusion::estimate_spread(
+      g, DiffusionModel::IndependentCascade, imm.seeds, 300, 5);
+  EXPECT_NEAR(tim_spread.mean, imm_spread.mean, 0.1 * imm_spread.mean + 1.0);
+}
+
+TEST(Tim, WorksUnderLt) {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(400, 3, 0.3, 9));
+  graph::assign_weights(g, DiffusionModel::LinearThreshold);
+  const TimResult r = run_tim(g, DiffusionModel::LinearThreshold, loose(6));
+  EXPECT_EQ(r.seeds.size(), 6u);
+}
+
+TEST(Tim, RejectsBadParameters) {
+  const Graph g = social(100);
+  ImmParams bad = loose();
+  bad.k = 0;
+  EXPECT_THROW((void)run_tim(g, DiffusionModel::IndependentCascade, bad),
+               support::Error);
+  bad = loose();
+  bad.epsilon = 1.5;
+  EXPECT_THROW((void)run_tim(g, DiffusionModel::IndependentCascade, bad),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace eim::imm

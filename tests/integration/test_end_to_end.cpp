@@ -1,0 +1,172 @@
+// End-to-end integration: the full eIM pipeline against registry datasets,
+// checked for the invariants that hold across every module boundary.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eim/baselines/curipples.hpp"
+#include "eim/baselines/gim.hpp"
+#include "eim/diffusion/forward.hpp"
+#include "eim/eim/pipeline.hpp"
+#include "eim/graph/registry.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/support/rng.hpp"
+
+namespace eim {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+using graph::VertexId;
+
+struct Scenario {
+  const char* dataset;
+  DiffusionModel model;
+};
+
+class EndToEnd : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EndToEnd, EimPipelineInvariantsHold) {
+  const auto [abbrev, model] = GetParam();
+  const auto spec = *graph::find_dataset(abbrev);
+  const Graph g = graph::build_dataset(spec, model);
+
+  imm::ImmParams params;
+  params.k = 10;
+  params.epsilon = 0.3;
+
+  gpusim::Device device(gpusim::make_benchmark_device(512));
+  const auto r = eim_impl::run_eim(device, g, model, params);
+
+  // k distinct in-range seeds.
+  ASSERT_EQ(r.seeds.size(), params.k);
+  std::set<VertexId> unique(r.seeds.begin(), r.seeds.end());
+  EXPECT_EQ(unique.size(), params.k);
+  for (const VertexId v : r.seeds) EXPECT_LT(v, g.num_vertices());
+
+  // Accounting invariants.
+  EXPECT_GT(r.num_sets, 0u);
+  EXPECT_LE(r.rrr_bytes, r.rrr_raw_bytes);
+  EXPECT_LE(r.network_bytes, r.network_raw_bytes);
+  EXPECT_GT(r.device_seconds, 0.0);
+  EXPECT_LE(r.kernel_seconds + r.transfer_seconds, r.device_seconds + 1e-12);
+  EXPECT_GT(r.peak_device_bytes, 0u);
+  EXPECT_LE(r.peak_device_bytes, device.memory().capacity_bytes());
+  EXPECT_EQ(r.device_mallocs, 0u);
+
+  // Spread estimate is plausible: positive, at most n.
+  EXPECT_GT(r.estimated_spread, 0.0);
+  EXPECT_LE(r.estimated_spread, static_cast<double>(g.num_vertices()));
+
+  // All device memory released after the run's objects died.
+  EXPECT_EQ(device.memory().allocated_bytes(), 0u);
+}
+
+TEST_P(EndToEnd, SeedsBeatRandomSelection) {
+  const auto [abbrev, model] = GetParam();
+  const auto spec = *graph::find_dataset(abbrev);
+  const Graph g = graph::build_dataset(spec, model);
+
+  imm::ImmParams params;
+  params.k = 10;
+  params.epsilon = 0.3;
+  gpusim::Device device(gpusim::make_benchmark_device(512));
+  const auto r = eim_impl::run_eim(device, g, model, params);
+
+  support::RandomStream rng(999, 1);
+  std::set<VertexId> random_set;
+  while (random_set.size() < params.k) random_set.insert(rng.next_below(g.num_vertices()));
+  const std::vector<VertexId> random_seeds(random_set.begin(), random_set.end());
+
+  const auto smart = diffusion::estimate_spread(g, model, r.seeds, 150, 5);
+  const auto naive = diffusion::estimate_spread(g, model, random_seeds, 150, 5);
+  EXPECT_GE(smart.mean, naive.mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegistrySample, EndToEnd,
+    ::testing::Values(Scenario{"WV", DiffusionModel::IndependentCascade},
+                      Scenario{"WV", DiffusionModel::LinearThreshold},
+                      Scenario{"PG", DiffusionModel::IndependentCascade},
+                      Scenario{"CA", DiffusionModel::LinearThreshold},
+                      Scenario{"CD", DiffusionModel::IndependentCascade},
+                      Scenario{"EE", DiffusionModel::LinearThreshold}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return std::string(info.param.dataset) + "_" +
+             graph::to_string(info.param.model);
+    });
+
+TEST(EndToEnd, AllBackendsAgreeWithoutElimination) {
+  // The cross-backend parity contract, at pipeline level, on a real
+  // registry dataset.
+  const auto spec = *graph::find_dataset("PG");
+  const Graph g = graph::build_dataset(spec, DiffusionModel::IndependentCascade);
+  imm::ImmParams params;
+  params.k = 8;
+  params.epsilon = 0.35;
+  params.eliminate_sources = false;
+
+  const auto serial = imm::run_imm_serial(g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Device d1(gpusim::make_benchmark_device(512));
+  eim_impl::EimOptions opts;
+  opts.eliminate_sources = false;
+  const auto eim_r =
+      eim_impl::run_eim(d1, g, DiffusionModel::IndependentCascade, params, opts);
+
+  gpusim::Device d2(gpusim::make_benchmark_device(512));
+  const auto gim_r = baselines::run_gim(d2, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Device d3(gpusim::make_benchmark_device(512));
+  const auto cur_r =
+      baselines::run_curipples(d3, g, DiffusionModel::IndependentCascade, params);
+
+  EXPECT_EQ(serial.seeds, eim_r.seeds);
+  EXPECT_EQ(serial.seeds, gim_r.seeds);
+  EXPECT_EQ(serial.seeds, cur_r.seeds);
+  EXPECT_EQ(serial.num_sets, eim_r.num_sets);
+  EXPECT_EQ(serial.total_elements, eim_r.total_elements);
+}
+
+TEST(EndToEnd, LogEncodingNeverChangesResults) {
+  const auto spec = *graph::find_dataset("SE");
+  const Graph g = graph::build_dataset(spec, DiffusionModel::LinearThreshold);
+  imm::ImmParams params;
+  params.k = 12;
+  params.epsilon = 0.3;
+
+  gpusim::Device device(gpusim::make_benchmark_device(512));
+  eim_impl::EimOptions packed;
+  eim_impl::EimOptions raw;
+  raw.log_encode = false;
+  const auto a = eim_impl::run_eim(device, g, DiffusionModel::LinearThreshold, params,
+                                   packed);
+  const auto b =
+      eim_impl::run_eim(device, g, DiffusionModel::LinearThreshold, params, raw);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.num_sets, b.num_sets);
+  EXPECT_LT(a.rrr_bytes, b.rrr_bytes);
+  EXPECT_LT(a.peak_device_bytes, b.peak_device_bytes);
+}
+
+TEST(EndToEnd, RandomWeightExtensionRuns) {
+  // The paper's announced future-work extension: IC with random edge
+  // weights. The whole pipeline must work under that scheme too.
+  const auto spec = *graph::find_dataset("WV");
+  Graph g = Graph::from_edge_list(graph::build_dataset_edges(spec));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade,
+                        {.scheme = graph::WeightScheme::RandomUniform,
+                         .value = 0.15f,
+                         .seed = 3});
+
+  imm::ImmParams params;
+  params.k = 10;
+  params.epsilon = 0.3;
+  gpusim::Device device(gpusim::make_benchmark_device(512));
+  const auto r = eim_impl::run_eim(device, g, DiffusionModel::IndependentCascade, params);
+  EXPECT_EQ(r.seeds.size(), 10u);
+  EXPECT_GT(r.estimated_spread, 0.0);
+}
+
+}  // namespace
+}  // namespace eim

@@ -1,0 +1,101 @@
+#include "eim/support/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace eim::support {
+namespace {
+
+TEST(Bits, BitWidthForValueMatchesPaperExample) {
+  // Figure 1 of the paper: x_max = 123 needs 7 bits.
+  EXPECT_EQ(bit_width_for_value(123), 7u);
+}
+
+TEST(Bits, BitWidthForValueEdgeCases) {
+  EXPECT_EQ(bit_width_for_value(0), 1u);
+  EXPECT_EQ(bit_width_for_value(1), 1u);
+  EXPECT_EQ(bit_width_for_value(2), 2u);
+  EXPECT_EQ(bit_width_for_value(3), 2u);
+  EXPECT_EQ(bit_width_for_value(4), 3u);
+  EXPECT_EQ(bit_width_for_value(255), 8u);
+  EXPECT_EQ(bit_width_for_value(256), 9u);
+  EXPECT_EQ(bit_width_for_value(~std::uint64_t{0}), 64u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+}
+
+TEST(Bits, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 4), 0);
+  EXPECT_EQ(div_ceil(1, 4), 1);
+  EXPECT_EQ(div_ceil(4, 4), 1);
+  EXPECT_EQ(div_ceil(5, 4), 2);
+  EXPECT_EQ(div_ceil<std::uint64_t>(1'000'000'007ull, 32ull), 31'250'001ull);
+}
+
+TEST(Bits, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(Bits, LowMask64) {
+  EXPECT_EQ(low_mask64(0), 0u);
+  EXPECT_EQ(low_mask64(1), 1u);
+  EXPECT_EQ(low_mask64(7), 0x7Fu);
+  EXPECT_EQ(low_mask64(32), 0xFFFFFFFFull);
+  EXPECT_EQ(low_mask64(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, LowMask32) {
+  EXPECT_EQ(low_mask32(0), 0u);
+  EXPECT_EQ(low_mask32(31), 0x7FFFFFFFu);
+  EXPECT_EQ(low_mask32(32), 0xFFFFFFFFu);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+// Property sweep: width is the unique w with 2^(w-1) <= x < 2^w.
+class BitWidthProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitWidthProperty, WidthBracketsValue) {
+  const std::uint32_t w = GetParam();
+  const std::uint64_t lo = w == 1 ? 1 : (std::uint64_t{1} << (w - 1));
+  const std::uint64_t hi = (w == 64) ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+  EXPECT_EQ(bit_width_for_value(lo), w);
+  EXPECT_EQ(bit_width_for_value(hi), w);
+  if (w < 64) {
+    EXPECT_EQ(bit_width_for_value(hi + 1), w + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitWidthProperty,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 15u, 16u, 31u, 32u, 33u,
+                                           63u, 64u));
+
+}  // namespace
+}  // namespace eim::support

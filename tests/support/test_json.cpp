@@ -1,0 +1,81 @@
+#include "eim/support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace eim::support {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  body(w);
+  return os.str();
+}
+
+TEST(Json, EmptyObject) {
+  EXPECT_EQ(render([](JsonWriter& w) { w.begin_object().end_object(); }), "{}");
+}
+
+TEST(Json, SimpleFields) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_object()
+        .field("name", "eim")
+        .field("k", std::uint64_t{50})
+        .field("eps", 0.05)
+        .field("oom", false)
+        .end_object();
+  });
+  EXPECT_EQ(out, "{\"name\":\"eim\",\"k\":50,\"eps\":0.05,\"oom\":false}");
+}
+
+TEST(Json, NestedStructures) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_object();
+    w.begin_array("seeds");
+    w.value(std::uint64_t{1}).value(std::uint64_t{2});
+    w.end_array();
+    w.key("meta").begin_object().field("ok", true).end_object();
+    w.end_object();
+  });
+  EXPECT_EQ(out, "{\"seeds\":[1,2],\"meta\":{\"ok\":true}}");
+}
+
+TEST(Json, ArrayOfObjects) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_array();
+    w.begin_object().field("a", std::uint64_t{1}).end_object();
+    w.begin_object().field("a", std::uint64_t{2}).end_object();
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[{\"a\":1},{\"a\":2}]");
+}
+
+TEST(Json, EscapesStrings) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_object().field("s", "a\"b\\c\nd\te").end_object();
+  });
+  EXPECT_EQ(out, "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode) {
+  const std::string out =
+      render([](JsonWriter& w) { w.begin_object().field("s", "\x01").end_object(); });
+  EXPECT_EQ(out, "{\"s\":\"\\u0001\"}");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_array().value(std::nan("")).value(1.5).end_array();
+  });
+  EXPECT_EQ(out, "[null,1.5]");
+}
+
+TEST(Json, NullValue) {
+  EXPECT_EQ(render([](JsonWriter& w) { w.begin_array().null().end_array(); }), "[null]");
+}
+
+}  // namespace
+}  // namespace eim::support

@@ -1,0 +1,133 @@
+#include "eim/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace eim::support {
+namespace {
+
+TEST(Philox, IsDeterministic) {
+  const Philox4x32::Counter ctr{1, 2, 3, 4};
+  const Philox4x32::Key key{5, 6};
+  EXPECT_EQ(Philox4x32::apply(ctr, key), Philox4x32::apply(ctr, key));
+}
+
+TEST(Philox, CounterSensitivity) {
+  const Philox4x32::Key key{5, 6};
+  const auto a = Philox4x32::apply({0, 0, 0, 0}, key);
+  const auto b = Philox4x32::apply({1, 0, 0, 0}, key);
+  EXPECT_NE(a, b);
+}
+
+TEST(Philox, KeySensitivity) {
+  const Philox4x32::Counter ctr{7, 7, 7, 7};
+  EXPECT_NE(Philox4x32::apply(ctr, {0, 0}), Philox4x32::apply(ctr, {1, 0}));
+}
+
+TEST(RandomStream, SameSeedStreamReproduces) {
+  RandomStream a(123, 456);
+  RandomStream b(123, 456);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(RandomStream, DifferentStreamsDiffer) {
+  RandomStream a(123, 0);
+  RandomStream b(123, 1);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) same += a.next_u32() == b.next_u32();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomStream, SeekReproducesSuffix) {
+  RandomStream a(9, 9);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(a.next_u32());
+
+  RandomStream b(9, 9);
+  b.seek(8);  // skip the first 8 blocks = 32 draws
+  for (int i = 32; i < 64; ++i) EXPECT_EQ(first[static_cast<std::size_t>(i)], b.next_u32());
+}
+
+TEST(RandomStream, DoubleInUnitInterval) {
+  RandomStream rng(1, 2);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RandomStream, DoubleMeanNearHalf) {
+  RandomStream rng(7, 7);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RandomStream, NextBelowRespectsBound) {
+  RandomStream rng(3, 4);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 0x80000000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RandomStream, NextBelowZeroAndOneReturnZero) {
+  RandomStream rng(3, 4);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RandomStream, NextBelowIsRoughlyUniform) {
+  RandomStream rng(11, 13);
+  constexpr std::uint32_t kBound = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  // Chi-squared with 9 dof; 99.9% critical value is ~27.9.
+  double chi2 = 0;
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(DeriveStream, OrderMatters) {
+  EXPECT_NE(derive_stream(1, 2), derive_stream(2, 1));
+}
+
+TEST(DeriveStream, CollisionFreeOnGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t block = 0; block < 64; ++block) {
+    for (std::uint64_t sample = 0; sample < 64; ++sample) {
+      seen.insert(derive_stream(block, sample));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+// Equidistribution of each Philox output word, swept over word position.
+class PhiloxWordUniformity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhiloxWordUniformity, HighBitIsFair) {
+  const auto word = static_cast<std::size_t>(GetParam());
+  int ones = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    const auto out =
+        Philox4x32::apply({static_cast<std::uint32_t>(i), 0, 0, 0}, {42, 43});
+    ones += static_cast<int>((out[word] >> 31) & 1u);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWords, PhiloxWordUniformity, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace eim::support

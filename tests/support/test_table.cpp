@@ -1,0 +1,48 @@
+#include "eim/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eim/support/error.hpp"
+
+namespace eim::support {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"Dataset", "Speedup"});
+  table.add_row({"WV", "19.23"});
+  table.add_row({"EE", "23.02"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Dataset"), std::string::npos);
+  EXPECT_NE(out.find("19.23"), std::string::npos);
+  EXPECT_NE(out.find("23.02"), std::string::npos);
+  // Header + rule + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), Error);
+}
+
+TEST(TextTable, RejectsEmptyHeader) { EXPECT_THROW(TextTable({}), Error); }
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(0.5, 3), "0.500");
+}
+
+TEST(TextTable, CountAddsThousandsSeparators) {
+  EXPECT_EQ(TextTable::count(0), "0");
+  EXPECT_EQ(TextTable::count(999), "999");
+  EXPECT_EQ(TextTable::count(1000), "1,000");
+  EXPECT_EQ(TextTable::count(103'689), "103,689");
+  EXPECT_EQ(TextTable::count(117'185'083), "117,185,083");
+}
+
+}  // namespace
+}  // namespace eim::support

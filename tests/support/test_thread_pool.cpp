@@ -1,0 +1,74 @@
+#include "eim/support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace eim::support {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, 7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 50) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForWorksWithSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(1, 101, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, LargeGrainStillCoversAll) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { ++count; }, 1000);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> x{0};
+  ThreadPool::global().parallel_for(0, 8, [&](std::size_t) { ++x; });
+  EXPECT_EQ(x.load(), 8);
+}
+
+}  // namespace
+}  // namespace eim::support

@@ -1,0 +1,274 @@
+// eim — command-line influence maximization.
+//
+// Examples:
+//   eim --dataset WV --k 25                         # synthetic wiki-Vote, IC
+//   eim --file soc-Epinions1.txt --model lt --k 50  # real SNAP download, LT
+//   eim --dataset EE --algo gim --eps 0.1           # run the gIM baseline
+//   eim --dataset SPR --devices 4                   # multi-GPU eIM
+//   eim --dataset WV --algo serial --verify 500     # CPU reference + MC check
+//
+// Prints the seed set, the device metrics, and (with --verify N) a forward
+// Monte-Carlo estimate of the expected spread over N cascades.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eim/baselines/curipples.hpp"
+#include "eim/baselines/gim.hpp"
+#include "eim/diffusion/forward.hpp"
+#include "eim/eim/multi_gpu.hpp"
+#include "eim/eim/pipeline.hpp"
+#include "eim/graph/io.hpp"
+#include "eim/graph/registry.hpp"
+#include "eim/imm/imm.hpp"
+#include "eim/imm/tim.hpp"
+#include "eim/support/json.hpp"
+
+namespace {
+
+using namespace eim;
+
+struct CliOptions {
+  std::string dataset;
+  std::string file;
+  std::string algo = "eim";
+  graph::DiffusionModel model = graph::DiffusionModel::IndependentCascade;
+  imm::ImmParams params;
+  std::uint32_t devices = 1;
+  std::uint64_t memory_mb = 512;
+  std::uint32_t verify_trials = 0;
+  bool no_log_encoding = false;
+  bool no_source_elim = false;
+  bool json = false;
+};
+
+void print_usage() {
+  std::puts(
+      "usage: eim_cli [options]\n"
+      "  --dataset <ABBREV>   synthetic stand-in from the 16-network registry\n"
+      "  --file <path>        SNAP edge-list text file (overrides --dataset)\n"
+      "  --model ic|lt        diffusion model (default ic)\n"
+      "  --algo eim|gim|curipples|serial|tim  (default eim)\n"
+      "  --k <n>              seed-set size (default 50)\n"
+      "  --eps <x>            approximation parameter (default 0.13)\n"
+      "  --seed <n>           RNG seed (default 42)\n"
+      "  --devices <n>        simulated GPUs for eIM (default 1)\n"
+      "  --memory-mb <n>      simulated device memory (default 512)\n"
+      "  --verify <trials>    score the seeds with forward Monte-Carlo\n"
+      "  --no-log-encoding    disable the Section 3.1 compression\n"
+      "  --no-source-elim     disable the Section 3.4 heuristic\n"
+      "  --json               print the result as a JSON object\n"
+      "  --list-datasets      print the registry and exit");
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opt;
+  opt.params.k = 50;
+  opt.params.epsilon = 0.13;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return std::nullopt;
+    }
+    if (arg == "--list-datasets") {
+      for (const auto& spec : graph::all_datasets()) {
+        std::printf("%-4.*s %.*s\n", static_cast<int>(spec.abbrev.size()),
+                    spec.abbrev.data(), static_cast<int>(spec.name.size()),
+                    spec.name.data());
+      }
+      return std::nullopt;
+    }
+    const char* value = nullptr;
+    if (arg == "--dataset" && (value = next())) {
+      opt.dataset = value;
+    } else if (arg == "--file" && (value = next())) {
+      opt.file = value;
+    } else if (arg == "--algo" && (value = next())) {
+      opt.algo = value;
+    } else if (arg == "--model" && (value = next())) {
+      if (std::strcmp(value, "lt") == 0) {
+        opt.model = graph::DiffusionModel::LinearThreshold;
+      } else if (std::strcmp(value, "ic") != 0) {
+        std::fprintf(stderr, "error: unknown model '%s'\n", value);
+        return std::nullopt;
+      }
+    } else if (arg == "--k" && (value = next())) {
+      opt.params.k = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--eps" && (value = next())) {
+      opt.params.epsilon = std::atof(value);
+    } else if (arg == "--seed" && (value = next())) {
+      opt.params.rng_seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--devices" && (value = next())) {
+      opt.devices = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--memory-mb" && (value = next())) {
+      opt.memory_mb = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--verify" && (value = next())) {
+      opt.verify_trials = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--no-log-encoding") {
+      opt.no_log_encoding = true;
+    } else if (arg == "--no-source-elim") {
+      opt.no_source_elim = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (value == nullptr) {
+      std::fprintf(stderr, "error: unknown option '%s'\n\n", arg.c_str());
+      print_usage();
+      return std::nullopt;
+    }
+  }
+  if (opt.dataset.empty() && opt.file.empty()) opt.dataset = "WV";
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return 1;
+  const CliOptions& opt = *parsed;
+
+  // Load or generate the graph.
+  graph::Graph g;
+  std::string source_name;
+  if (!opt.file.empty()) {
+    source_name = opt.file;
+    g = graph::Graph::from_edge_list(graph::load_snap_text_file(opt.file));
+  } else {
+    const auto spec = graph::find_dataset(opt.dataset);
+    if (!spec) {
+      std::fprintf(stderr, "error: unknown dataset '%s' (try --list-datasets)\n",
+                   opt.dataset.c_str());
+      return 1;
+    }
+    source_name = std::string(spec->name) + " (synthetic)";
+    g = graph::Graph::from_edge_list(graph::build_dataset_edges(*spec));
+  }
+  graph::assign_weights(g, opt.model);
+  if (!opt.json) {
+    std::printf("graph: %s — %u vertices, %llu edges | model=%s algo=%s k=%u eps=%g\n",
+                source_name.c_str(), g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()),
+                graph::to_string(opt.model), opt.algo.c_str(), opt.params.k,
+                opt.params.epsilon);
+  }
+
+  // Run the requested algorithm.
+  eim_impl::EimResult result;
+  try {
+    if (opt.algo == "serial") {
+      const auto serial = imm::run_imm_serial(g, opt.model, opt.params);
+      static_cast<imm::ImmResult&>(result) = serial;
+    } else if (opt.algo == "tim") {
+      const auto tim = imm::run_tim(g, opt.model, opt.params);
+      static_cast<imm::ImmResult&>(result) = tim;
+      std::printf("TIM KPT* estimate: %.1f (%llu estimation samples)\n", tim.kpt,
+                  static_cast<unsigned long long>(tim.estimation_samples));
+    } else if (opt.algo == "eim" && opt.devices > 1) {
+      std::vector<std::unique_ptr<gpusim::Device>> owned;
+      std::vector<gpusim::Device*> ptrs;
+      for (std::uint32_t d = 0; d < opt.devices; ++d) {
+        owned.push_back(std::make_unique<gpusim::Device>(
+            gpusim::make_benchmark_device(opt.memory_mb)));
+        ptrs.push_back(owned.back().get());
+      }
+      eim_impl::EimOptions options;
+      options.log_encode = !opt.no_log_encoding;
+      options.eliminate_sources = !opt.no_source_elim;
+      const auto multi = eim_impl::run_eim_multi(ptrs, g, opt.model, opt.params, options);
+      result = multi;
+      std::printf("devices: %u (communication %.3f ms)\n", multi.num_devices,
+                  multi.communication_seconds * 1e3);
+    } else {
+      gpusim::Device device(gpusim::make_benchmark_device(opt.memory_mb));
+      if (opt.algo == "eim") {
+        eim_impl::EimOptions options;
+        options.log_encode = !opt.no_log_encoding;
+        options.eliminate_sources = !opt.no_source_elim;
+        result = eim_impl::run_eim(device, g, opt.model, opt.params, options);
+      } else if (opt.algo == "gim") {
+        result = baselines::run_gim(device, g, opt.model, opt.params);
+      } else if (opt.algo == "curipples") {
+        result = baselines::run_curipples(device, g, opt.model, opt.params);
+      } else {
+        std::fprintf(stderr, "error: unknown algorithm '%s'\n", opt.algo.c_str());
+        return 1;
+      }
+    }
+  } catch (const support::DeviceOutOfMemoryError& e) {
+    std::fprintf(stderr, "OOM: %s\n", e.what());
+    return 2;
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (opt.json) {
+    support::JsonWriter w(std::cout);
+    w.begin_object()
+        .field("graph", source_name)
+        .field("vertices", static_cast<std::uint64_t>(g.num_vertices()))
+        .field("edges", static_cast<std::uint64_t>(g.num_edges()))
+        .field("model", graph::to_string(opt.model))
+        .field("algo", opt.algo)
+        .field("k", static_cast<std::uint64_t>(opt.params.k))
+        .field("eps", opt.params.epsilon);
+    w.begin_array("seeds");
+    for (const auto v : result.seeds) w.value(static_cast<std::uint64_t>(v));
+    w.end_array();
+    w.field("rrr_sets", result.num_sets)
+        .field("rrr_elements", result.total_elements)
+        .field("singletons_discarded", result.singletons_discarded)
+        .field("device_seconds", result.device_seconds)
+        .field("peak_device_bytes", result.peak_device_bytes)
+        .field("rrr_bytes", result.rrr_bytes)
+        .field("estimated_spread", result.estimated_spread);
+    if (opt.verify_trials > 0) {
+      const auto spread = diffusion::estimate_spread(g, opt.model, result.seeds,
+                                                     opt.verify_trials, 1234);
+      w.field("verified_spread", spread.mean).field("verified_stddev", spread.stddev);
+    }
+    w.end_object();
+    std::cout << "\n";
+    return 0;
+  }
+
+  std::printf("seeds:");
+  for (const auto v : result.seeds) std::printf(" %u", v);
+  std::printf("\nRRR sets: %llu (%llu elements, %llu singleton samples discarded)\n",
+              static_cast<unsigned long long>(result.num_sets),
+              static_cast<unsigned long long>(result.total_elements),
+              static_cast<unsigned long long>(result.singletons_discarded));
+  if (opt.algo != "serial") {
+    std::printf("modeled device time: %.3f ms (kernels %.3f, transfers %.3f)\n",
+                result.device_seconds * 1e3, result.kernel_seconds * 1e3,
+                result.transfer_seconds * 1e3);
+    std::printf("peak device memory: %.2f MB | R stored %.2f MB (raw %.2f MB)\n",
+                static_cast<double>(result.peak_device_bytes) / 1e6,
+                static_cast<double>(result.rrr_bytes) / 1e6,
+                static_cast<double>(result.rrr_raw_bytes) / 1e6);
+  }
+  std::printf("coverage-based spread estimate: %.1f of %u vertices\n",
+              result.estimated_spread, g.num_vertices());
+
+  if (opt.verify_trials > 0) {
+    const auto spread = diffusion::estimate_spread(g, opt.model, result.seeds,
+                                                   opt.verify_trials, 1234);
+    std::printf("forward MC verification: %.1f +- %.1f expected activations\n",
+                spread.mean, spread.stddev);
+  }
+  return 0;
+}
