@@ -1,14 +1,88 @@
 #include "common.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string_view>
+
+#include "eim/support/json.hpp"
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
 
 namespace eim::bench {
 
 namespace {
+
+/// Accumulates one eim.metrics.v1 snapshot per finished benchmark cell and
+/// writes $EIM_BENCH_JSON when the process exits (destructor of the Meyer
+/// singleton). Snapshots are serialized eagerly at record time so the cell's
+/// registry may die with its run_cell frame.
+class BenchReporter {
+ public:
+  static BenchReporter& instance() {
+    static BenchReporter reporter;
+    return reporter;
+  }
+
+  void record(std::string id, const support::metrics::MetricsRegistry& registry) {
+    std::ostringstream metrics;
+    support::JsonWriter w(metrics);
+    registry.write_json(w);
+    const std::lock_guard<std::mutex> lock(mu_);
+    cells_.push_back(CellRecord{std::move(id), metrics.str()});
+  }
+
+ private:
+  BenchReporter() = default;
+  ~BenchReporter() { flush(); }
+
+  static const char* tool_name() {
+#if defined(__GLIBC__)
+    return program_invocation_short_name;
+#else
+    return "bench";
+#endif
+  }
+
+  void flush() const {
+    const char* path = std::getenv("EIM_BENCH_JSON");
+    if (path == nullptr || *path == '\0' || cells_.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write EIM_BENCH_JSON=%s\n", path);
+      return;
+    }
+    support::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", "eim.metrics.v1");
+    w.field("tool", tool_name());
+    w.begin_array("cells");
+    for (const auto& cell : cells_) {
+      w.begin_object()
+          .field("id", cell.id)
+          .key("metrics")
+          .raw_value(cell.metrics_json)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+  }
+
+  struct CellRecord {
+    std::string id;
+    std::string metrics_json;  ///< pre-serialized registry snapshot
+  };
+
+  mutable std::mutex mu_;
+  std::vector<CellRecord> cells_;
+};
 
 /// Per-dataset heartbeat on stderr so long sweeps show liveness without
 /// polluting the table output on stdout.
@@ -62,35 +136,55 @@ BenchEnv load_env() {
   return env;
 }
 
-Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner) {
+Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
+              std::string cell_id) {
+  if (cell_id.empty()) {
+    static std::atomic<std::uint64_t> seq{0};
+    cell_id = "cell-" + std::to_string(seq.fetch_add(1)) + "/n=" +
+              std::to_string(g.num_vertices()) + "/m=" + std::to_string(g.num_edges());
+  }
+
   Cell cell;
+  support::metrics::MetricsRegistry registry;
   support::RunningStat stat;
+  bool oom = false;
   for (std::uint32_t run = 0; run < env.runs; ++run) {
     gpusim::Device device(gpusim::make_benchmark_device(env.memory_mb));
+    // Every backend reports its memory high-water mark, even the ones that
+    // take no EimOptions (run_eim re-attaches the same instruments).
+    device.memory().attach_metrics(&registry.gauge("device.peak_bytes"),
+                                   &registry.counter("device.alloc_events"));
     try {
-      cell.last = runner(device, g, run);
+      cell.last = runner(device, g, registry, run);
     } catch (const support::DeviceOutOfMemoryError&) {
+      registry.counter("bench.oom_runs").add();
       cell.seconds.reset();
-      return cell;
+      oom = true;
+      break;
     }
     stat.push(cell.last.device_seconds);
   }
-  cell.seconds = stat.mean();
+  if (!oom) cell.seconds = stat.mean();
+  BenchReporter::instance().record(std::move(cell_id), registry);
   return cell;
 }
 
 Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,
                   eim_impl::EimOptions options) {
   return [model, params, options](gpusim::Device& device, const graph::Graph& g,
+                                  support::metrics::MetricsRegistry& registry,
                                   std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;
-    return eim_impl::run_eim(device, g, model, p, options);
+    eim_impl::EimOptions o = options;
+    o.metrics = &registry;
+    return eim_impl::run_eim(device, g, model, p, o);
   };
 }
 
 Runner gim_runner(graph::DiffusionModel model, imm::ImmParams params) {
   return [model, params](gpusim::Device& device, const graph::Graph& g,
+                         support::metrics::MetricsRegistry& /*registry*/,
                          std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;
@@ -100,6 +194,7 @@ Runner gim_runner(graph::DiffusionModel model, imm::ImmParams params) {
 
 Runner curipples_runner(graph::DiffusionModel model, imm::ImmParams params) {
   return [model, params](gpusim::Device& device, const graph::Graph& g,
+                         support::metrics::MetricsRegistry& /*registry*/,
                          std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;
@@ -120,8 +215,11 @@ void print_k_sweep(const BenchEnv& env, graph::DiffusionModel model,
       imm::ImmParams params;
       params.k = env.clamp_k(k);
       params.epsilon = env.clamp_eps(eps);
-      const Cell eim_cell = run_cell(env, g, eim_runner(model, params));
-      const Cell gim_cell = run_cell(env, g, gim_runner(model, params));
+      const std::string id = std::string(spec.abbrev) + "/k=" +
+                             std::to_string(params.k) + "/eps=" +
+                             support::TextTable::num(params.epsilon, 2);
+      const Cell eim_cell = run_cell(env, g, eim_runner(model, params), "eim/" + id);
+      const Cell gim_cell = run_cell(env, g, gim_runner(model, params), "gim/" + id);
       row.push_back(speedup_cell(gim_cell, eim_cell));
     }
     table.add_row(std::move(row));
@@ -145,8 +243,11 @@ void print_eps_sweep(const BenchEnv& env, graph::DiffusionModel model,
       imm::ImmParams params;
       params.k = env.clamp_k(k);
       params.epsilon = env.clamp_eps(eps);
-      const Cell eim_cell = run_cell(env, g, eim_runner(model, params));
-      const Cell gim_cell = run_cell(env, g, gim_runner(model, params));
+      const std::string id = std::string(spec.abbrev) + "/k=" +
+                             std::to_string(params.k) + "/eps=" +
+                             support::TextTable::num(params.epsilon, 2);
+      const Cell eim_cell = run_cell(env, g, eim_runner(model, params), "eim/" + id);
+      const Cell gim_cell = run_cell(env, g, gim_runner(model, params), "gim/" + id);
       row.push_back(speedup_cell(gim_cell, eim_cell));
     }
     table.add_row(std::move(row));

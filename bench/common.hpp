@@ -11,7 +11,10 @@
 //                       (eps floors at 0.15, k caps at 60) so the whole
 //                       suite smoke-runs in a couple of minutes;
 //   EIM_BENCH_MEMORY_MB simulated device memory (default 512 — the 48 GB
-//                       A6000 scaled by roughly the dataset scale factor).
+//                       A6000 scaled by roughly the dataset scale factor);
+//   EIM_BENCH_JSON      path to write an eim.metrics.v1 report with one
+//                       metrics snapshot per benchmark cell at process exit
+//                       (see docs/OBSERVABILITY.md).
 #pragma once
 
 #include <functional>
@@ -23,6 +26,7 @@
 #include "eim/baselines/gim.hpp"
 #include "eim/eim/pipeline.hpp"
 #include "eim/graph/registry.hpp"
+#include "eim/support/metrics.hpp"
 #include "eim/support/stats.hpp"
 #include "eim/support/table.hpp"
 
@@ -51,14 +55,20 @@ struct Cell {
   eim_impl::EimResult last;  ///< last successful run's full result
 };
 
+/// One run of one backend. The registry is the cell's instrumentation sink:
+/// eIM wires it through EimOptions::metrics; every backend gets the device
+/// pool's high-water mark and allocation events recorded into it.
 using Runner = std::function<eim_impl::EimResult(gpusim::Device&, const graph::Graph&,
+                                                 support::metrics::MetricsRegistry&,
                                                  std::uint32_t run)>;
 
 /// Run `runner` EIM_BENCH_RUNS times on fresh devices; averages modeled
 /// time; returns nullopt seconds if any run OOMs (the paper reports OOM if
-/// the configuration cannot complete).
+/// the configuration cannot complete). Each cell's metrics snapshot is
+/// recorded under `cell_id` (auto-generated when empty) for the
+/// EIM_BENCH_JSON report.
 [[nodiscard]] Cell run_cell(const BenchEnv& env, const graph::Graph& g,
-                            const Runner& runner);
+                            const Runner& runner, std::string cell_id = {});
 
 /// Canonical runners for the three systems (run index perturbs the seed).
 [[nodiscard]] Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,

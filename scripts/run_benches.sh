@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Run every benchmark binary sequentially, teeing the combined output to
 # bench_output.txt. Cheap benches run first so partial results are useful.
+# Each bench also writes a machine-readable BENCH_<name>.json metrics report
+# (eim.metrics.v1, one snapshot per cell — see docs/OBSERVABILITY.md).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -28,7 +30,7 @@ BENCHES=(
 
 for b in "${BENCHES[@]}"; do
   echo "===== build/bench/$b =====" >> "$OUT"
-  ./build/bench/"$b" >> "$OUT" 2>&1
+  EIM_BENCH_JSON="BENCH_${b}.json" ./build/bench/"$b" >> "$OUT" 2>&1
   echo >> "$OUT"
 done
 echo "SUITE DONE" >> "$OUT"

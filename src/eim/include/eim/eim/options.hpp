@@ -5,6 +5,10 @@
 
 #include "eim/imm/params.hpp"
 
+namespace eim::support::metrics {
+class MetricsRegistry;
+}  // namespace eim::support::metrics
+
 namespace eim::eim_impl {
 
 /// Which kernel shape scans the RRR sets during seed selection (§3.5).
@@ -33,6 +37,10 @@ struct EimOptions {
   LtActivationMethod lt_activation = LtActivationMethod::PrefixScan;
   /// Sampler blocks to launch (0 = 4 per SM, the self-scheduling default).
   std::uint32_t sampler_blocks = 0;
+  /// Optional run-wide instrumentation sink (not owned; must outlive the
+  /// run). When set, the pipeline records phase timers and commit/regrow/
+  /// decode counters into it — see docs/OBSERVABILITY.md.
+  support::metrics::MetricsRegistry* metrics = nullptr;
 };
 
 /// ImmResult plus the device-side metrics the paper's figures report.

@@ -3,9 +3,16 @@
 // Mirrors the paper's layout: a single flat array R holding every set's
 // vertices (log-encoded when enabled), the offset array O, and the
 // frequency counts C updated atomically as sets are committed (Alg. 2,
-// lines 21-28). Warps claim a slice of R with one atomic add on the shared
-// element cursor and publish their vertices independently — the thread-safe
-// packed store of §3.1 makes that safe under log encoding.
+// lines 21-28). Warps claim a slice of R with a CAS on the shared element
+// cursor — a claim either fits entirely or is never made, so the cursor is
+// monotone and never exceeds capacity — and publish their vertices
+// independently; the thread-safe packed store of §3.1 makes that safe under
+// log encoding. (The earlier fetch_add/fetch_sub "rollback" protocol let a
+// failed claim transiently push the cursor past capacity and then rewind it
+// below a concurrent success's slice, so a later commit could overlay — and
+// under log encoding OR-corrupt — a committed set. See
+// docs/OBSERVABILITY.md for the invariants and tests/stress for the
+// regression hammer.)
 //
 // Capacity grows only *between* kernel waves (the sampler driver reserves
 // ahead); a warp that cannot fit its set reports failure and the driver
@@ -20,6 +27,11 @@
 #include "eim/encoding/bit_packed_array.hpp"
 #include "eim/gpusim/device.hpp"
 #include "eim/graph/types.hpp"
+
+namespace eim::support::metrics {
+class Counter;
+class MetricsRegistry;
+}  // namespace eim::support::metrics
 
 namespace eim::eim_impl {
 
@@ -39,8 +51,10 @@ class DeviceRrrCollection {
   void reserve(std::uint64_t num_sets, std::uint64_t num_elements);
 
   /// Thread-safe commit path used from sampler blocks. Claims a slice of R
-  /// for set `set_index`; returns false when capacity is insufficient (the
-  /// caller re-issues the sample after the driver grows the arrays).
+  /// for set `set_index` with a CAS-retry loop — the claim succeeds only if
+  /// the whole set fits, so the element cursor never overshoots capacity
+  /// and never moves backwards. Returns false when capacity is insufficient
+  /// (the caller re-issues the sample after the driver grows the arrays).
   /// `sorted_set` must be ascending. Updates O, C, and the element cursor.
   [[nodiscard]] bool try_commit(std::uint64_t set_index,
                                 std::span<const graph::VertexId> sorted_set);
@@ -72,6 +86,10 @@ class DeviceRrrCollection {
 
   [[nodiscard]] bool log_encoded() const noexcept { return log_encode_; }
 
+  /// Wire commit/regrow counters into `registry` (nullptr detaches). The
+  /// registry must outlive the collection or the next attach call.
+  void attach_metrics(support::metrics::MetricsRegistry* registry);
+
  private:
   void charge_device(std::uint64_t bytes);
   void refund_device(std::uint64_t bytes) noexcept;
@@ -95,6 +113,12 @@ class DeviceRrrCollection {
   std::atomic<std::uint64_t> element_cursor_{0};
   std::uint64_t num_sets_ = 0;
   std::uint64_t charged_bytes_ = 0;  ///< what we currently hold in the pool
+
+  // Optional instrumentation (see attach_metrics); null when detached.
+  support::metrics::Counter* commit_rejects_ = nullptr;
+  support::metrics::Counter* claim_cas_retries_ = nullptr;
+  support::metrics::Counter* regrow_r_ = nullptr;
+  support::metrics::Counter* regrow_o_ = nullptr;
 };
 
 }  // namespace eim::eim_impl

@@ -39,9 +39,16 @@ class GpuSeedSelector {
 
   [[nodiscard]] ScanStrategy strategy() const noexcept { return strategy_; }
 
+  /// Wire per-pick kernel/decode counters into `registry` (nullptr
+  /// detaches). The registry must outlive the selector or the next attach.
+  void attach_metrics(support::metrics::MetricsRegistry* registry) noexcept {
+    metrics_ = registry;
+  }
+
  private:
   gpusim::Device* device_;
   ScanStrategy strategy_;
+  support::metrics::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace eim::eim_impl

@@ -9,6 +9,9 @@
 #include "eim/imm/driver.hpp"
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
+
+#include <optional>
 
 namespace eim::eim_impl {
 
@@ -52,8 +55,20 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     d->transfer_to_device("network CSC", network_bytes);
     shards.push_back(
         std::make_unique<DeviceRrrCollection>(*d, g.num_vertices(), options.log_encode));
+    shards.back()->attach_metrics(options.metrics);
     samplers.push_back(std::make_unique<EimSampler>(*d, g, model, effective, options));
   }
+
+  support::metrics::Counter* count_allreduces =
+      options.metrics != nullptr ? &options.metrics->counter("multi.count_allreduces")
+                                 : nullptr;
+  support::metrics::Counter* pick_broadcasts =
+      options.metrics != nullptr ? &options.metrics->counter("multi.pick_broadcasts")
+                                 : nullptr;
+  support::metrics::PhaseTimer* sample_phase =
+      options.metrics != nullptr ? &options.metrics->phase("sample") : nullptr;
+  support::metrics::PhaseTimer* select_phase =
+      options.metrics != nullptr ? &options.metrics->phase("select") : nullptr;
 
   gpusim::Device& primary = *devices.front();
   std::uint64_t sampled_global = 0;
@@ -63,6 +78,8 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   // the single-device collection exactly.
   auto sample_to = [&](std::uint64_t target) {
     if (target <= sampled_global) return;
+    std::optional<support::metrics::ScopedPhase> scope;
+    if (sample_phase != nullptr) scope.emplace(*sample_phase);
     for (std::uint32_t d = 0; d < num_devices; ++d) {
       std::vector<std::uint64_t> ids;
       for (std::uint64_t i = sampled_global; i < target; ++i) {
@@ -80,6 +97,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
       const double before = primary.timeline().transfer_seconds();
       primary.transfer_to_device("count all-reduce", count_bytes);
       communication += primary.timeline().transfer_seconds() - before;
+      if (count_allreduces != nullptr) count_allreduces->add();
     }
   };
 
@@ -87,6 +105,8 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   // max over devices' shard scans (they run concurrently) plus the per-pick
   // broadcast/return traffic.
   auto select = [&] {
+    std::optional<support::metrics::ScopedPhase> scope;
+    if (select_phase != nullptr) scope.emplace(*select_phase);
     const VertexId n = g.num_vertices();
 
     // Merge shard mirrors. Global set id i lives on device i % D at local
@@ -143,6 +163,34 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     imm::SelectionResult sel;
     sel.seeds.reserve(effective.k);
 
+    // Per-pick modeled cost: devices scan their shards concurrently, then
+    // the primary broadcasts the pick and gathers coverage deltas. Charged
+    // once per pick — including degenerate tail picks, which still launch
+    // the kernel and round-trip the (zero-gain) pick.
+    const auto charge_pick = [&](const std::vector<std::uint64_t>& shard_dec) {
+      double pick_seconds = 0.0;
+      for (std::uint32_t d = 0; d < num_devices; ++d) {
+        if (shard_sets[d] == 0) continue;
+        const std::uint64_t total =
+            shard_sets[d] * g_lat + shard_search[d] + shard_dec[d];
+        const std::uint64_t used =
+            std::max<std::uint64_t>(1, std::min(units, shard_sets[d]));
+        pick_seconds = std::max(
+            pick_seconds, spec.costs.kernel_launch_us * 1e-6 +
+                              spec.cycles_to_seconds(static_cast<double>(total / used)));
+      }
+      primary.timeline().add(gpusim::SegmentKind::Kernel, "eim::multi_update",
+                             pick_seconds);
+      const double before = primary.timeline().transfer_seconds();
+      for (std::uint32_t d = 1; d < num_devices; ++d) {
+        primary.transfer_to_device("pick broadcast", sizeof(VertexId));
+        primary.transfer_to_host("coverage delta", sizeof(std::uint64_t));
+        if (pick_broadcasts != nullptr) pick_broadcasts->add();
+      }
+      communication += primary.timeline().transfer_seconds() - before;
+    };
+    const std::vector<std::uint64_t> no_decrements(num_devices, 0);
+
     for (std::uint32_t pick = 0; pick < effective.k; ++pick) {
       VertexId best = graph::kInvalidVertex;
       std::uint32_t best_count = 0;
@@ -153,10 +201,14 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
         }
       }
       if (best == graph::kInvalidVertex) {
+        // Degenerate tail: every set is covered but picks remain. Charge
+        // the per-pick kernel + broadcast round for each filler so the
+        // modeled time reflects k rounds like the unsaturated path.
         for (VertexId v = 0; v < n && sel.seeds.size() < effective.k; ++v) {
           if (!chosen[v]) {
             chosen[v] = true;
             sel.seeds.push_back(v);
+            charge_pick(no_decrements);
           }
         }
         break;
@@ -180,27 +232,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
         }
       }
 
-      // Per-pick modeled time: devices scan their shards concurrently.
-      double pick_seconds = 0.0;
-      for (std::uint32_t d = 0; d < num_devices; ++d) {
-        if (shard_sets[d] == 0) continue;
-        const std::uint64_t total =
-            shard_sets[d] * g_lat + shard_search[d] + shard_dec[d];
-        const std::uint64_t used =
-            std::max<std::uint64_t>(1, std::min(units, shard_sets[d]));
-        pick_seconds = std::max(
-            pick_seconds, spec.costs.kernel_launch_us * 1e-6 +
-                              spec.cycles_to_seconds(static_cast<double>(total / used)));
-      }
-      primary.timeline().add(gpusim::SegmentKind::Kernel, "eim::multi_update",
-                             pick_seconds);
-      // Broadcast the pick + gather per-device coverage deltas.
-      const double before = primary.timeline().transfer_seconds();
-      for (std::uint32_t d = 1; d < num_devices; ++d) {
-        primary.transfer_to_device("pick broadcast", sizeof(VertexId));
-        primary.transfer_to_host("coverage delta", sizeof(std::uint64_t));
-      }
-      communication += primary.timeline().transfer_seconds() - before;
+      charge_pick(shard_dec);
     }
 
     sel.coverage_fraction = num_sets == 0 ? 0.0
@@ -247,6 +279,12 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   result.device_seconds = result.kernel_seconds + result.transfer_seconds +
                           primary.timeline().allocation_seconds();
   result.device_mallocs = 0;
+
+  if (options.metrics != nullptr) {
+    options.metrics->counter("imm.estimation_rounds").add(result.estimation_rounds);
+    options.metrics->gauge("imm.theta").set(result.num_sets);
+    options.metrics->phase("multi.communication").add_modeled(communication);
+  }
   return result;
 }
 

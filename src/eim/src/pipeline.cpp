@@ -5,14 +5,38 @@
 #include "eim/eim/seed_selector.hpp"
 #include "eim/encoding/packed_csc.hpp"
 #include "eim/imm/driver.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::eim_impl {
+
+namespace {
+
+/// Detach pool instrumentation on scope exit: the device outlives the run,
+/// so its hooks must not dangle into the caller's registry.
+struct PoolMetricsGuard {
+  explicit PoolMetricsGuard(gpusim::Device& device) : device_(&device) {}
+  ~PoolMetricsGuard() { device_->memory().attach_metrics(nullptr, nullptr); }
+  PoolMetricsGuard(const PoolMetricsGuard&) = delete;
+  PoolMetricsGuard& operator=(const PoolMetricsGuard&) = delete;
+
+ private:
+  gpusim::Device* device_;
+};
+
+}  // namespace
 
 EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
                   graph::DiffusionModel model, const imm::ImmParams& params,
                   const EimOptions& options) {
   device.timeline().reset();
   device.memory().reset_peak();
+
+  support::metrics::MetricsRegistry* reg = options.metrics;
+  PoolMetricsGuard pool_guard(device);
+  if (reg != nullptr) {
+    device.memory().attach_metrics(&reg->gauge("device.peak_bytes"),
+                                   &reg->counter("device.alloc_events"));
+  }
 
   imm::ImmParams effective = params;
   effective.eliminate_sources = options.eliminate_sources;
@@ -31,13 +55,38 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   device.transfer_to_device("network CSC", network_bytes);
 
   DeviceRrrCollection collection(device, g.num_vertices(), options.log_encode);
+  collection.attach_metrics(reg);
   EimSampler sampler(device, g, model, effective, options);
   GpuSeedSelector selector(device, options.scan);
+  selector.attach_metrics(reg);
+
+  // Phase timers pair host wall time (ScopedPhase) with the modeled device
+  // seconds the same span added to the timeline.
+  support::metrics::PhaseTimer* sample_phase =
+      reg != nullptr ? &reg->phase("sample") : nullptr;
+  support::metrics::PhaseTimer* select_phase =
+      reg != nullptr ? &reg->phase("select") : nullptr;
 
   const imm::FrameworkOutcome outcome = imm::run_imm_framework(
       g.num_vertices(), effective,
-      [&](std::uint64_t target) { sampler.sample_to(collection, target); },
-      [&] { return selector.select(collection, effective.k); });
+      [&](std::uint64_t target) {
+        if (sample_phase == nullptr) {
+          sampler.sample_to(collection, target);
+          return;
+        }
+        const support::metrics::ScopedPhase scope(*sample_phase);
+        const double before = device.timeline().total_seconds();
+        sampler.sample_to(collection, target);
+        sample_phase->add_modeled(device.timeline().total_seconds() - before);
+      },
+      [&] {
+        if (select_phase == nullptr) return selector.select(collection, effective.k);
+        const support::metrics::ScopedPhase scope(*select_phase);
+        const double before = device.timeline().total_seconds();
+        const imm::SelectionResult sel = selector.select(collection, effective.k);
+        select_phase->add_modeled(device.timeline().total_seconds() - before);
+        return sel;
+      });
 
   // Seeds travel back over PCIe (k vertex ids).
   device.transfer_to_host("seed set",
@@ -67,6 +116,13 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   result.rrr_bytes = collection.stored_bytes();
   result.rrr_raw_bytes = collection.raw_equivalent_bytes();
   result.device_mallocs = 0;  // eIM's design point: no in-kernel allocation
+
+  if (reg != nullptr) {
+    reg->counter("imm.estimation_rounds").add(outcome.estimation_rounds);
+    reg->gauge("imm.theta").set(collection.num_sets());
+    reg->gauge("rrr.stored_bytes").set(result.rrr_bytes);
+    reg->gauge("rrr.raw_equivalent_bytes").set(result.rrr_raw_bytes);
+  }
   return result;
 }
 

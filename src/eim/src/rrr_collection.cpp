@@ -5,6 +5,7 @@
 
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::eim_impl {
 
@@ -22,7 +23,34 @@ DeviceRrrCollection::DeviceRrrCollection(gpusim::Device& device, VertexId num_ve
   charge_device(static_cast<std::uint64_t>(num_vertices) * sizeof(std::uint32_t));
 }
 
-DeviceRrrCollection::~DeviceRrrCollection() { refund_device(charged_bytes_); }
+DeviceRrrCollection::~DeviceRrrCollection() {
+#ifndef NDEBUG
+  // The running charge must equal the footprint of what we actually own —
+  // a mismatch means some charge/refund pair desynced from an array resize.
+  const std::uint64_t r_bytes =
+      log_encode_ ? packed_.storage_bytes() : raw_.size() * sizeof(VertexId);
+  const std::uint64_t o_bytes =
+      starts_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  const std::uint64_t c_bytes = static_cast<std::uint64_t>(n_) * sizeof(std::uint32_t);
+  assert(charged_bytes_ == r_bytes + o_bytes + c_bytes &&
+         "device charge desynced from owned R/O/C arrays");
+#endif
+  refund_device(charged_bytes_);
+}
+
+void DeviceRrrCollection::attach_metrics(support::metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    commit_rejects_ = nullptr;
+    claim_cas_retries_ = nullptr;
+    regrow_r_ = nullptr;
+    regrow_o_ = nullptr;
+    return;
+  }
+  commit_rejects_ = &registry->counter("rrr.commit_rejects");
+  claim_cas_retries_ = &registry->counter("rrr.claim_cas_retries");
+  regrow_r_ = &registry->counter("rrr.regrow_r");
+  regrow_o_ = &registry->counter("rrr.regrow_o");
+}
 
 void DeviceRrrCollection::charge_device(std::uint64_t bytes) {
   device_->memory().allocate(bytes);
@@ -43,6 +71,7 @@ void DeviceRrrCollection::reserve(std::uint64_t num_sets, std::uint64_t num_elem
     starts_.resize(num_sets, 0);
     lengths_.resize(num_sets, 0);
     device_->charge_allocation_event("grow O");
+    if (regrow_o_ != nullptr) regrow_o_->add();
   }
 
   // R growth: allocate-new / copy / free-old, transiently holding both.
@@ -69,6 +98,7 @@ void DeviceRrrCollection::reserve(std::uint64_t num_sets, std::uint64_t num_elem
     }
     element_capacity_ = num_elements;
     device_->charge_allocation_event("grow R");
+    if (regrow_r_ != nullptr) regrow_r_->add();
   }
 }
 
@@ -77,13 +107,26 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
   assert(std::is_sorted(sorted_set.begin(), sorted_set.end()));
   EIM_CHECK_MSG(set_index < starts_.size(), "set index beyond reserved O capacity");
 
-  // Alg. 2 line 21: one atomic add claims this set's slice of R.
-  const std::uint64_t offset =
-      element_cursor_.fetch_add(sorted_set.size(), std::memory_order_relaxed);
-  if (offset + sorted_set.size() > element_capacity_) {
-    // Roll back the claim; the driver grows R and re-issues the sample.
-    element_cursor_.fetch_sub(sorted_set.size(), std::memory_order_relaxed);
-    return false;
+  // Alg. 2 line 21: claim this set's slice of R. The claim is a CAS, not a
+  // fetch_add with a fetch_sub rollback: a blind add lets a failing claim
+  // transiently push the cursor past capacity, and its rollback can rewind
+  // the cursor below a slice a concurrent thread committed in between —
+  // the next claim then overlays that slice, which under log encoding ORs
+  // two sets' bits together. With the CAS the cursor only ever advances,
+  // and only by claims that fit entirely.
+  std::uint64_t offset = element_cursor_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (offset + sorted_set.size() > element_capacity_) {
+      // Nothing was claimed, so nothing to undo; the driver grows R and
+      // re-issues the sample next wave.
+      if (commit_rejects_ != nullptr) commit_rejects_->add();
+      return false;
+    }
+    if (element_cursor_.compare_exchange_weak(offset, offset + sorted_set.size(),
+                                              std::memory_order_relaxed)) {
+      break;
+    }
+    if (claim_cas_retries_ != nullptr) claim_cas_retries_->add();
   }
 
   starts_[set_index] = offset;
@@ -107,15 +150,18 @@ std::uint64_t DeviceRrrCollection::stored_bytes() const noexcept {
                                           total_elements() * bits_per_vertex_, 32) *
                                           sizeof(std::uint32_t)
                                     : total_elements() * sizeof(VertexId);
+  // O is charged per reserved slot (reserve() sizes starts_), so report the
+  // same footprint here; num_sets_ lags the reservation mid-run and would
+  // under-report what the pool actually holds.
   const std::uint64_t o_bytes =
-      num_sets_ * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+      starts_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
   const std::uint64_t c_bytes = static_cast<std::uint64_t>(n_) * sizeof(std::uint32_t);
   return r_bytes + o_bytes + c_bytes;
 }
 
 std::uint64_t DeviceRrrCollection::raw_equivalent_bytes() const noexcept {
   return total_elements() * sizeof(VertexId) +
-         num_sets_ * (sizeof(std::uint64_t) + sizeof(std::uint32_t)) +
+         starts_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t)) +
          static_cast<std::uint64_t>(n_) * sizeof(std::uint32_t);
 }
 

@@ -7,6 +7,7 @@
 #include "eim/imm/imm.hpp"
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
 #include "eim/support/rng.hpp"
 
 namespace eim::eim_impl {
@@ -75,6 +76,17 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
     pending.push_back(PendingSample{base + j, global_indices[j]});
   }
 
+  support::metrics::Counter* waves_c = nullptr;
+  support::metrics::Counter* committed_c = nullptr;
+  support::metrics::Counter* retries_c = nullptr;
+  support::metrics::Counter* regens_c = nullptr;
+  if (options_.metrics != nullptr) {
+    waves_c = &options_.metrics->counter("sampler.waves");
+    committed_c = &options_.metrics->counter("sampler.samples_committed");
+    retries_c = &options_.metrics->counter("sampler.commit_retries");
+    regens_c = &options_.metrics->counter("sampler.singleton_regens");
+  }
+
   int wave = 0;
   std::uint64_t max_failed_len = 0;
   while (!pending.empty()) {
@@ -135,10 +147,14 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
     for (auto& s : scratch_) {
       for (const std::uint64_t slot : s.failed) retry.push_back(pending[slot]);
       singletons_discarded_ += s.discarded;
+      if (regens_c != nullptr) regens_c->add(s.discarded);
       s.discarded = 0;
       max_failed_len = std::max(max_failed_len, s.max_failed_len);
       s.max_failed_len = 0;
     }
+    if (waves_c != nullptr) waves_c->add();
+    if (retries_c != nullptr) retries_c->add(retry.size());
+    if (committed_c != nullptr) committed_c->add(pending.size() - retry.size());
     std::sort(retry.begin(), retry.end(),
               [](const PendingSample& a, const PendingSample& b) {
                 return a.local_slot < b.local_slot;

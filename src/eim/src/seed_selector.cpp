@@ -4,6 +4,7 @@
 
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::eim_impl {
 
@@ -47,6 +48,17 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
     }
   }
 
+  if (metrics_ != nullptr) {
+    metrics_->counter("selector.select_calls").add();
+    metrics_->counter("selector.elements_decoded").add(flat.size());
+  }
+  support::metrics::Counter* argmax_kernels =
+      metrics_ != nullptr ? &metrics_->counter("selector.argmax_kernels") : nullptr;
+  support::metrics::Counter* update_kernels =
+      metrics_ != nullptr ? &metrics_->counter("selector.update_kernels") : nullptr;
+  support::metrics::Counter* fallback_picks =
+      metrics_ != nullptr ? &metrics_->counter("selector.fallback_picks") : nullptr;
+
   // Inverted index vertex -> set ids (host-side greedy accelerator).
   std::vector<std::uint64_t> index_offsets(static_cast<std::size_t>(n) + 1, 0);
   for (const VertexId v : flat) ++index_offsets[v + 1];
@@ -87,18 +99,41 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
   imm::SelectionResult result;
   result.seeds.reserve(k);
 
+  // arg max over C: a tree reduction, T_n-wide. One launch per pick —
+  // including the degenerate tail picks below — so modeled time always
+  // reflects k kernel pairs.
+  const auto charge_argmax = [&] {
+    const std::uint64_t per_unit =
+        support::div_ceil<std::uint64_t>(n, spec.max_resident_threads());
+    const std::uint64_t cycles =
+        per_unit * g_lat + support::ceil_log2(std::max<VertexId>(2, n)) *
+                               spec.costs.shuffle_op;
+    device_->timeline().add(gpusim::SegmentKind::Kernel, "eim::argmax",
+                            spec.costs.kernel_launch_us * 1e-6 +
+                                spec.cycles_to_seconds(static_cast<double>(cycles)));
+    if (argmax_kernels != nullptr) argmax_kernels->add();
+  };
+
+  // Update-kernel makespan: every set costs an F read; uncovered ones add
+  // the search; covering units add their decrement walks. Work spreads
+  // over min(units, num_sets) parallel units.
+  const auto charge_update = [&](std::uint64_t dec_cycles) {
+    if (num_sets == 0) return;
+    const std::uint64_t f_cycles = num_sets * g_lat;
+    const std::uint64_t total = f_cycles + uncovered_search_cycles + dec_cycles;
+    const std::uint64_t used = std::max<std::uint64_t>(1, std::min(units, num_sets));
+    const std::uint64_t floor_cycles =
+        thread_scan ? binsearch_probes(max_len) * g_lat
+                    : support::div_ceil<std::uint64_t>(max_len, warp) * g_lat;
+    const std::uint64_t makespan = std::max(total / used, floor_cycles);
+    device_->timeline().add(gpusim::SegmentKind::Kernel, "eim::update_counts",
+                            spec.costs.kernel_launch_us * 1e-6 +
+                                spec.cycles_to_seconds(static_cast<double>(makespan)));
+    if (update_kernels != nullptr) update_kernels->add();
+  };
+
   for (std::uint32_t pick = 0; pick < k; ++pick) {
-    // arg max over C: a tree reduction, T_n-wide.
-    {
-      const std::uint64_t per_unit =
-          support::div_ceil<std::uint64_t>(n, spec.max_resident_threads());
-      const std::uint64_t cycles =
-          per_unit * g_lat + support::ceil_log2(std::max<VertexId>(2, n)) *
-                                 spec.costs.shuffle_op;
-      device_->timeline().add(gpusim::SegmentKind::Kernel, "eim::argmax",
-                              spec.costs.kernel_launch_us * 1e-6 +
-                                  spec.cycles_to_seconds(static_cast<double>(cycles)));
-    }
+    charge_argmax();
 
     VertexId best = graph::kInvalidVertex;
     std::uint32_t best_count = 0;
@@ -109,8 +144,18 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
       }
     }
     if (best == graph::kInvalidVertex) {
+      // Every set is covered; the remaining picks are tie-broken zeros.
+      // The device still runs the per-pick kernel pair for each of them —
+      // this pick's arg-max is already charged above, so charge its update
+      // plus a full pair per additional filler to keep saturated runs at
+      // exactly k argmax/update launches like unsaturated ones.
+      bool first_filler = true;
       for (VertexId v = 0; v < n && result.seeds.size() < k; ++v) {
         if (!chosen[v]) {
+          if (!first_filler) charge_argmax();
+          first_filler = false;
+          charge_update(0);
+          if (fallback_picks != nullptr) fallback_picks->add();
           chosen[v] = true;
           result.seeds.push_back(v);
         }
@@ -152,21 +197,7 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
       }
     }
 
-    // Update-kernel makespan: every set costs an F read; uncovered ones add
-    // the search; covering units add their decrement walks. Work spreads
-    // over min(units, num_sets) parallel units.
-    if (num_sets > 0) {
-      const std::uint64_t f_cycles = num_sets * g_lat;
-      const std::uint64_t total = f_cycles + uncovered_search_cycles + dec_cycles;
-      const std::uint64_t used = std::max<std::uint64_t>(1, std::min(units, num_sets));
-      const std::uint64_t floor_cycles =
-          thread_scan ? binsearch_probes(max_len) * g_lat
-                      : support::div_ceil<std::uint64_t>(max_len, warp) * g_lat;
-      const std::uint64_t makespan = std::max(total / used, floor_cycles);
-      device_->timeline().add(gpusim::SegmentKind::Kernel, "eim::update_counts",
-                              spec.costs.kernel_launch_us * 1e-6 +
-                                  spec.cycles_to_seconds(static_cast<double>(makespan)));
-    }
+    charge_update(dec_cycles);
   }
 
   result.coverage_fraction = num_sets == 0 ? 0.0

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::gpusim {
 
@@ -39,6 +40,8 @@ class DeviceMemoryPool {
     while (peak < now && !peak_.compare_exchange_weak(peak, now)) {
     }
     alloc_events_.fetch_add(1, std::memory_order_relaxed);
+    if (hwm_gauge_ != nullptr) hwm_gauge_->max_update(now);
+    if (alloc_counter_ != nullptr) alloc_counter_->add();
   }
 
   void deallocate(std::uint64_t bytes) noexcept {
@@ -58,11 +61,25 @@ class DeviceMemoryPool {
 
   void reset_peak() noexcept { peak_.store(allocated_.load()); }
 
+  /// Mirror the high-water mark and allocation events into metrics
+  /// instruments (either may be null; pass nulls to detach). The
+  /// instruments are not owned — detach before they are destroyed. Attach
+  /// from the driving thread before kernels launch; the pointers themselves
+  /// are not synchronized.
+  void attach_metrics(support::metrics::Gauge* high_water,
+                      support::metrics::Counter* allocations) noexcept {
+    hwm_gauge_ = high_water;
+    alloc_counter_ = allocations;
+    if (hwm_gauge_ != nullptr) hwm_gauge_->max_update(peak_bytes());
+  }
+
  private:
   std::uint64_t capacity_;
   std::atomic<std::uint64_t> allocated_{0};
   std::atomic<std::uint64_t> peak_{0};
   std::atomic<std::uint64_t> alloc_events_{0};
+  support::metrics::Gauge* hwm_gauge_ = nullptr;
+  support::metrics::Counter* alloc_counter_ = nullptr;
 };
 
 /// RAII device allocation of `T[count]`. Move-only.

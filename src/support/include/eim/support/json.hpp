@@ -29,6 +29,11 @@ class JsonWriter {
   JsonWriter& value(bool flag);
   JsonWriter& null();
 
+  /// Splice pre-serialized JSON verbatim (caller guarantees validity).
+  /// Lets one document embed another without re-parsing — e.g. a bench
+  /// report embedding a per-cell metrics snapshot.
+  JsonWriter& raw_value(std::string_view json);
+
   /// key + value in one call.
   template <typename T>
   JsonWriter& field(std::string_view name, T&& v) {

@@ -1,0 +1,157 @@
+// Run-wide metrics: counters, gauges, and phase timers.
+//
+// The registry is the instrumentation substrate for the whole pipeline —
+// sampler commit retries, collection regrows, selector decode traffic,
+// device memory high-water marks — so that every run (CLI or bench) can
+// emit one machine-readable report with the numbers the paper's figures
+// are built from (per-phase time, peak memory, queue/commit traffic).
+//
+// Thread-safety: instrument handles (Counter/Gauge/PhaseTimer) are lock-free
+// atomics, safe to bump from sampler blocks running on the host pool.
+// Registration (counter()/gauge()/phase()) takes a mutex and returns a
+// reference that stays valid for the registry's lifetime — look handles up
+// once outside hot loops. write_json() snapshots under the same mutex.
+//
+// The JSON schema ("eim.metrics.v1") is documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "eim/support/json.hpp"
+
+namespace eim::support::metrics {
+
+/// Monotone event count (relaxed atomic increments).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write or high-water-mark sample of an instantaneous quantity.
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  /// Racy-max update: keeps the largest value ever observed.
+  void max_update(std::uint64_t v) noexcept {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated time for one named pipeline phase. Wall seconds are host
+/// time (what the operator waits for); modeled seconds are simulated device
+/// time (what the paper's speedup plots compare). Both accumulate across
+/// entries because IMM phases interleave (sample, select, sample, ...).
+class PhaseTimer {
+ public:
+  void add_wall(double seconds) noexcept {
+    atomic_add(wall_, seconds);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_modeled(double seconds) noexcept { atomic_add(modeled_, seconds); }
+
+  [[nodiscard]] double wall_seconds() const noexcept {
+    return wall_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double modeled_seconds() const noexcept {
+    return modeled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t entries() const noexcept {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// CAS add (std::atomic<double>::fetch_add needs a newer libstdc++).
+  static void atomic_add(std::atomic<double>& a, double delta) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> wall_{0.0};
+  std::atomic<double> modeled_{0.0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+/// Named instrument store. Instruments are created on first lookup and live
+/// as long as the registry; names are dotted paths ("sampler.commit_retries").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] PhaseTimer& phase(std::string_view name);
+
+  /// Serialize the registry as one JSON object:
+  /// {"counters":{...},"gauges":{...},"phases":[{...}]}. Names sort
+  /// lexicographically so reports diff cleanly across runs.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<PhaseTimer>, std::less<>> phases_;
+};
+
+/// RAII wall-clock scope for one phase entry; optionally folds in the
+/// modeled-seconds delta the caller measured across the same scope.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& timer) noexcept;
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One run's identity plus a snapshot of its registry, serializable to the
+/// "eim.metrics.v1" JSON document that eim_cli --metrics-json and the bench
+/// reporter both emit.
+struct RunReport {
+  std::string tool;   ///< producing binary ("eim_cli", "bench_fig7_ic", ...)
+  std::string graph;  ///< dataset name or file path
+  std::string algo;
+  std::string model;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint32_t k = 0;
+  double epsilon = 0.0;
+  const MetricsRegistry* metrics = nullptr;  ///< not owned; may be null
+
+  void write_json(std::ostream& out) const;
+};
+
+}  // namespace eim::support::metrics

@@ -98,6 +98,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  separator();
+  *out_ << json;
+  return *this;
+}
+
 void JsonWriter::escape(std::string_view text) {
   for (const char c : text) {
     switch (c) {

@@ -1,0 +1,89 @@
+#include "eim/support/metrics.hpp"
+
+#include <utility>
+
+namespace eim::support::metrics {
+
+namespace {
+
+/// Emplace-or-find under the registry mutex; the unique_ptr indirection
+/// keeps instrument addresses stable across later insertions.
+template <typename Map, typename Instrument = typename Map::mapped_type::element_type>
+Instrument& lookup(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<Instrument>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return lookup(mu_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return lookup(mu_, gauges_, name);
+}
+
+PhaseTimer& MetricsRegistry::phase(std::string_view name) {
+  return lookup(mu_, phases_, name);
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+  w.begin_array("phases");
+  for (const auto& [name, p] : phases_) {
+    w.begin_object()
+        .field("name", std::string_view(name))
+        .field("wall_seconds", p->wall_seconds())
+        .field("modeled_seconds", p->modeled_seconds())
+        .field("entries", p->entries())
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+ScopedPhase::ScopedPhase(PhaseTimer& timer) noexcept
+    : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+
+ScopedPhase::~ScopedPhase() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  timer_->add_wall(std::chrono::duration<double>(elapsed).count());
+}
+
+void RunReport::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "eim.metrics.v1");
+  w.field("tool", std::string_view(tool));
+  w.key("run").begin_object();
+  w.field("graph", std::string_view(graph))
+      .field("algo", std::string_view(algo))
+      .field("model", std::string_view(model))
+      .field("vertices", vertices)
+      .field("edges", edges)
+      .field("k", std::uint64_t{k})
+      .field("epsilon", epsilon);
+  w.end_object();
+  w.key("metrics");
+  if (metrics != nullptr) {
+    metrics->write_json(w);
+  } else {
+    w.null();
+  }
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace eim::support::metrics

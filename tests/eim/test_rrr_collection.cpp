@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::eim_impl {
 namespace {
@@ -146,6 +148,72 @@ TEST(DeviceRrrCollection, ConcurrentCommitsAreSafe) {
     const auto v = static_cast<VertexId>(i & 0xFFF);
     EXPECT_EQ(col.element(i, 0), v);
   }
+}
+
+TEST(DeviceRrrCollection, CursorNeverOvershootsCapacityUnderContention) {
+  // Default-suite smoke version of tests/stress/test_commit_stress.cpp: the
+  // CAS claim makes the element cursor monotone and bounded by capacity even
+  // while most commits are failing at the boundary. (The old
+  // fetch_add/fetch_sub rollback violated both observably.)
+  gpusim::Device device = make_device();
+  constexpr std::uint64_t kCapacity = 64;
+  DeviceRrrCollection col(device, 1 << 10, true);
+  col.reserve(512, kCapacity);
+
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&col, &violations, t] {
+      std::uint64_t watermark = 0;
+      for (std::uint64_t i = static_cast<std::uint64_t>(t); i < 512; i += 4) {
+        std::vector<VertexId> set(i % 8 == 0 ? 2 : kCapacity + 8);
+        for (std::size_t j = 0; j < set.size(); ++j) {
+          set[j] = static_cast<VertexId>(j);
+        }
+        (void)col.try_commit(i, set);
+        const std::uint64_t seen = col.total_elements();
+        if (seen > kCapacity || seen < watermark) violations.fetch_add(1);
+        watermark = std::max(watermark, seen);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_LE(col.total_elements(), kCapacity);
+}
+
+TEST(DeviceRrrCollection, MetricsCountRejectsAndRegrows) {
+  gpusim::Device device = make_device();
+  support::metrics::MetricsRegistry registry;
+  DeviceRrrCollection col(device, 100, true);
+  col.attach_metrics(&registry);
+
+  col.reserve(4, 4);  // first O + R growth
+  const std::vector<VertexId> big{1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(col.try_commit(0, big));
+  EXPECT_FALSE(col.try_commit(1, big));
+  EXPECT_EQ(registry.counter("rrr.commit_rejects").value(), 2u);
+
+  col.reserve(4, 64);  // R regrows, O stays
+  EXPECT_TRUE(col.try_commit(0, big));
+  EXPECT_EQ(registry.counter("rrr.commit_rejects").value(), 2u);
+  EXPECT_EQ(registry.counter("rrr.regrow_r").value(), 2u);
+  EXPECT_EQ(registry.counter("rrr.regrow_o").value(), 1u);
+}
+
+TEST(DeviceRrrCollection, StoredBytesChargeReservedOffsets) {
+  // stored_bytes must report the O footprint actually charged to the pool —
+  // reserve() sizes starts_, and num_sets() lags it mid-run.
+  gpusim::Device device = make_device();
+  DeviceRrrCollection col(device, 100, false);
+  col.reserve(10, 32);
+  (void)col.try_commit(0, std::vector<VertexId>{1, 2});
+  col.set_num_sets(1);
+
+  const std::uint64_t o_bytes = 10 * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  const std::uint64_t c_bytes = 100 * sizeof(std::uint32_t);
+  EXPECT_EQ(col.stored_bytes(), 2 * sizeof(VertexId) + o_bytes + c_bytes);
+  EXPECT_EQ(col.stored_bytes(), col.raw_equivalent_bytes());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "eim/graph/generators.hpp"
 #include "eim/imm/imm.hpp"
 #include "eim/imm/rrr_store.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::eim_impl {
 namespace {
@@ -73,6 +74,42 @@ TEST(GpuSeedSelector, ChargesPerPickKernels) {
   }
   EXPECT_EQ(argmax, 4u);
   EXPECT_EQ(update, 4u);
+}
+
+TEST(GpuSeedSelector, SaturatedSelectionChargesAllKPicks) {
+  // One vertex covers every set, so picks 2..k are zero-gain fillers. The
+  // device still launches an argmax + update pair per pick; the filler path
+  // must charge exactly like the unsaturated one (k pairs total), not bail
+  // out after the first pick.
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  DeviceRrrCollection collection(device, 10, /*log_encode=*/true);
+  collection.reserve(3, 16);
+  const std::vector<VertexId> s0{0};
+  const std::vector<VertexId> s2{0, 1};
+  ASSERT_TRUE(collection.try_commit(0, s0));
+  ASSERT_TRUE(collection.try_commit(1, s0));
+  ASSERT_TRUE(collection.try_commit(2, s2));
+  collection.set_num_sets(3);
+
+  device.timeline().reset();
+  support::metrics::MetricsRegistry registry;
+  GpuSeedSelector selector(device, ScanStrategy::ThreadPerSet);
+  selector.attach_metrics(&registry);
+  const auto sel = selector.select(collection, 5);
+  ASSERT_EQ(sel.seeds.size(), 5u);
+  EXPECT_EQ(sel.seeds.front(), 0u);
+
+  std::size_t argmax = 0;
+  std::size_t update = 0;
+  for (const auto& seg : device.timeline().segments()) {
+    argmax += seg.label == "eim::argmax";
+    update += seg.label == "eim::update_counts";
+  }
+  EXPECT_EQ(argmax, 5u);
+  EXPECT_EQ(update, 5u);
+  EXPECT_EQ(registry.counter("selector.argmax_kernels").value(), 5u);
+  EXPECT_EQ(registry.counter("selector.update_kernels").value(), 5u);
+  EXPECT_EQ(registry.counter("selector.fallback_picks").value(), 4u);
 }
 
 TEST(GpuSeedSelector, ThreadScanWinsAtLargeN) {

@@ -7,6 +7,7 @@
 
 #include "eim/support/error.hpp"
 #include "eim/support/rng.hpp"
+#include "eim/support/thread_pool.hpp"
 
 namespace eim::encoding {
 namespace {
@@ -140,6 +141,61 @@ TEST_P(StoreReleaseEquivalence, MatchesSet) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, StoreReleaseEquivalence,
                          ::testing::Values(1u, 3u, 7u, 12u, 19u, 32u, 45u, 64u));
+
+// Widths at and around the 32-bit container size are the slots where a
+// value straddles a word boundary (33/63) or aligns exactly (32/64, where a
+// straddle bug would instead clobber the neighboring container). All-ones
+// payloads written in descending order make any cross-word bleed visible as
+// a corrupted neighbor.
+class WordBoundarySpan : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WordBoundarySpan, MaxValuesDoNotBleedAcrossWords) {
+  const std::uint32_t bits = GetParam();
+  const std::uint64_t max_value = support::low_mask64(bits);
+  constexpr std::size_t kCount = 97;
+
+  BitPackedArray packed(kCount, bits);
+  // Alternating max/zero, written back-to-front so each store lands next to
+  // an already-written neighbor on at least one side.
+  for (std::size_t i = kCount; i-- > 0;) {
+    packed.set(i, i % 2 == 0 ? max_value : 0);
+  }
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(packed.get(i), i % 2 == 0 ? max_value : 0u) << "slot " << i;
+  }
+
+  // Overwriting interior slots must leave both neighbors intact even when
+  // the slot shares containers with them.
+  packed.set(31, 0);
+  packed.set(33, 0);
+  EXPECT_EQ(packed.get(30), max_value);
+  EXPECT_EQ(packed.get(32), max_value);
+  EXPECT_EQ(packed.get(34), max_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundaryWidths, WordBoundarySpan,
+                         ::testing::Values(31u, 32u, 33u, 63u, 64u));
+
+TEST(BitPackedArray, StoreReleasePublishesFromThreadPool) {
+  // The sampler publishes committed sets via store_release from the host
+  // pool that backs launch_blocks; mirror that here. Width 33 guarantees
+  // every value spans a container boundary, so racing fetch_or publishes
+  // into shared words is the common case, not the exception.
+  constexpr std::size_t kCount = 2048;
+  constexpr std::uint32_t kBits = 33;
+  const std::uint64_t mask = support::low_mask64(kBits);
+  BitPackedArray packed(kCount, kBits);
+
+  support::ThreadPool pool(8);
+  pool.parallel_for(0, kCount,
+                    [&packed, mask](std::size_t i) {
+                      packed.store_release(i, (i * 0x9E3779B97F4A7C15ull) & mask);
+                    });
+
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(packed.get(i), (i * 0x9E3779B97F4A7C15ull) & mask) << "slot " << i;
+  }
+}
 
 }  // namespace
 }  // namespace eim::encoding

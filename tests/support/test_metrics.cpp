@@ -1,0 +1,142 @@
+#include "eim/support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "eim/support/json.hpp"
+#include "eim/support/thread_pool.hpp"
+
+namespace eim::support::metrics {
+namespace {
+
+TEST(Counter, AccumulatesDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, MaxUpdateKeepsHighWaterMark) {
+  Gauge g;
+  g.max_update(10);
+  g.max_update(7);
+  EXPECT_EQ(g.value(), 10u);
+  g.set(3);  // plain set may lower it (last-write semantics)
+  EXPECT_EQ(g.value(), 3u);
+  g.max_update(5);
+  EXPECT_EQ(g.value(), 5u);
+}
+
+TEST(PhaseTimer, TracksWallModeledAndEntries) {
+  PhaseTimer t;
+  t.add_wall(0.5);
+  t.add_wall(0.25);
+  t.add_modeled(0.125);
+  EXPECT_DOUBLE_EQ(t.wall_seconds(), 0.75);
+  EXPECT_DOUBLE_EQ(t.modeled_seconds(), 0.125);
+  EXPECT_EQ(t.entries(), 2u);  // only add_wall counts an entry
+}
+
+TEST(MetricsRegistry, SameNameYieldsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.hits");
+  a.add(3);
+  EXPECT_EQ(reg.counter("x.hits").value(), 3u);
+  EXPECT_NE(&reg.counter("x.other"), &a);
+  // Counter, gauge, and phase namespaces are independent.
+  reg.gauge("x.hits").set(99);
+  EXPECT_EQ(reg.counter("x.hits").value(), 3u);
+  EXPECT_EQ(reg.gauge("x.hits").value(), 99u);
+}
+
+TEST(MetricsRegistry, HandlesStayValidAcrossInsertions) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("a");
+  for (int i = 0; i < 100; ++i) (void)reg.counter("c" + std::to_string(i));
+  first.add(7);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndBumps) {
+  MetricsRegistry reg;
+  ThreadPool pool(8);
+  // Every task registers-or-finds one of 4 shared counters and bumps it —
+  // the mutex-guarded lookup and the lock-free bump must both hold up.
+  pool.parallel_for(0, 4000, [&reg](std::size_t i) {
+    reg.counter("shared." + std::to_string(i % 4)).add();
+  });
+  std::uint64_t total = 0;
+  for (int i = 0; i < 4; ++i) total += reg.counter("shared." + std::to_string(i)).value();
+  EXPECT_EQ(total, 4000u);
+}
+
+TEST(MetricsRegistry, WriteJsonEmitsSortedSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("b.second").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("peak").set(512);
+  reg.phase("sample").add_wall(1.5);
+  reg.phase("sample").add_modeled(0.5);
+
+  std::ostringstream out;
+  JsonWriter w(out);
+  reg.write_json(w);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"counters\":{\"a.first\":1,\"b.second\":2}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"peak\":512}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"sample\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_seconds\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"modeled_seconds\":0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"entries\":1"), std::string::npos) << json;
+}
+
+TEST(ScopedPhase, AddsOneEntryWithNonNegativeWall) {
+  PhaseTimer t;
+  {
+    const ScopedPhase scope(t);
+  }
+  EXPECT_EQ(t.entries(), 1u);
+  EXPECT_GE(t.wall_seconds(), 0.0);
+}
+
+TEST(RunReport, WritesSchemaEnvelope) {
+  MetricsRegistry reg;
+  reg.counter("rrr.commit_rejects").add(5);
+
+  RunReport report;
+  report.tool = "test";
+  report.graph = "wiki-Vote";
+  report.algo = "eim";
+  report.model = "IC";
+  report.vertices = 4096;
+  report.edges = 47099;
+  report.k = 25;
+  report.epsilon = 0.13;
+  report.metrics = &reg;
+
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"schema\":\"eim.metrics.v1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tool\":\"test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"graph\":\"wiki-Vote\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"k\":25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rrr.commit_rejects\":5"), std::string::npos) << json;
+}
+
+TEST(RunReport, NullRegistrySerializesAsNull) {
+  RunReport report;
+  report.tool = "test";
+  std::ostringstream out;
+  report.write_json(out);
+  EXPECT_NE(out.str().find("\"metrics\":null"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace eim::support::metrics

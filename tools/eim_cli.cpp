@@ -11,6 +11,7 @@
 // Monte-Carlo estimate of the expected spread over N cascades.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -27,6 +28,7 @@
 #include "eim/imm/imm.hpp"
 #include "eim/imm/tim.hpp"
 #include "eim/support/json.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace {
 
@@ -44,6 +46,7 @@ struct CliOptions {
   bool no_log_encoding = false;
   bool no_source_elim = false;
   bool json = false;
+  std::string metrics_json;  ///< write an eim.metrics.v1 report here
 };
 
 void print_usage() {
@@ -62,6 +65,9 @@ void print_usage() {
       "  --no-log-encoding    disable the Section 3.1 compression\n"
       "  --no-source-elim     disable the Section 3.4 heuristic\n"
       "  --json               print the result as a JSON object\n"
+      "  --metrics-json <path>  write an eim.metrics.v1 run report (phase\n"
+      "                       timers, memory high-water mark, commit/regrow\n"
+      "                       counters; see docs/OBSERVABILITY.md)\n"
       "  --list-datasets      print the registry and exit");
 }
 
@@ -124,6 +130,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opt.no_source_elim = true;
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--metrics-json" && (value = next())) {
+      opt.metrics_json = value;
     } else if (value == nullptr) {
       std::fprintf(stderr, "error: unknown option '%s'\n\n", arg.c_str());
       print_usage();
@@ -166,7 +174,9 @@ int main(int argc, char** argv) {
                 opt.params.epsilon);
   }
 
-  // Run the requested algorithm.
+  // Run the requested algorithm. The registry collects instrumentation from
+  // whatever path runs; --metrics-json serializes it afterwards.
+  support::metrics::MetricsRegistry registry;
   eim_impl::EimResult result;
   try {
     if (opt.algo == "serial") {
@@ -188,6 +198,7 @@ int main(int argc, char** argv) {
       eim_impl::EimOptions options;
       options.log_encode = !opt.no_log_encoding;
       options.eliminate_sources = !opt.no_source_elim;
+      options.metrics = &registry;
       const auto multi = eim_impl::run_eim_multi(ptrs, g, opt.model, opt.params, options);
       result = multi;
       std::printf("devices: %u (communication %.3f ms)\n", multi.num_devices,
@@ -198,6 +209,7 @@ int main(int argc, char** argv) {
         eim_impl::EimOptions options;
         options.log_encode = !opt.no_log_encoding;
         options.eliminate_sources = !opt.no_source_elim;
+        options.metrics = &registry;
         result = eim_impl::run_eim(device, g, opt.model, opt.params, options);
       } else if (opt.algo == "gim") {
         result = baselines::run_gim(device, g, opt.model, opt.params);
@@ -214,6 +226,26 @@ int main(int argc, char** argv) {
   } catch (const support::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+
+  if (!opt.metrics_json.empty()) {
+    std::ofstream out(opt.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   opt.metrics_json.c_str());
+      return 1;
+    }
+    support::metrics::RunReport report;
+    report.tool = "eim_cli";
+    report.graph = source_name;
+    report.algo = opt.algo;
+    report.model = graph::to_string(opt.model);
+    report.vertices = g.num_vertices();
+    report.edges = g.num_edges();
+    report.k = opt.params.k;
+    report.epsilon = opt.params.epsilon;
+    report.metrics = &registry;
+    report.write_json(out);
   }
 
   if (opt.json) {
