@@ -156,8 +156,16 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
                                    &registry.counter("device.alloc_events"));
     try {
       cell.last = runner(device, g, registry, run);
-    } catch (const support::DeviceOutOfMemoryError&) {
+    } catch (const support::DeviceOutOfMemoryError& e) {
       registry.counter("bench.oom_runs").add();
+      // Record how far over budget the cell was, so the EIM_BENCH_JSON
+      // report can say "needed X more bytes" instead of just "OOM".
+      registry.gauge("bench.oom_requested_bytes").set(e.requested_bytes());
+      registry.gauge("bench.oom_available_bytes").set(e.available_bytes());
+      registry.gauge("bench.oom_shortfall_bytes")
+          .set(e.requested_bytes() > e.available_bytes()
+                   ? e.requested_bytes() - e.available_bytes()
+                   : 0);
       cell.seconds.reset();
       oom = true;
       break;

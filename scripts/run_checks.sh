@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build everything under AddressSanitizer + UBSan and run
+# the default test suite plus the stress-labeled tests (see README.md).
+#
+# Usage: scripts/run_checks.sh [build-dir]
+#   build-dir defaults to build-asan (kept separate from the regular build).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure (${build_dir}, ASan+UBSan) =="
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DEIM_SANITIZE=ON
+
+echo "== build =="
+cmake --build "${build_dir}" -j "${jobs}"
+
+# Make UBSan failures fatal and loud; halt_on_error keeps ctest exit codes
+# meaningful instead of letting a poisoned process limp to "Passed".
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+echo "== default test suite =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+echo "== stress-labeled tests =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -C stress -L stress
+
+echo "All checks passed."

@@ -13,8 +13,17 @@
 //
 // Modeled time per phase = max over devices (they run concurrently) plus
 // the reduction/broadcast transfers.
+//
+// Failover (docs/RESILIENCE.md): if a device dies mid-sampling
+// (DeviceLostError, or a transient fault that exhausts the retry budget),
+// its residual shard — every sample index it owned plus its in-flight
+// batch — is redistributed across the survivors and regenerated from the
+// same index-keyed random streams. Because streams are keyed by sample
+// index, not by device, the final seed set is bit-identical to the
+// fault-free run; only the modeled time and shard layout change.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "eim/eim/options.hpp"
@@ -29,11 +38,19 @@ struct MultiGpuResult : EimResult {
   std::uint32_t num_devices = 1;
   /// Modeled seconds spent in count all-reduce / pick broadcast.
   double communication_seconds = 0.0;
+  /// Devices (indices into the input vector) decommissioned by failover.
+  std::vector<std::uint32_t> failed_devices;
+  /// RRR sets that had to be regenerated on survivors after device loss.
+  std::uint64_t failover_regenerated_sets = 0;
+  /// Interconnect bytes spent redistributing lost shards' sample indices.
+  std::uint64_t failover_transfer_bytes = 0;
 };
 
 /// Run eIM across `devices.size()` simulated GPUs. Seeds (and every other
 /// algorithmic output) are identical to the single-device run with the same
-/// parameters; only the modeled time changes.
+/// parameters; only the modeled time changes. Device loss mid-run triggers
+/// deterministic failover (see above) as long as one device survives;
+/// losing every device raises DeviceLostError.
 [[nodiscard]] MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
                                            const graph::Graph& g,
                                            graph::DiffusionModel model,

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "eim/imm/params.hpp"
+#include "eim/support/retry.hpp"
 
 namespace eim::support::metrics {
 class MetricsRegistry;
@@ -28,6 +29,16 @@ enum class LtActivationMethod {
   AtomicAdd,
 };
 
+/// What the pipeline does when the device runs out of memory while growing
+/// the RRR collection (docs/RESILIENCE.md).
+enum class OomPolicy {
+  /// Propagate DeviceOutOfMemoryError — the paper's "OOM" cell behavior.
+  Throw,
+  /// Stop theta refinement at the last state that fit, keep every committed
+  /// set, and return best-effort seeds with EimResult::degraded set.
+  Degrade,
+};
+
 struct EimOptions {
   /// §3.1: log-encode the network CSC and the RRR array R.
   bool log_encode = true;
@@ -41,6 +52,11 @@ struct EimOptions {
   /// run). When set, the pipeline records phase timers and commit/regrow/
   /// decode counters into it — see docs/OBSERVABILITY.md.
   support::metrics::MetricsRegistry* metrics = nullptr;
+  /// Behavior when device memory runs out mid-collection-growth.
+  OomPolicy oom_policy = OomPolicy::Throw;
+  /// Bounded retry for transient device faults around sampler launches and
+  /// transfers; backoff is deterministic modeled time on the device.
+  support::RetryPolicy retry;
 };
 
 /// ImmResult plus the device-side metrics the paper's figures report.
@@ -60,6 +76,12 @@ struct EimResult : imm::ImmResult {
   std::uint64_t network_raw_bytes = 0;
   /// In-kernel dynamic allocations (always 0 for eIM; nonzero for gIM).
   std::uint64_t device_mallocs = 0;
+  /// OomPolicy::Degrade fired: theta refinement stopped early and the seeds
+  /// are best-effort over the sets that fit. Fault-free runs stay false.
+  bool degraded = false;
+  /// Bytes the collection growth was short by when degradation triggered
+  /// (requested - available at the OOM).
+  std::uint64_t degrade_shortfall_bytes = 0;
 };
 
 }  // namespace eim::eim_impl

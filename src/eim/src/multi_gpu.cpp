@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/sampler.hpp"
@@ -10,8 +11,6 @@
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
-
-#include <optional>
 
 namespace eim::eim_impl {
 
@@ -44,6 +43,11 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   if (options.log_encode) network_bytes = encoding::PackedCsc(g).packed_bytes();
   result.network_bytes = network_bytes;
 
+  std::vector<gpusim::FaultStats> faults_before(num_devices);
+  for (std::uint32_t d = 0; d < num_devices; ++d) {
+    faults_before[d] = devices[d]->fault_stats();
+  }
+
   // Every device holds the (packed) graph and its own shard state.
   std::vector<gpusim::DeviceBuffer<std::uint8_t>> network_charges;
   std::vector<std::unique_ptr<DeviceRrrCollection>> shards;
@@ -70,33 +74,105 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   support::metrics::PhaseTimer* select_phase =
       options.metrics != nullptr ? &options.metrics->phase("select") : nullptr;
 
-  gpusim::Device& primary = *devices.front();
+  // Failover bookkeeping. `alive` holds the indices still in service;
+  // `assigned[d]` lists device d's sample ids in local-slot order, and
+  // owner_of/slot_of invert that mapping per global sample id. In the
+  // fault-free case the layout reduces to the classic id % D / id / D
+  // striping, but after a loss survivors absorb the dead shard's ids at
+  // whatever slots come next.
+  std::vector<std::uint32_t> alive(num_devices);
+  for (std::uint32_t d = 0; d < num_devices; ++d) alive[d] = d;
+  std::vector<std::vector<std::uint64_t>> assigned(num_devices);
+  std::vector<std::uint32_t> owner_of;
+  std::vector<std::uint64_t> slot_of;
+
+  gpusim::Device* primary = devices.front();
   std::uint64_t sampled_global = 0;
   double communication = 0.0;
 
-  // Sampling: global id i goes to device i % D; the union of shards equals
-  // the single-device collection exactly.
+  // Decommission device d: respill everything it owned (plus its in-flight
+  // batch) into `todo`, free its device-side state, and charge the
+  // redistribution broadcast of the respilled sample indices on the
+  // (possibly just-promoted) primary.
+  const auto decommission = [&](std::uint32_t d, std::vector<std::uint64_t>& todo,
+                                const std::vector<std::uint64_t>& in_flight) {
+    const std::uint64_t regenerated = assigned[d].size();
+    const std::uint64_t respilled = regenerated + in_flight.size();
+    for (const std::uint64_t id : assigned[d]) todo.push_back(id);
+    for (const std::uint64_t id : in_flight) todo.push_back(id);
+    result.failover_regenerated_sets += regenerated;
+    assigned[d].clear();
+    // Teardown is safe on a lost device: deallocation stays permitted.
+    samplers[d].reset();
+    shards[d].reset();
+    network_charges[d] = gpusim::DeviceBuffer<std::uint8_t>{};
+    alive.erase(std::find(alive.begin(), alive.end(), d));
+    result.failed_devices.push_back(d);
+    EIM_CHECK_MSG(!alive.empty(), "every device lost; cannot recover the run");
+    primary = devices[alive.front()];
+    const std::uint64_t bytes = respilled * sizeof(std::uint64_t);
+    if (bytes > 0) {
+      primary->transfer_to_device("failover redistribution", bytes);
+      result.failover_transfer_bytes += bytes;
+    }
+    if (options.metrics != nullptr) {
+      options.metrics->counter("multi.failover_events").add();
+      options.metrics->counter("multi.failover_regenerated_sets").add(regenerated);
+      options.metrics->counter("multi.failover_transfer_bytes").add(bytes);
+    }
+  };
+
+  // Sampling with failover: distribute the outstanding ids over the
+  // survivors (id % |alive| striping), absorb device deaths by respilling,
+  // and loop until every id is committed somewhere.
   auto sample_to = [&](std::uint64_t target) {
     if (target <= sampled_global) return;
     std::optional<support::metrics::ScopedPhase> scope;
     if (sample_phase != nullptr) scope.emplace(*sample_phase);
-    for (std::uint32_t d = 0; d < num_devices; ++d) {
-      std::vector<std::uint64_t> ids;
-      for (std::uint64_t i = sampled_global; i < target; ++i) {
-        if (i % num_devices == d) ids.push_back(i);
-      }
-      if (!ids.empty()) samplers[d]->sample_assigned(*shards[d], ids);
-    }
+
+    std::vector<std::uint64_t> todo;
+    todo.reserve(target - sampled_global);
+    for (std::uint64_t i = sampled_global; i < target; ++i) todo.push_back(i);
     sampled_global = target;
+    owner_of.resize(sampled_global);
+    slot_of.resize(sampled_global);
+
+    while (!todo.empty()) {
+      std::sort(todo.begin(), todo.end());
+      std::vector<std::vector<std::uint64_t>> batch(num_devices);
+      for (const std::uint64_t id : todo) {
+        batch[alive[id % alive.size()]].push_back(id);
+      }
+      todo.clear();
+
+      const std::vector<std::uint32_t> round = alive;  // decommission mutates alive
+      for (const std::uint32_t d : round) {
+        if (batch[d].empty()) continue;
+        try {
+          samplers[d]->sample_assigned(*shards[d], batch[d]);
+          for (const std::uint64_t id : batch[d]) {
+            owner_of[id] = d;
+            slot_of[id] = assigned[d].size();
+            assigned[d].push_back(id);
+          }
+        } catch (const support::DeviceLostError&) {
+          decommission(d, todo, batch[d]);
+        } catch (const support::DeviceFaultError&) {
+          // Transient faults are retried inside the sampler; reaching here
+          // means the retry budget is exhausted — retire the device.
+          decommission(d, todo, batch[d]);
+        }
+      }
+    }
 
     // All-reduce the per-vertex counts to the primary (ring reduce: each
-    // device ships its count array once).
+    // surviving device ships its count array once).
     const std::uint64_t count_bytes =
         static_cast<std::uint64_t>(g.num_vertices()) * sizeof(std::uint32_t);
-    for (std::uint32_t d = 1; d < num_devices; ++d) {
-      const double before = primary.timeline().transfer_seconds();
-      primary.transfer_to_device("count all-reduce", count_bytes);
-      communication += primary.timeline().transfer_seconds() - before;
+    for (std::size_t j = 1; j < alive.size(); ++j) {
+      const double before = primary->timeline().transfer_seconds();
+      primary->transfer_to_device("count all-reduce", count_bytes);
+      communication += primary->timeline().transfer_seconds() - before;
       if (count_allreduces != nullptr) count_allreduces->add();
     }
   };
@@ -109,26 +185,26 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     if (select_phase != nullptr) scope.emplace(*select_phase);
     const VertexId n = g.num_vertices();
 
-    // Merge shard mirrors. Global set id i lives on device i % D at local
-    // slot i / D.
+    // Merge shard mirrors through the owner/slot maps (id % D striping in
+    // the fault-free case, arbitrary after failover).
     const std::uint64_t num_sets = sampled_global;
     std::vector<std::uint32_t> lengths(num_sets);
     std::vector<std::uint64_t> starts(num_sets + 1, 0);
     for (std::uint64_t i = 0; i < num_sets; ++i) {
-      lengths[i] = shards[i % num_devices]->set_length(i / num_devices);
+      lengths[i] = shards[owner_of[i]]->set_length(slot_of[i]);
       starts[i + 1] = starts[i] + lengths[i];
     }
     std::vector<VertexId> flat(starts[num_sets]);
     for (std::uint64_t i = 0; i < num_sets; ++i) {
-      const auto& shard = *shards[i % num_devices];
+      const auto& shard = *shards[owner_of[i]];
       for (std::uint32_t j = 0; j < lengths[i]; ++j) {
-        flat[starts[i] + j] = shard.element(i / num_devices, j);
+        flat[starts[i] + j] = shard.element(slot_of[i], j);
       }
     }
 
     std::vector<std::uint32_t> counts(n, 0);
-    for (const auto& shard : shards) {
-      for (VertexId v = 0; v < n; ++v) counts[v] += shard->counts()[v];
+    for (const std::uint32_t d : alive) {
+      for (VertexId v = 0; v < n; ++v) counts[v] += shards[d]->counts()[v];
     }
 
     // Inverted index for the exact greedy.
@@ -145,7 +221,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
       }
     }
 
-    const auto& spec = primary.spec();
+    const auto& spec = primary->spec();
     const auto g_lat = static_cast<std::uint64_t>(spec.costs.global_latency);
     const auto a_lat = static_cast<std::uint64_t>(spec.costs.atomic_global);
     const std::uint64_t units = spec.max_resident_threads();
@@ -154,8 +230,8 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     std::vector<std::uint64_t> shard_sets(num_devices, 0);
     std::vector<std::uint64_t> shard_search(num_devices, 0);
     for (std::uint64_t i = 0; i < num_sets; ++i) {
-      shard_sets[i % num_devices]++;
-      shard_search[i % num_devices] += binsearch_probes(lengths[i]) * g_lat;
+      shard_sets[owner_of[i]]++;
+      shard_search[owner_of[i]] += binsearch_probes(lengths[i]) * g_lat;
     }
 
     std::vector<bool> covered(num_sets, false);
@@ -169,7 +245,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     // the kernel and round-trip the (zero-gain) pick.
     const auto charge_pick = [&](const std::vector<std::uint64_t>& shard_dec) {
       double pick_seconds = 0.0;
-      for (std::uint32_t d = 0; d < num_devices; ++d) {
+      for (const std::uint32_t d : alive) {
         if (shard_sets[d] == 0) continue;
         const std::uint64_t total =
             shard_sets[d] * g_lat + shard_search[d] + shard_dec[d];
@@ -179,15 +255,15 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
             pick_seconds, spec.costs.kernel_launch_us * 1e-6 +
                               spec.cycles_to_seconds(static_cast<double>(total / used)));
       }
-      primary.timeline().add(gpusim::SegmentKind::Kernel, "eim::multi_update",
-                             pick_seconds);
-      const double before = primary.timeline().transfer_seconds();
-      for (std::uint32_t d = 1; d < num_devices; ++d) {
-        primary.transfer_to_device("pick broadcast", sizeof(VertexId));
-        primary.transfer_to_host("coverage delta", sizeof(std::uint64_t));
+      primary->timeline().add(gpusim::SegmentKind::Kernel, "eim::multi_update",
+                              pick_seconds);
+      const double before = primary->timeline().transfer_seconds();
+      for (std::size_t j = 1; j < alive.size(); ++j) {
+        primary->transfer_to_device("pick broadcast", sizeof(VertexId));
+        primary->transfer_to_host("coverage delta", sizeof(std::uint64_t));
         if (pick_broadcasts != nullptr) pick_broadcasts->add();
       }
-      communication += primary.timeline().transfer_seconds() - before;
+      communication += primary->timeline().transfer_seconds() - before;
     };
     const std::vector<std::uint64_t> no_decrements(num_devices, 0);
 
@@ -224,7 +300,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
         covered[set_id] = true;
         ++sel.covered_sets;
         const std::uint32_t len = lengths[set_id];
-        const std::uint32_t owner = static_cast<std::uint32_t>(set_id % num_devices);
+        const std::uint32_t owner = owner_of[set_id];
         shard_search[owner] -= binsearch_probes(len) * g_lat;
         shard_dec[owner] += static_cast<std::uint64_t>(len) * (g_lat + a_lat);
         for (std::uint64_t p = starts[set_id]; p < starts[set_id + 1]; ++p) {
@@ -244,18 +320,20 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   const imm::FrameworkOutcome outcome =
       imm::run_imm_framework(g.num_vertices(), effective, sample_to, select);
 
-  primary.transfer_to_host("seed set",
-                           outcome.final_selection.seeds.size() * sizeof(VertexId));
+  primary->transfer_to_host("seed set",
+                            outcome.final_selection.seeds.size() * sizeof(VertexId));
 
   result.seeds = outcome.final_selection.seeds;
   result.num_sets = sampled_global;
   result.lower_bound = outcome.lower_bound;
   result.estimation_rounds = outcome.estimation_rounds;
-  for (std::uint32_t d = 0; d < num_devices; ++d) {
+  for (const std::uint32_t d : alive) {
     result.total_elements += shards[d]->total_elements();
     result.singletons_discarded += samplers[d]->singletons_discarded();
     result.rrr_bytes += shards[d]->stored_bytes();
     result.rrr_raw_bytes += shards[d]->raw_equivalent_bytes();
+  }
+  for (std::uint32_t d = 0; d < num_devices; ++d) {
     result.peak_device_bytes =
         std::max(result.peak_device_bytes, devices[d]->memory().peak_bytes());
   }
@@ -267,23 +345,36 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
                             outcome.final_selection.coverage_fraction * kept_fraction;
 
   // Modeled wall time: devices run concurrently — the slowest device's
-  // kernel time governs, plus the primary's transfers (reductions,
-  // broadcasts) which are serialized on its copy engine here.
+  // kernel time governs (dead devices' pre-loss work included), plus the
+  // primary's transfers (reductions, broadcasts, redistribution) which are
+  // serialized on its copy engine here, plus any retry backoff it absorbed.
   double max_kernel = 0.0;
   for (gpusim::Device* d : devices) {
     max_kernel = std::max(max_kernel, d->timeline().kernel_seconds());
   }
-  result.kernel_seconds = std::max(max_kernel, primary.timeline().kernel_seconds());
-  result.transfer_seconds = primary.timeline().transfer_seconds();
+  result.kernel_seconds = std::max(max_kernel, primary->timeline().kernel_seconds());
+  result.transfer_seconds = primary->timeline().transfer_seconds();
   result.communication_seconds = communication;
   result.device_seconds = result.kernel_seconds + result.transfer_seconds +
-                          primary.timeline().allocation_seconds();
+                          primary->timeline().allocation_seconds() +
+                          primary->timeline().backoff_seconds();
   result.device_mallocs = 0;
 
   if (options.metrics != nullptr) {
     options.metrics->counter("imm.estimation_rounds").add(result.estimation_rounds);
     options.metrics->gauge("imm.theta").set(result.num_sets);
     options.metrics->phase("multi.communication").add_modeled(communication);
+    for (std::uint32_t d = 0; d < num_devices; ++d) {
+      const gpusim::FaultStats now = devices[d]->fault_stats();
+      options.metrics->counter("fault.kernel_faults_injected")
+          .add(now.kernel_faults - faults_before[d].kernel_faults);
+      options.metrics->counter("fault.transfer_faults_injected")
+          .add(now.transfer_faults - faults_before[d].transfer_faults);
+      options.metrics->counter("fault.alloc_oom_injected")
+          .add(now.alloc_ooms - faults_before[d].alloc_ooms);
+      options.metrics->counter("fault.device_lost")
+          .add(now.device_losses - faults_before[d].device_losses);
+    }
   }
   return result;
 }

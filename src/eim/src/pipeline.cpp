@@ -1,15 +1,45 @@
 #include "eim/eim/pipeline.hpp"
 
+#include <utility>
+
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/sampler.hpp"
 #include "eim/eim/seed_selector.hpp"
 #include "eim/encoding/packed_csc.hpp"
 #include "eim/imm/driver.hpp"
+#include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/retry.hpp"
 
 namespace eim::eim_impl {
 
 namespace {
+
+/// Retry a transfer under the run's policy, charging deterministic backoff
+/// to the device timeline and counting attempts into `retry.attempts`.
+template <typename Fn>
+void retry_transfer(gpusim::Device& device, const EimOptions& options,
+                    const char* label, Fn&& fn) {
+  support::retry(
+      options.retry, std::forward<Fn>(fn),
+      [&](std::uint32_t /*attempt*/, double backoff,
+          const support::DeviceFaultError&) {
+        device.charge_backoff(std::string(label) + " retry", backoff);
+        if (options.metrics != nullptr) options.metrics->counter("retry.attempts").add();
+      });
+}
+
+/// Fold the run's injected-fault deltas into the registry (fault.* family).
+void record_fault_deltas(support::metrics::MetricsRegistry* reg,
+                         const gpusim::FaultStats& before,
+                         const gpusim::FaultStats& after) {
+  if (reg == nullptr) return;
+  reg->counter("fault.kernel_faults_injected").add(after.kernel_faults - before.kernel_faults);
+  reg->counter("fault.transfer_faults_injected")
+      .add(after.transfer_faults - before.transfer_faults);
+  reg->counter("fault.alloc_oom_injected").add(after.alloc_ooms - before.alloc_ooms);
+  reg->counter("fault.device_lost").add(after.device_losses - before.device_losses);
+}
 
 /// Detach pool instrumentation on scope exit: the device outlives the run,
 /// so its hooks must not dangle into the caller's registry.
@@ -30,6 +60,7 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
                   const EimOptions& options) {
   device.timeline().reset();
   device.memory().reset_peak();
+  const gpusim::FaultStats faults_before = device.fault_stats();
 
   support::metrics::MetricsRegistry* reg = options.metrics;
   PoolMetricsGuard pool_guard(device);
@@ -52,7 +83,8 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   }
   result.network_bytes = network_bytes;
   auto network_charge = device.alloc<std::uint8_t>(network_bytes);
-  device.transfer_to_device("network CSC", network_bytes);
+  retry_transfer(device, options, "network CSC",
+                 [&] { device.transfer_to_device("network CSC", network_bytes); });
 
   DeviceRrrCollection collection(device, g.num_vertices(), options.log_encode);
   collection.attach_metrics(reg);
@@ -67,16 +99,39 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   support::metrics::PhaseTimer* select_phase =
       reg != nullptr ? &reg->phase("select") : nullptr;
 
+  // OomPolicy::Degrade: an OOM while growing the collection stops theta
+  // refinement at the last state that fit — subsequent sample_to calls
+  // become no-ops, the committed prefix stays selectable, and the run
+  // reports best-effort seeds instead of throwing (docs/RESILIENCE.md).
+  bool degraded = false;
+  std::uint64_t degrade_shortfall = 0;
+  const auto sample_to = [&](std::uint64_t target) {
+    if (degraded) return;
+    try {
+      sampler.sample_to(collection, target);
+    } catch (const support::DeviceOutOfMemoryError& oom) {
+      if (options.oom_policy != OomPolicy::Degrade) throw;
+      degraded = true;
+      degrade_shortfall = oom.requested_bytes() > oom.available_bytes()
+                              ? oom.requested_bytes() - oom.available_bytes()
+                              : 0;
+      if (reg != nullptr) {
+        reg->counter("degrade.activations").add();
+        reg->gauge("degrade.shortfall_bytes").set(degrade_shortfall);
+      }
+    }
+  };
+
   const imm::FrameworkOutcome outcome = imm::run_imm_framework(
       g.num_vertices(), effective,
       [&](std::uint64_t target) {
         if (sample_phase == nullptr) {
-          sampler.sample_to(collection, target);
+          sample_to(target);
           return;
         }
         const support::metrics::ScopedPhase scope(*sample_phase);
         const double before = device.timeline().total_seconds();
-        sampler.sample_to(collection, target);
+        sample_to(target);
         sample_phase->add_modeled(device.timeline().total_seconds() - before);
       },
       [&] {
@@ -89,8 +144,10 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
       });
 
   // Seeds travel back over PCIe (k vertex ids).
-  device.transfer_to_host("seed set",
-                          outcome.final_selection.seeds.size() * sizeof(graph::VertexId));
+  retry_transfer(device, options, "seed set", [&] {
+    device.transfer_to_host("seed set", outcome.final_selection.seeds.size() *
+                                            sizeof(graph::VertexId));
+  });
 
   result.seeds = outcome.final_selection.seeds;
   result.num_sets = collection.num_sets();
@@ -103,9 +160,11 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   // stays an unbiased n * F over *all* generated samples. (The inflated
   // conditional coverage still drives the theta estimate — that is the
   // §3.4 heuristic's speed mechanism.)
+  const std::uint64_t generated = collection.num_sets() + result.singletons_discarded;
   const double kept_fraction =
-      static_cast<double>(collection.num_sets()) /
-      static_cast<double>(collection.num_sets() + result.singletons_discarded);
+      generated > 0 ? static_cast<double>(collection.num_sets()) /
+                          static_cast<double>(generated)
+                    : 1.0;  // degraded before the first set committed
   result.estimated_spread = static_cast<double>(g.num_vertices()) *
                             outcome.final_selection.coverage_fraction * kept_fraction;
 
@@ -116,7 +175,10 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   result.rrr_bytes = collection.stored_bytes();
   result.rrr_raw_bytes = collection.raw_equivalent_bytes();
   result.device_mallocs = 0;  // eIM's design point: no in-kernel allocation
+  result.degraded = degraded;
+  result.degrade_shortfall_bytes = degrade_shortfall;
 
+  record_fault_deltas(reg, faults_before, device.fault_stats());
   if (reg != nullptr) {
     reg->counter("imm.estimation_rounds").add(outcome.estimation_rounds);
     reg->gauge("imm.theta").set(collection.num_sets());

@@ -8,6 +8,7 @@
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/retry.hpp"
 #include "eim/support/rng.hpp"
 
 namespace eim::eim_impl {
@@ -80,11 +81,13 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
   support::metrics::Counter* committed_c = nullptr;
   support::metrics::Counter* retries_c = nullptr;
   support::metrics::Counter* regens_c = nullptr;
+  support::metrics::Counter* fault_retries_c = nullptr;
   if (options_.metrics != nullptr) {
     waves_c = &options_.metrics->counter("sampler.waves");
     committed_c = &options_.metrics->counter("sampler.samples_committed");
     retries_c = &options_.metrics->counter("sampler.commit_retries");
     regens_c = &options_.metrics->counter("sampler.singleton_regens");
+    fault_retries_c = &options_.metrics->counter("retry.attempts");
   }
 
   int wave = 0;
@@ -110,12 +113,22 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
                            (static_cast<std::uint64_t>(avg * 1.5) + 1) *
                                static_cast<std::uint64_t>(pending.size()) +
                            max_failed_len * giant_slots + 4096;
-    collection.reserve(target, estimated);
+    try {
+      collection.reserve(target, estimated);
+    } catch (const support::DeviceOutOfMemoryError&) {
+      // Publish the contiguous committed prefix before propagating so
+      // OomPolicy::Degrade selects over every set that fully committed
+      // (pending is sorted by local slot; its front is the first gap).
+      collection.set_num_sets(pending.front().local_slot);
+      throw;
+    }
 
     for (auto& s : scratch_) s.failed.clear();
 
-    device_->launch_blocks(
-        "eim::sample", num_blocks_, [&](BlockContext& ctx) {
+    // Transient launch faults fire before any block body runs, so a retry
+    // re-executes the whole wave against untouched scratch/collection state;
+    // the deterministic backoff lands on this device's timeline.
+    const auto wave_body = [&](gpusim::BlockContext& ctx) {
           BlockScratch& scratch = scratch_[ctx.block_id()];
           // Round-robin assignment of samples to blocks (§3.2: "a round
           // robin assignment of RRR set creation between the GPU blocks").
@@ -141,6 +154,14 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
                   std::max<std::uint64_t>(scratch.max_failed_len, scratch.queue.size());
             }
           }
+        };
+    support::retry(
+        options_.retry,
+        [&] { device_->launch_blocks("eim::sample", num_blocks_, wave_body); },
+        [&](std::uint32_t /*attempt*/, double backoff,
+            const support::DeviceFaultError&) {
+          device_->charge_backoff("eim::sample retry", backoff);
+          if (fault_retries_c != nullptr) fault_retries_c->add();
         });
 
     std::vector<PendingSample> retry;

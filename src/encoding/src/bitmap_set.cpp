@@ -31,7 +31,11 @@ EncodedSet bitmap_encode_set(std::span<const std::uint32_t> sorted_set,
   } else {
     out.representation = SetRepresentation::IdList;
     out.data.resize(list_bytes);
-    std::memcpy(out.data.data(), sorted_set.data(), list_bytes);
+    // An empty set has null data() on both sides; memcpy forbids that even
+    // for zero bytes.
+    if (list_bytes != 0) {
+      std::memcpy(out.data.data(), sorted_set.data(), list_bytes);
+    }
   }
   return out;
 }
@@ -44,7 +48,9 @@ std::vector<std::uint32_t> bitmap_decode_set(const EncodedSet& set,
     out.resize(set.member_count);
     EIM_CHECK_MSG(set.data.size() == set.member_count * sizeof(std::uint32_t),
                   "id-list payload size mismatch");
-    std::memcpy(out.data(), set.data.data(), set.data.size());
+    if (!set.data.empty()) {
+      std::memcpy(out.data(), set.data.data(), set.data.size());
+    }
     return out;
   }
   EIM_CHECK_MSG(set.data.size() >= support::div_ceil<std::uint64_t>(universe, 8),

@@ -16,6 +16,7 @@
 
 #include "eim/gpusim/context.hpp"
 #include "eim/gpusim/device_spec.hpp"
+#include "eim/gpusim/fault_plan.hpp"
 #include "eim/gpusim/memory.hpp"
 #include "eim/gpusim/timeline.hpp"
 
@@ -39,10 +40,47 @@ class Device {
   [[nodiscard]] DeviceTimeline& timeline() noexcept { return timeline_; }
   [[nodiscard]] const DeviceTimeline& timeline() const noexcept { return timeline_; }
 
-  /// Allocate a tracked device buffer (throws DeviceOutOfMemoryError).
+  /// Allocate a tracked device buffer (throws DeviceOutOfMemoryError, or
+  /// DeviceLostError once the device has died).
   template <typename T>
   [[nodiscard]] DeviceBuffer<T> alloc(std::size_t count) {
     return DeviceBuffer<T>(memory_, count);
+  }
+
+  // -- fault injection (docs/RESILIENCE.md) -----------------------------
+
+  /// Install a deterministic fault plan. Replaces any previous plan; the
+  /// ordinal counters are NOT reset, so a plan installed mid-life keys
+  /// against the device's cumulative launch/transfer/allocation history.
+  void set_fault_plan(FaultPlan plan) noexcept {
+    fault_plan_ = std::move(plan);
+    memory_.attach_fault_plan(fault_plan_.empty() ? nullptr : &fault_plan_);
+  }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
+
+  /// True once a permanent device-loss fault fired; every further launch,
+  /// transfer, or allocation throws DeviceLostError.
+  [[nodiscard]] bool lost() const noexcept { return memory_.lost(); }
+
+  /// Kernel launches attempted so far (the fault-plan launch ordinal).
+  [[nodiscard]] std::uint64_t kernel_launch_ordinal() const noexcept {
+    return kernel_ordinal_;
+  }
+  /// Transfers attempted so far (H2D and D2H share the ordinal space).
+  [[nodiscard]] std::uint64_t transfer_ordinal() const noexcept {
+    return transfer_ordinal_;
+  }
+
+  /// Injected-fault tallies (allocation OOMs included, read from the pool).
+  [[nodiscard]] FaultStats fault_stats() const noexcept {
+    FaultStats stats = fault_stats_;
+    stats.alloc_ooms = memory_.injected_oom_count();
+    return stats;
+  }
+
+  /// Charge deterministic retry backoff to the modeled timeline.
+  void charge_backoff(const std::string& label, double seconds) {
+    timeline_.add(SegmentKind::Backoff, label, seconds);
   }
 
   /// Launch `num_blocks` single-warp blocks. Bodies run concurrently on the
@@ -72,9 +110,21 @@ class Device {
   [[nodiscard]] double finish_kernel(const std::string& label, std::uint64_t units,
                                      std::uint64_t makespan_cycles);
 
+  /// Consume one launch ordinal and fire any scripted fault: permanent loss
+  /// (ordinal- or modeled-time-keyed) throws DeviceLostError, a transient
+  /// fault throws DeviceFaultError *before* any block body runs.
+  void check_launch_faults(const std::string& label);
+  /// Same for transfers; the faulted transfer charges its setup latency.
+  void check_transfer_faults(const std::string& label);
+  [[noreturn]] void mark_lost(const std::string& label);
+
   DeviceSpec spec_;
   DeviceMemoryPool memory_;
   DeviceTimeline timeline_;
+  FaultPlan fault_plan_;
+  FaultStats fault_stats_;
+  std::uint64_t kernel_ordinal_ = 0;
+  std::uint64_t transfer_ordinal_ = 0;
 };
 
 }  // namespace eim::gpusim

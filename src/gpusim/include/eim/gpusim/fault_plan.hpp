@@ -1,0 +1,80 @@
+// Deterministic fault injection for the simulated device.
+//
+// A FaultPlan scripts failures against a Device the same way the cost model
+// scripts time: keyed by *ordinals* (kernel-launch ordinal, allocation
+// ordinal, transfer ordinal) and by *modeled* device time — never by
+// wall-clock or randomness — so a plan reproduces the identical fault at the
+// identical point on every run, and a fault-free re-execution of the same
+// work is bit-identical. This is the substrate behind the recovery paths the
+// paper's OOM cells motivate (Tables 2-5, Fig. 8): the pipeline's
+// retry/degrade policies and the multi-GPU failover are all tested by
+// attaching plans here.
+//
+// Fault classes (see docs/RESILIENCE.md for the full schema):
+//  * transient kernel fault   — DeviceFaultError at a launch ordinal; the
+//    fault fires *before* any block body executes, so a retried launch
+//    re-runs the whole kernel cleanly (the ordinal has advanced, so the
+//    retry succeeds unless the plan lists consecutive ordinals);
+//  * transient transfer fault — DeviceFaultError at a transfer ordinal; the
+//    failed transfer still charges its setup latency to the timeline;
+//  * allocation OOM           — DeviceOutOfMemoryError at an allocation
+//    ordinal, or for any single request of at least `alloc_oom_bytes_threshold`
+//    bytes (models fragmentation / cudaMalloc failure under pressure);
+//  * permanent device loss    — DeviceLostError once a launch ordinal or a
+//    modeled-time threshold is reached; the device stays dead (every later
+//    launch, transfer, or allocation throws DeviceLostError).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace eim::gpusim {
+
+/// Sentinel "never fires" ordinal / threshold.
+inline constexpr std::uint64_t kNeverOrdinal =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct FaultPlan {
+  /// Launch ordinals (0-based, per device) that throw DeviceFaultError.
+  std::vector<std::uint64_t> kernel_fault_ordinals;
+  /// Transfer ordinals (H2D and D2H share one counter) that throw
+  /// DeviceFaultError.
+  std::vector<std::uint64_t> transfer_fault_ordinals;
+  /// Allocation ordinals (counted per *attempt*, including faulted ones)
+  /// that throw DeviceOutOfMemoryError.
+  std::vector<std::uint64_t> alloc_oom_ordinals;
+  /// Any single allocation of >= this many bytes throws
+  /// DeviceOutOfMemoryError (0 = disabled).
+  std::uint64_t alloc_oom_bytes_threshold = 0;
+  /// Permanent loss: the device dies when its launch ordinal reaches this.
+  std::uint64_t device_loss_kernel_ordinal = kNeverOrdinal;
+  /// Permanent loss keyed by modeled time: the device dies at the first
+  /// launch or transfer once its timeline passes this (< 0 = disabled).
+  double device_loss_at_seconds = -1.0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return kernel_fault_ordinals.empty() && transfer_fault_ordinals.empty() &&
+           alloc_oom_ordinals.empty() && alloc_oom_bytes_threshold == 0 &&
+           device_loss_kernel_ordinal == kNeverOrdinal &&
+           device_loss_at_seconds < 0.0;
+  }
+
+  /// Plans hold a handful of scripted ordinals; linear scan beats a set.
+  [[nodiscard]] static bool hits(const std::vector<std::uint64_t>& ordinals,
+                                 std::uint64_t ordinal) noexcept {
+    return std::find(ordinals.begin(), ordinals.end(), ordinal) != ordinals.end();
+  }
+};
+
+/// Monotone per-device tallies of injected faults; recovery layers mirror
+/// run deltas into the metrics registry (docs/OBSERVABILITY.md).
+struct FaultStats {
+  std::uint64_t kernel_faults = 0;    ///< transient launch faults injected
+  std::uint64_t transfer_faults = 0;  ///< transient transfer faults injected
+  std::uint64_t alloc_ooms = 0;       ///< allocation OOMs injected by plan
+  std::uint64_t device_losses = 0;    ///< 0 or 1: the device died
+};
+
+}  // namespace eim::gpusim

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "eim/gpusim/fault_plan.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
 
@@ -22,8 +23,24 @@ class DeviceMemoryPool {
   explicit DeviceMemoryPool(std::uint64_t capacity_bytes)
       : capacity_(capacity_bytes) {}
 
-  /// Reserve `bytes`; throws DeviceOutOfMemoryError on exhaustion.
+  /// Reserve `bytes`; throws DeviceOutOfMemoryError on exhaustion (or when
+  /// the attached fault plan scripts an OOM at this allocation ordinal /
+  /// byte size) and DeviceLostError once the owning device has died.
   void allocate(std::uint64_t bytes) {
+    if (lost_.load(std::memory_order_relaxed)) {
+      throw support::DeviceLostError("allocation on lost device");
+    }
+    // Every *attempt* consumes one ordinal, so a plan's alloc faults stay
+    // keyed to the same request whether or not earlier requests succeeded.
+    const std::uint64_t ordinal = alloc_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (fault_plan_ != nullptr &&
+        ((fault_plan_->alloc_oom_bytes_threshold != 0 &&
+          bytes >= fault_plan_->alloc_oom_bytes_threshold) ||
+         FaultPlan::hits(fault_plan_->alloc_oom_ordinals, ordinal))) {
+      injected_ooms_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t held = allocated_.load(std::memory_order_relaxed);
+      throw support::DeviceOutOfMemoryError(bytes, capacity_ - held);
+    }
     std::uint64_t current = allocated_.load(std::memory_order_relaxed);
     for (;;) {
       if (current + bytes > capacity_) {
@@ -73,13 +90,39 @@ class DeviceMemoryPool {
     if (hwm_gauge_ != nullptr) hwm_gauge_->max_update(peak_bytes());
   }
 
+  /// Attach the owning device's fault plan (not owned; nullptr detaches).
+  /// Like attach_metrics, attach from the driving thread before kernels run.
+  void attach_fault_plan(const FaultPlan* plan) noexcept { fault_plan_ = plan; }
+
+  /// Permanent device loss: every further allocation throws DeviceLostError.
+  /// Deallocation stays permitted so RAII teardown of host-side mirrors
+  /// keeps the accounting balanced.
+  void set_lost() noexcept { lost_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool lost() const noexcept {
+    return lost_.load(std::memory_order_relaxed);
+  }
+
+  /// Allocation attempts (the fault-plan ordinal counter; includes faulted
+  /// requests, unlike allocation_count()).
+  [[nodiscard]] std::uint64_t allocation_attempts() const noexcept {
+    return alloc_attempts_.load(std::memory_order_relaxed);
+  }
+  /// OOMs injected by the attached fault plan (not genuine exhaustion).
+  [[nodiscard]] std::uint64_t injected_oom_count() const noexcept {
+    return injected_ooms_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::uint64_t capacity_;
   std::atomic<std::uint64_t> allocated_{0};
   std::atomic<std::uint64_t> peak_{0};
   std::atomic<std::uint64_t> alloc_events_{0};
+  std::atomic<std::uint64_t> alloc_attempts_{0};
+  std::atomic<std::uint64_t> injected_ooms_{0};
+  std::atomic<bool> lost_{false};
   support::metrics::Gauge* hwm_gauge_ = nullptr;
   support::metrics::Counter* alloc_counter_ = nullptr;
+  const FaultPlan* fault_plan_ = nullptr;
 };
 
 /// RAII device allocation of `T[count]`. Move-only.

@@ -16,6 +16,9 @@ enum class SegmentKind {
   Kernel,
   Transfer,
   Allocation,
+  /// Modeled retry backoff after a transient device fault — recovery time
+  /// charged to the same ledger as the work it protects (support::retry).
+  Backoff,
 };
 
 struct TimelineSegment {
@@ -32,6 +35,7 @@ class DeviceTimeline {
       case SegmentKind::Kernel: kernel_seconds_ += seconds; break;
       case SegmentKind::Transfer: transfer_seconds_ += seconds; break;
       case SegmentKind::Allocation: allocation_seconds_ += seconds; break;
+      case SegmentKind::Backoff: backoff_seconds_ += seconds; break;
     }
     segments_.push_back(TimelineSegment{kind, std::move(label), seconds});
   }
@@ -40,13 +44,15 @@ class DeviceTimeline {
   [[nodiscard]] double kernel_seconds() const noexcept { return kernel_seconds_; }
   [[nodiscard]] double transfer_seconds() const noexcept { return transfer_seconds_; }
   [[nodiscard]] double allocation_seconds() const noexcept { return allocation_seconds_; }
+  [[nodiscard]] double backoff_seconds() const noexcept { return backoff_seconds_; }
   [[nodiscard]] const std::vector<TimelineSegment>& segments() const noexcept {
     return segments_;
   }
 
   void reset() {
     segments_.clear();
-    total_seconds_ = kernel_seconds_ = transfer_seconds_ = allocation_seconds_ = 0.0;
+    total_seconds_ = kernel_seconds_ = transfer_seconds_ = allocation_seconds_ =
+        backoff_seconds_ = 0.0;
   }
 
  private:
@@ -55,6 +61,7 @@ class DeviceTimeline {
   double kernel_seconds_ = 0.0;
   double transfer_seconds_ = 0.0;
   double allocation_seconds_ = 0.0;
+  double backoff_seconds_ = 0.0;
 };
 
 }  // namespace eim::gpusim

@@ -51,6 +51,47 @@ std::uint64_t schedule_makespan(const std::vector<std::uint64_t>& unit_cycles,
 
 }  // namespace
 
+void Device::mark_lost(const std::string& label) {
+  if (!memory_.lost()) {
+    memory_.set_lost();
+    ++fault_stats_.device_losses;
+  }
+  throw support::DeviceLostError(spec_.name + ": " + label);
+}
+
+void Device::check_launch_faults(const std::string& label) {
+  if (memory_.lost()) mark_lost(label);
+  if (fault_plan_.device_loss_at_seconds >= 0.0 &&
+      timeline_.total_seconds() >= fault_plan_.device_loss_at_seconds) {
+    mark_lost(label);
+  }
+  const std::uint64_t ordinal = kernel_ordinal_++;
+  if (ordinal >= fault_plan_.device_loss_kernel_ordinal) mark_lost(label);
+  if (FaultPlan::hits(fault_plan_.kernel_fault_ordinals, ordinal)) {
+    ++fault_stats_.kernel_faults;
+    // The aborted launch still burns its host-side launch latency.
+    timeline_.add(SegmentKind::Kernel, label + " [faulted]",
+                  spec_.costs.kernel_launch_us * 1e-6);
+    throw support::DeviceFaultError("kernel launch '" + label + "' failed", ordinal);
+  }
+}
+
+void Device::check_transfer_faults(const std::string& label) {
+  if (memory_.lost()) mark_lost(label);
+  if (fault_plan_.device_loss_at_seconds >= 0.0 &&
+      timeline_.total_seconds() >= fault_plan_.device_loss_at_seconds) {
+    mark_lost(label);
+  }
+  const std::uint64_t ordinal = transfer_ordinal_++;
+  if (FaultPlan::hits(fault_plan_.transfer_fault_ordinals, ordinal)) {
+    ++fault_stats_.transfer_faults;
+    // The broken transfer paid its per-transfer setup before failing.
+    timeline_.add(SegmentKind::Transfer, label + " [faulted]",
+                  spec_.costs.pcie_latency_us * 1e-6);
+    throw support::DeviceFaultError("transfer '" + label + "' failed", ordinal);
+  }
+}
+
 double Device::finish_kernel(const std::string& label, std::uint64_t units,
                              std::uint64_t makespan_cycles) {
   const double seconds = spec_.costs.kernel_launch_us * 1e-6 +
@@ -63,6 +104,7 @@ double Device::finish_kernel(const std::string& label, std::uint64_t units,
 KernelStats Device::launch_blocks(const std::string& label, std::uint32_t num_blocks,
                                   const std::function<void(BlockContext&)>& body) {
   EIM_CHECK_MSG(num_blocks > 0, "kernel launched with zero blocks");
+  check_launch_faults(label);
   std::vector<std::uint64_t> block_cycles(num_blocks, 0);
 
   support::ThreadPool::global().parallel_for(
@@ -87,6 +129,7 @@ KernelStats Device::launch_blocks(const std::string& label, std::uint32_t num_bl
 KernelStats Device::launch_grid(const std::string& label, std::uint64_t num_threads,
                                 const std::function<void(ThreadContext&)>& body) {
   EIM_CHECK_MSG(num_threads > 0, "kernel launched with zero threads");
+  check_launch_faults(label);
   const std::uint32_t warp = spec_.warp_size;
   const auto num_warps =
       static_cast<std::size_t>(support::div_ceil<std::uint64_t>(num_threads, warp));
@@ -119,12 +162,14 @@ KernelStats Device::launch_grid(const std::string& label, std::uint64_t num_thre
 }
 
 void Device::transfer_to_device(const std::string& label, std::uint64_t bytes) {
+  check_transfer_faults("H2D " + label);
   const double seconds = spec_.costs.pcie_latency_us * 1e-6 +
                          static_cast<double>(bytes) / (spec_.costs.pcie_gbytes_per_sec * 1e9);
   timeline_.add(SegmentKind::Transfer, "H2D " + label, seconds);
 }
 
 void Device::transfer_to_host(const std::string& label, std::uint64_t bytes) {
+  check_transfer_faults("D2H " + label);
   const double seconds = spec_.costs.pcie_latency_us * 1e-6 +
                          static_cast<double>(bytes) / (spec_.costs.pcie_gbytes_per_sec * 1e9);
   timeline_.add(SegmentKind::Transfer, "D2H " + label, seconds);

@@ -49,6 +49,44 @@ class DeviceOutOfMemoryError : public Error {
   std::uint64_t available_;
 };
 
+/// A transient fault on the simulated device: an injected kernel-launch or
+/// interconnect-transfer failure. Retryable — `support::retry` catches
+/// exactly this class; everything else propagates.
+class DeviceFaultError : public Error {
+ public:
+  DeviceFaultError(const std::string& what, std::uint64_t ordinal)
+      : Error("device fault: " + what + " (ordinal " + std::to_string(ordinal) + ")"),
+        ordinal_(ordinal) {}
+
+  /// Which kernel-launch / transfer ordinal faulted (deterministic key).
+  [[nodiscard]] std::uint64_t ordinal() const noexcept { return ordinal_; }
+
+ private:
+  std::uint64_t ordinal_;
+};
+
+/// The device disappeared permanently (simulated device loss). Not
+/// retryable on the same device; the multi-GPU layer redistributes the lost
+/// shard to survivors instead (see docs/RESILIENCE.md).
+class DeviceLostError : public Error {
+ public:
+  explicit DeviceLostError(const std::string& what) : Error("device lost: " + what) {}
+};
+
+// Process exit codes for tools mapping the hierarchy above (eim_cli et al.).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;        ///< unclassified library error
+inline constexpr int kExitBadArgs = 2;      ///< InvalidArgumentError / CLI misuse
+inline constexpr int kExitIo = 3;           ///< IoError
+inline constexpr int kExitDeviceOom = 4;    ///< DeviceOutOfMemoryError
+inline constexpr int kExitDeviceFault = 5;  ///< DeviceFaultError / DeviceLostError
+
+/// Map an error to its process exit code, plus a short machine-readable
+/// kind string ("bad_args", "io", "device_oom", "device_fault", "error")
+/// for one-line structured stderr reports.
+[[nodiscard]] int exit_code_for(const Error& e) noexcept;
+[[nodiscard]] const char* error_kind_for(const Error& e) noexcept;
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
                                       const std::string& message);

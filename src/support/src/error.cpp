@@ -2,6 +2,29 @@
 
 #include <sstream>
 
+namespace eim::support {
+
+int exit_code_for(const Error& e) noexcept {
+  if (dynamic_cast<const InvalidArgumentError*>(&e) != nullptr) return kExitBadArgs;
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return kExitIo;
+  if (dynamic_cast<const DeviceOutOfMemoryError*>(&e) != nullptr) return kExitDeviceOom;
+  if (dynamic_cast<const DeviceFaultError*>(&e) != nullptr) return kExitDeviceFault;
+  if (dynamic_cast<const DeviceLostError*>(&e) != nullptr) return kExitDeviceFault;
+  return kExitError;
+}
+
+const char* error_kind_for(const Error& e) noexcept {
+  switch (exit_code_for(e)) {
+    case kExitBadArgs: return "bad_args";
+    case kExitIo: return "io";
+    case kExitDeviceOom: return "device_oom";
+    case kExitDeviceFault: return "device_fault";
+    default: return "error";
+  }
+}
+
+}  // namespace eim::support
+
 namespace eim::support::detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,

@@ -7,6 +7,8 @@
 #include "eim/eim/pipeline.hpp"
 #include "eim/graph/generators.hpp"
 #include "eim/graph/registry.hpp"
+#include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::eim_impl {
 namespace {
@@ -125,6 +127,105 @@ TEST(MultiGpu, RejectsEmptyDeviceList) {
   EXPECT_THROW(
       (void)run_eim_multi({}, g, DiffusionModel::IndependentCascade, make_params()),
       support::Error);
+}
+
+TEST(MultiGpuFailover, DeviceLossMidSamplingKeepsSeedsBitIdentical) {
+  // The headline resilience invariant (docs/RESILIENCE.md): killing a
+  // device mid-sampling redistributes its shard to survivors, and because
+  // random streams are keyed by sample index — not by device — the final
+  // seed set is bit-identical to the fault-free run.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  DevicePool clean(4);
+  const MultiGpuResult reference =
+      run_eim_multi(clean.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  DevicePool pool(4);
+  gpusim::FaultPlan plan;
+  plan.device_loss_kernel_ordinal = 2;  // dies on its third sampling wave
+  pool.ptrs[2]->set_fault_plan(plan);
+  support::metrics::MetricsRegistry registry;
+  EimOptions options;
+  options.metrics = &registry;
+  const MultiGpuResult failed =
+      run_eim_multi(pool.ptrs, g, DiffusionModel::IndependentCascade, params, options);
+
+  EXPECT_EQ(failed.seeds, reference.seeds);
+  EXPECT_EQ(failed.num_sets, reference.num_sets);
+  EXPECT_EQ(failed.total_elements, reference.total_elements);
+  EXPECT_DOUBLE_EQ(failed.lower_bound, reference.lower_bound);
+
+  ASSERT_EQ(failed.failed_devices.size(), 1u);
+  EXPECT_EQ(failed.failed_devices[0], 2u);
+  EXPECT_GT(failed.failover_transfer_bytes, 0u);
+  EXPECT_TRUE(pool.ptrs[2]->lost());
+  EXPECT_EQ(registry.counter("multi.failover_events").value(), 1u);
+  EXPECT_EQ(registry.counter("multi.failover_transfer_bytes").value(),
+            failed.failover_transfer_bytes);
+  EXPECT_EQ(registry.counter("fault.device_lost").value(), 1u);
+
+  // The fault-free run reports no failover at all.
+  EXPECT_TRUE(reference.failed_devices.empty());
+  EXPECT_EQ(reference.failover_transfer_bytes, 0u);
+  EXPECT_EQ(reference.failover_regenerated_sets, 0u);
+}
+
+TEST(MultiGpuFailover, PrimaryLossPromotesASurvivor) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  DevicePool clean(3);
+  const MultiGpuResult reference =
+      run_eim_multi(clean.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  DevicePool pool(3);
+  gpusim::FaultPlan plan;
+  plan.device_loss_kernel_ordinal = 1;
+  pool.ptrs[0]->set_fault_plan(plan);  // kill the primary itself
+  const MultiGpuResult failed =
+      run_eim_multi(pool.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  EXPECT_EQ(failed.seeds, reference.seeds);
+  EXPECT_EQ(failed.num_sets, reference.num_sets);
+  ASSERT_EQ(failed.failed_devices.size(), 1u);
+  EXPECT_EQ(failed.failed_devices[0], 0u);
+}
+
+TEST(MultiGpuFailover, RetryExhaustionRetiresTheDevice) {
+  // A device that keeps faulting transiently (beyond the retry budget) is
+  // decommissioned exactly like a lost one; the run still completes with
+  // identical seeds.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  DevicePool clean(2);
+  const MultiGpuResult reference =
+      run_eim_multi(clean.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  DevicePool pool(2);
+  gpusim::FaultPlan plan;
+  plan.kernel_fault_ordinals = {1, 2, 3};  // consecutive: defeats 3 attempts
+  pool.ptrs[1]->set_fault_plan(plan);
+  const MultiGpuResult failed =
+      run_eim_multi(pool.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  EXPECT_EQ(failed.seeds, reference.seeds);
+  ASSERT_EQ(failed.failed_devices.size(), 1u);
+  EXPECT_EQ(failed.failed_devices[0], 1u);
+  EXPECT_FALSE(pool.ptrs[1]->lost());  // retired, not dead: transient faults
+}
+
+TEST(MultiGpuFailover, LosingEveryDeviceThrows) {
+  const Graph g = make_graph();
+  DevicePool pool(2);
+  gpusim::FaultPlan plan;
+  plan.device_loss_kernel_ordinal = 0;
+  pool.ptrs[0]->set_fault_plan(plan);
+  pool.ptrs[1]->set_fault_plan(plan);
+  EXPECT_THROW((void)run_eim_multi(pool.ptrs, g, DiffusionModel::IndependentCascade,
+                                   make_params()),
+               support::Error);
 }
 
 }  // namespace

@@ -8,7 +8,12 @@
 namespace eim::gpusim {
 namespace {
 
-DeviceSpec spec() { return DeviceSpec{}; }
+// Returns a reference to a long-lived spec: contexts keep a pointer to the
+// spec they are built with, so a temporary here would dangle.
+const DeviceSpec& spec() {
+  static const DeviceSpec s{};
+  return s;
+}
 
 TEST(BlockContext, ChargesFollowCostTable) {
   const DeviceSpec s = spec();

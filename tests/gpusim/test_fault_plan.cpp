@@ -1,0 +1,194 @@
+#include "eim/gpusim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eim/gpusim/device.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::gpusim {
+namespace {
+
+void noop_block(BlockContext&) {}
+
+TEST(FaultPlan, EmptyByDefault) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  FaultPlan armed;
+  armed.kernel_fault_ordinals = {3};
+  EXPECT_FALSE(armed.empty());
+}
+
+TEST(FaultPlan, HitsMatchesListedOrdinalsOnly) {
+  EXPECT_TRUE(FaultPlan::hits({0, 7, 9}, 7));
+  EXPECT_FALSE(FaultPlan::hits({0, 7, 9}, 8));
+  EXPECT_FALSE(FaultPlan::hits({}, 0));
+}
+
+TEST(FaultPlan, KernelFaultFiresAtExactLaunchOrdinal) {
+  Device device;
+  FaultPlan plan;
+  plan.kernel_fault_ordinals = {1};
+  device.set_fault_plan(plan);
+
+  device.launch_blocks("k0", 1, noop_block);  // ordinal 0: clean
+  EXPECT_THROW(device.launch_blocks("k1", 1, noop_block), support::DeviceFaultError);
+  // The faulted attempt consumed its ordinal; the next launch is clean.
+  device.launch_blocks("k2", 1, noop_block);
+
+  EXPECT_EQ(device.kernel_launch_ordinal(), 3u);
+  EXPECT_EQ(device.fault_stats().kernel_faults, 1u);
+  EXPECT_FALSE(device.lost());
+}
+
+TEST(FaultPlan, FaultedLaunchReportsItsOrdinal) {
+  Device device;
+  FaultPlan plan;
+  plan.kernel_fault_ordinals = {2};
+  device.set_fault_plan(plan);
+  device.launch_blocks("k", 1, noop_block);
+  device.launch_blocks("k", 1, noop_block);
+  try {
+    device.launch_blocks("k", 1, noop_block);
+    FAIL() << "expected DeviceFaultError";
+  } catch (const support::DeviceFaultError& e) {
+    EXPECT_EQ(e.ordinal(), 2u);
+  }
+}
+
+TEST(FaultPlan, IdenticalPlansFaultIdenticallyOnTwoDevices) {
+  // Determinism: the fault schedule is a pure function of the ordinal
+  // stream, never of wall-clock or host scheduling.
+  FaultPlan plan;
+  plan.kernel_fault_ordinals = {0, 2};
+  for (int rep = 0; rep < 2; ++rep) {
+    Device device;
+    device.set_fault_plan(plan);
+    EXPECT_THROW(device.launch_blocks("a", 2, noop_block), support::DeviceFaultError);
+    device.launch_blocks("b", 2, noop_block);
+    EXPECT_THROW(device.launch_blocks("c", 2, noop_block), support::DeviceFaultError);
+    device.launch_blocks("d", 2, noop_block);
+    EXPECT_EQ(device.fault_stats().kernel_faults, 2u);
+  }
+}
+
+TEST(FaultPlan, TransferFaultSharesOneOrdinalSpaceAcrossDirections) {
+  Device device;
+  FaultPlan plan;
+  plan.transfer_fault_ordinals = {1};
+  device.set_fault_plan(plan);
+
+  device.transfer_to_device("up", 64);  // ordinal 0
+  EXPECT_THROW(device.transfer_to_host("down", 64), support::DeviceFaultError);
+  device.transfer_to_device("up again", 64);  // ordinal 2: clean
+  EXPECT_EQ(device.transfer_ordinal(), 3u);
+  EXPECT_EQ(device.fault_stats().transfer_faults, 1u);
+}
+
+TEST(FaultPlan, FaultedOpsStillChargeTheTimeline) {
+  Device device;
+  FaultPlan plan;
+  plan.kernel_fault_ordinals = {0};
+  plan.transfer_fault_ordinals = {0};
+  device.set_fault_plan(plan);
+  EXPECT_THROW(device.launch_blocks("k", 1, noop_block), support::DeviceFaultError);
+  EXPECT_THROW(device.transfer_to_device("t", 1 << 20), support::DeviceFaultError);
+  // Aborted work burns launch/setup latency but not the full payload cost.
+  EXPECT_GT(device.timeline().kernel_seconds(), 0.0);
+  EXPECT_GT(device.timeline().transfer_seconds(), 0.0);
+}
+
+TEST(FaultPlan, AllocOomAtOrdinal) {
+  Device device(make_benchmark_device(64));
+  FaultPlan plan;
+  plan.alloc_oom_ordinals = {1};
+  device.set_fault_plan(plan);
+
+  auto a = device.alloc<std::uint8_t>(128);  // attempt 0: clean
+  EXPECT_THROW((void)device.alloc<std::uint8_t>(128), support::DeviceOutOfMemoryError);
+  auto b = device.alloc<std::uint8_t>(128);  // attempt 2: clean
+  EXPECT_EQ(device.memory().allocation_attempts(), 3u);
+  EXPECT_EQ(device.memory().injected_oom_count(), 1u);
+  EXPECT_EQ(device.fault_stats().alloc_ooms, 1u);
+}
+
+TEST(FaultPlan, AllocOomAboveByteThreshold) {
+  Device device(make_benchmark_device(64));
+  FaultPlan plan;
+  plan.alloc_oom_bytes_threshold = 4096;
+  device.set_fault_plan(plan);
+
+  auto small = device.alloc<std::uint8_t>(4095);
+  EXPECT_THROW((void)device.alloc<std::uint8_t>(4096), support::DeviceOutOfMemoryError);
+  EXPECT_THROW((void)device.alloc<std::uint8_t>(1 << 20), support::DeviceOutOfMemoryError);
+  EXPECT_EQ(device.memory().injected_oom_count(), 2u);
+}
+
+TEST(FaultPlan, InjectedOomReportsGenuineShortfall) {
+  Device device(make_benchmark_device(1));  // 1 MB
+  FaultPlan plan;
+  plan.alloc_oom_ordinals = {0};
+  device.set_fault_plan(plan);
+  try {
+    (void)device.alloc<std::uint8_t>(512);
+    FAIL() << "expected DeviceOutOfMemoryError";
+  } catch (const support::DeviceOutOfMemoryError& e) {
+    EXPECT_EQ(e.requested_bytes(), 512u);
+    EXPECT_EQ(e.available_bytes(), 1u << 20);
+  }
+}
+
+TEST(FaultPlan, DeviceLossAtKernelOrdinalIsSticky) {
+  Device device;
+  FaultPlan plan;
+  plan.device_loss_kernel_ordinal = 1;
+  device.set_fault_plan(plan);
+
+  device.launch_blocks("k0", 1, noop_block);
+  EXPECT_FALSE(device.lost());
+  EXPECT_THROW(device.launch_blocks("k1", 1, noop_block), support::DeviceLostError);
+  EXPECT_TRUE(device.lost());
+  // Every further operation fails the same way, counted once.
+  EXPECT_THROW(device.launch_blocks("k2", 1, noop_block), support::DeviceLostError);
+  EXPECT_THROW(device.transfer_to_device("t", 8), support::DeviceLostError);
+  EXPECT_THROW((void)device.alloc<std::uint8_t>(8), support::DeviceLostError);
+  EXPECT_EQ(device.fault_stats().device_losses, 1u);
+}
+
+TEST(FaultPlan, DeviceLossAtModeledTime) {
+  Device device;
+  FaultPlan plan;
+  plan.device_loss_at_seconds = 1e-12;  // dies as soon as any time accrues
+  device.set_fault_plan(plan);
+
+  device.launch_blocks("k0", 1, noop_block);  // total_seconds still ~launch cost
+  EXPECT_THROW(device.launch_blocks("k1", 1, noop_block), support::DeviceLostError);
+  EXPECT_TRUE(device.lost());
+}
+
+TEST(FaultPlan, DeallocationPermittedAfterLoss) {
+  Device device;
+  auto buffer = device.alloc<std::uint8_t>(1024);
+  FaultPlan plan;
+  plan.device_loss_kernel_ordinal = 0;
+  device.set_fault_plan(plan);
+  EXPECT_THROW(device.launch_blocks("k", 1, noop_block), support::DeviceLostError);
+  const std::uint64_t held = device.memory().allocated_bytes();
+  buffer = DeviceBuffer<std::uint8_t>{};  // RAII teardown must not throw
+  EXPECT_EQ(device.memory().allocated_bytes(), held - 1024);
+}
+
+TEST(FaultPlan, EmptyPlanLeavesDeviceUntouched) {
+  Device device;
+  device.set_fault_plan(FaultPlan{});
+  device.launch_blocks("k", 4, noop_block);
+  device.transfer_to_device("t", 1024);
+  auto buffer = device.alloc<std::uint8_t>(1024);
+  const FaultStats stats = device.fault_stats();
+  EXPECT_EQ(stats.kernel_faults, 0u);
+  EXPECT_EQ(stats.transfer_faults, 0u);
+  EXPECT_EQ(stats.alloc_ooms, 0u);
+  EXPECT_EQ(stats.device_losses, 0u);
+}
+
+}  // namespace
+}  // namespace eim::gpusim

@@ -43,6 +43,56 @@ TEST(SnapText, ThrowsOnGarbage) {
   EXPECT_THROW(load_snap_text(in), support::IoError);
 }
 
+TEST(SnapText, RejectsNonNumericVertexToken) {
+  // istream extraction would read "12" and leave "abc" to poison the next
+  // field; the parser must reject the whole token.
+  std::istringstream in("0 1\n12abc 3\n");
+  EXPECT_THROW(load_snap_text(in), support::IoError);
+}
+
+TEST(SnapText, RejectsNegativeVertexIds) {
+  // Unsigned istream extraction silently wraps -1 to 2^64-1.
+  std::istringstream in("0 1\n-1 2\n");
+  EXPECT_THROW(load_snap_text(in), support::IoError);
+}
+
+TEST(SnapText, RejectsOverflowingVertexIds) {
+  std::istringstream in("0 1\n99999999999999999999999999 2\n");
+  EXPECT_THROW(load_snap_text(in), support::IoError);
+}
+
+TEST(SnapText, RejectsMissingEndpoint) {
+  std::istringstream in("0 1\n7\n");
+  EXPECT_THROW(load_snap_text(in), support::IoError);
+}
+
+TEST(SnapText, RejectsTruncatedWeightColumn) {
+  std::istringstream in("0 1 0.5\n1 2 0.7e\n");
+  EXPECT_THROW(load_snap_text(in), support::IoError);
+}
+
+TEST(SnapText, AcceptsNumericAttributeColumns) {
+  // Weighted / timestamped SNAP exports carry extra numeric columns.
+  std::istringstream in("0 1 0.25\n1 2 0.5 1234567890\n");
+  const EdgeList g = load_snap_text(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapText, ErrorMessageCarriesTheLineNumber) {
+  std::istringstream in("# header\n0 1\n\n12abc 3\n");
+  try {
+    (void)load_snap_text(in);
+    FAIL() << "expected IoError";
+  } catch (const support::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapText, SkipsWhitespaceOnlyLines) {
+  std::istringstream in("0 1\n   \t\n1 2\n");
+  EXPECT_EQ(load_snap_text(in).num_edges(), 2u);
+}
+
 TEST(SnapText, DropsDuplicatesAndSelfLoops) {
   std::istringstream in("0 1\n0 1\n2 2\n");
   const EdgeList g = load_snap_text(in);

@@ -1,0 +1,95 @@
+#include "eim/support/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eim/support/error.hpp"
+
+namespace eim::support {
+namespace {
+
+TEST(RetryPolicy, BackoffGrowsExponentially) {
+  RetryPolicy policy;
+  policy.backoff_seconds = 100e-6;
+  policy.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_for(0), 100e-6);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(1), 200e-6);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(2), 400e-6);
+}
+
+TEST(Retry, FirstSuccessNeedsNoRetry) {
+  int calls = 0;
+  int on_retry_calls = 0;
+  const int result = retry(
+      RetryPolicy{}, [&] { ++calls; return 42; },
+      [&](std::uint32_t, double, const DeviceFaultError&) { ++on_retry_calls; });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(on_retry_calls, 0);
+}
+
+TEST(Retry, TransientFaultsAreRetriedUntilSuccess) {
+  int calls = 0;
+  std::vector<double> backoffs;
+  const int result = retry(
+      RetryPolicy{},
+      [&] {
+        if (++calls < 3) throw DeviceFaultError("flaky", static_cast<std::uint64_t>(calls));
+        return 7;
+      },
+      [&](std::uint32_t attempt, double backoff, const DeviceFaultError& e) {
+        EXPECT_EQ(e.ordinal(), static_cast<std::uint64_t>(attempt + 1));
+        backoffs.push_back(backoff);
+      });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(backoffs.size(), 2u);
+  EXPECT_LT(backoffs[0], backoffs[1]);  // deterministic exponential schedule
+}
+
+TEST(Retry, ExhaustedAttemptsRethrowTheLastFault) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  EXPECT_THROW(retry(
+                   policy,
+                   [&]() -> int { throw DeviceFaultError("always", static_cast<std::uint64_t>(calls++)); },
+                   [](std::uint32_t, double, const DeviceFaultError&) {}),
+               DeviceFaultError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, NonTransientErrorsPropagateImmediately) {
+  int calls = 0;
+  EXPECT_THROW(retry(
+                   RetryPolicy{},
+                   [&]() -> int {
+                     ++calls;
+                     throw DeviceLostError("gone");
+                   },
+                   [](std::uint32_t, double, const DeviceFaultError&) {}),
+               DeviceLostError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ExitCodes, MapExceptionClassesToDocumentedCodes) {
+  EXPECT_EQ(exit_code_for(InvalidArgumentError("x")), kExitBadArgs);
+  EXPECT_EQ(exit_code_for(IoError("x")), kExitIo);
+  EXPECT_EQ(exit_code_for(DeviceOutOfMemoryError(8, 4)), kExitDeviceOom);
+  EXPECT_EQ(exit_code_for(DeviceFaultError("x", 0)), kExitDeviceFault);
+  EXPECT_EQ(exit_code_for(DeviceLostError("x")), kExitDeviceFault);
+  EXPECT_EQ(exit_code_for(Error("x")), kExitError);
+}
+
+TEST(ExitCodes, KindStringsMatchTheSameMapping) {
+  EXPECT_STREQ(error_kind_for(InvalidArgumentError("x")), "bad_args");
+  EXPECT_STREQ(error_kind_for(IoError("x")), "io");
+  EXPECT_STREQ(error_kind_for(DeviceOutOfMemoryError(8, 4)), "device_oom");
+  EXPECT_STREQ(error_kind_for(DeviceFaultError("x", 0)), "device_fault");
+  EXPECT_STREQ(error_kind_for(DeviceLostError("x")), "device_fault");
+  EXPECT_STREQ(error_kind_for(Error("x")), "error");
+}
+
+}  // namespace
+}  // namespace eim::support

@@ -27,12 +27,33 @@
 #include "eim/graph/registry.hpp"
 #include "eim/imm/imm.hpp"
 #include "eim/imm/tim.hpp"
+#include "eim/support/error.hpp"
 #include "eim/support/json.hpp"
 #include "eim/support/metrics.hpp"
 
 namespace {
 
 using namespace eim;
+
+/// Print a one-line machine-parseable error record to stderr and return the
+/// exit code mapped from the exception class (docs/RESILIENCE.md):
+///   2 = bad arguments, 3 = I/O, 4 = device OOM, 5 = device fault/loss,
+///   1 = anything else.
+int report_error(const support::Error& e) {
+  support::JsonWriter w(std::cerr);
+  w.begin_object()
+      .field("error", support::error_kind_for(e))
+      .field("exit_code", static_cast<std::uint64_t>(
+                              static_cast<unsigned>(support::exit_code_for(e))))
+      .field("message", e.what());
+  if (const auto* oom = dynamic_cast<const support::DeviceOutOfMemoryError*>(&e)) {
+    w.field("requested_bytes", oom->requested_bytes())
+        .field("available_bytes", oom->available_bytes());
+  }
+  w.end_object();
+  std::cerr << "\n";
+  return support::exit_code_for(e);
+}
 
 struct CliOptions {
   std::string dataset;
@@ -45,6 +66,7 @@ struct CliOptions {
   std::uint32_t verify_trials = 0;
   bool no_log_encoding = false;
   bool no_source_elim = false;
+  bool oom_degrade = false;
   bool json = false;
   std::string metrics_json;  ///< write an eim.metrics.v1 report here
 };
@@ -64,6 +86,8 @@ void print_usage() {
       "  --verify <trials>    score the seeds with forward Monte-Carlo\n"
       "  --no-log-encoding    disable the Section 3.1 compression\n"
       "  --no-source-elim     disable the Section 3.4 heuristic\n"
+      "  --oom-degrade        on device OOM, return best-effort seeds from\n"
+      "                       the sets that fit instead of failing (eim only)\n"
       "  --json               print the result as a JSON object\n"
       "  --metrics-json <path>  write an eim.metrics.v1 run report (phase\n"
       "                       timers, memory high-water mark, commit/regrow\n"
@@ -71,10 +95,13 @@ void print_usage() {
       "  --list-datasets      print the registry and exit");
 }
 
-std::optional<CliOptions> parse(int argc, char** argv) {
+/// Parse argv. On nullopt, `exit_code` says why: kExitOk for --help /
+/// --list-datasets, kExitBadArgs for malformed input.
+std::optional<CliOptions> parse(int argc, char** argv, int& exit_code) {
   CliOptions opt;
   opt.params.k = 50;
   opt.params.epsilon = 0.13;
+  exit_code = support::kExitBadArgs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,9 +115,11 @@ std::optional<CliOptions> parse(int argc, char** argv) {
 
     if (arg == "--help" || arg == "-h") {
       print_usage();
+      exit_code = support::kExitOk;
       return std::nullopt;
     }
     if (arg == "--list-datasets") {
+      exit_code = support::kExitOk;
       for (const auto& spec : graph::all_datasets()) {
         std::printf("%-4.*s %.*s\n", static_cast<int>(spec.abbrev.size()),
                     spec.abbrev.data(), static_cast<int>(spec.name.size()),
@@ -128,6 +157,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opt.no_log_encoding = true;
     } else if (arg == "--no-source-elim") {
       opt.no_source_elim = true;
+    } else if (arg == "--oom-degrade") {
+      opt.oom_degrade = true;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--metrics-json" && (value = next())) {
@@ -145,25 +176,30 @@ std::optional<CliOptions> parse(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto parsed = parse(argc, argv);
-  if (!parsed) return 1;
+  int parse_exit = support::kExitBadArgs;
+  const auto parsed = parse(argc, argv, parse_exit);
+  if (!parsed) return parse_exit;
   const CliOptions& opt = *parsed;
 
-  // Load or generate the graph.
+  // Load or generate the graph. A malformed or unreadable edge list exits
+  // with the I/O code and a structured stderr record.
   graph::Graph g;
   std::string source_name;
-  if (!opt.file.empty()) {
-    source_name = opt.file;
-    g = graph::Graph::from_edge_list(graph::load_snap_text_file(opt.file));
-  } else {
-    const auto spec = graph::find_dataset(opt.dataset);
-    if (!spec) {
-      std::fprintf(stderr, "error: unknown dataset '%s' (try --list-datasets)\n",
-                   opt.dataset.c_str());
-      return 1;
+  try {
+    if (!opt.file.empty()) {
+      source_name = opt.file;
+      g = graph::Graph::from_edge_list(graph::load_snap_text_file(opt.file));
+    } else {
+      const auto spec = graph::find_dataset(opt.dataset);
+      if (!spec) {
+        return report_error(support::InvalidArgumentError(
+            "unknown dataset '" + opt.dataset + "' (try --list-datasets)"));
+      }
+      source_name = std::string(spec->name) + " (synthetic)";
+      g = graph::Graph::from_edge_list(graph::build_dataset_edges(*spec));
     }
-    source_name = std::string(spec->name) + " (synthetic)";
-    g = graph::Graph::from_edge_list(graph::build_dataset_edges(*spec));
+  } catch (const support::Error& e) {
+    return report_error(e);
   }
   graph::assign_weights(g, opt.model);
   if (!opt.json) {
@@ -198,6 +234,7 @@ int main(int argc, char** argv) {
       eim_impl::EimOptions options;
       options.log_encode = !opt.no_log_encoding;
       options.eliminate_sources = !opt.no_source_elim;
+      if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
       options.metrics = &registry;
       const auto multi = eim_impl::run_eim_multi(ptrs, g, opt.model, opt.params, options);
       result = multi;
@@ -209,6 +246,7 @@ int main(int argc, char** argv) {
         eim_impl::EimOptions options;
         options.log_encode = !opt.no_log_encoding;
         options.eliminate_sources = !opt.no_source_elim;
+        if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
         options.metrics = &registry;
         result = eim_impl::run_eim(device, g, opt.model, opt.params, options);
       } else if (opt.algo == "gim") {
@@ -216,16 +254,12 @@ int main(int argc, char** argv) {
       } else if (opt.algo == "curipples") {
         result = baselines::run_curipples(device, g, opt.model, opt.params);
       } else {
-        std::fprintf(stderr, "error: unknown algorithm '%s'\n", opt.algo.c_str());
-        return 1;
+        return report_error(
+            support::InvalidArgumentError("unknown algorithm '" + opt.algo + "'"));
       }
     }
-  } catch (const support::DeviceOutOfMemoryError& e) {
-    std::fprintf(stderr, "OOM: %s\n", e.what());
-    return 2;
   } catch (const support::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return report_error(e);
   }
 
   if (!opt.metrics_json.empty()) {
@@ -267,7 +301,11 @@ int main(int argc, char** argv) {
         .field("device_seconds", result.device_seconds)
         .field("peak_device_bytes", result.peak_device_bytes)
         .field("rrr_bytes", result.rrr_bytes)
-        .field("estimated_spread", result.estimated_spread);
+        .field("estimated_spread", result.estimated_spread)
+        .field("degraded", result.degraded);
+    if (result.degraded) {
+      w.field("degrade_shortfall_bytes", result.degrade_shortfall_bytes);
+    }
     if (opt.verify_trials > 0) {
       const auto spread = diffusion::estimate_spread(g, opt.model, result.seeds,
                                                      opt.verify_trials, 1234);
@@ -292,6 +330,12 @@ int main(int argc, char** argv) {
                 static_cast<double>(result.peak_device_bytes) / 1e6,
                 static_cast<double>(result.rrr_bytes) / 1e6,
                 static_cast<double>(result.rrr_raw_bytes) / 1e6);
+  }
+  if (result.degraded) {
+    std::printf(
+        "DEGRADED: device memory ran out %llu bytes short; seeds are "
+        "best-effort over the sets that fit\n",
+        static_cast<unsigned long long>(result.degrade_shortfall_bytes));
   }
   std::printf("coverage-based spread estimate: %.1f of %u vertices\n",
               result.estimated_spread, g.num_vertices());
