@@ -19,10 +19,13 @@ namespace eim::bench {
 
 namespace {
 
-/// Accumulates one eim.metrics.v1 snapshot per finished benchmark cell and
+/// Accumulates one eim.metrics.v2 snapshot per finished benchmark cell and
 /// writes $EIM_BENCH_JSON when the process exits (destructor of the Meyer
 /// singleton). Snapshots are serialized eagerly at record time so the cell's
-/// registry may die with its run_cell frame.
+/// registry may die with its run_cell frame. Cell-level modeled timing
+/// (seconds / kernel_seconds / transfer_seconds) rides along so
+/// tools/bench_diff can gate on modeled-time regressions; an OOM cell
+/// carries no timing fields.
 class BenchReporter {
  public:
   static BenchReporter& instance() {
@@ -30,12 +33,15 @@ class BenchReporter {
     return reporter;
   }
 
-  void record(std::string id, const support::metrics::MetricsRegistry& registry) {
+  void record(std::string id, const support::metrics::MetricsRegistry& registry,
+              const Cell& cell) {
     std::ostringstream metrics;
     support::JsonWriter w(metrics);
     registry.write_json(w);
     const std::lock_guard<std::mutex> lock(mu_);
-    cells_.push_back(CellRecord{std::move(id), metrics.str()});
+    cells_.push_back(CellRecord{std::move(id), metrics.str(), cell.seconds,
+                                cell.last.kernel_seconds,
+                                cell.last.transfer_seconds});
   }
 
  private:
@@ -60,15 +66,17 @@ class BenchReporter {
     }
     support::JsonWriter w(out);
     w.begin_object();
-    w.field("schema", "eim.metrics.v1");
+    w.field("schema", "eim.metrics.v2");
     w.field("tool", tool_name());
     w.begin_array("cells");
     for (const auto& cell : cells_) {
-      w.begin_object()
-          .field("id", cell.id)
-          .key("metrics")
-          .raw_value(cell.metrics_json)
-          .end_object();
+      w.begin_object().field("id", cell.id);
+      if (cell.seconds.has_value()) {
+        w.field("seconds", *cell.seconds)
+            .field("kernel_seconds", cell.kernel_seconds)
+            .field("transfer_seconds", cell.transfer_seconds);
+      }
+      w.key("metrics").raw_value(cell.metrics_json).end_object();
     }
     w.end_array();
     w.end_object();
@@ -78,6 +86,9 @@ class BenchReporter {
   struct CellRecord {
     std::string id;
     std::string metrics_json;  ///< pre-serialized registry snapshot
+    std::optional<double> seconds;  ///< mean modeled seconds; nullopt = OOM
+    double kernel_seconds = 0.0;    ///< last successful run's kernel time
+    double transfer_seconds = 0.0;
   };
 
   mutable std::mutex mu_;
@@ -144,6 +155,22 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
               std::to_string(g.num_vertices()) + "/m=" + std::to_string(g.num_edges());
   }
 
+  // EIM_BENCH_TRACE captures the first cell's first run — one bounded,
+  // deterministic representative trace per bench process (tracing every
+  // cell would explode the file and collide device-address pids as cells
+  // reuse the same stack slot). Written immediately after the cell.
+  std::optional<support::trace::TraceRecorder> recorder;
+  const char* trace_path = std::getenv("EIM_BENCH_TRACE");
+  if (trace_path != nullptr && *trace_path != '\0') {
+    static std::mutex trace_mu;
+    static bool trace_claimed = false;
+    const std::lock_guard<std::mutex> lock(trace_mu);
+    if (!trace_claimed) {
+      trace_claimed = true;
+      recorder.emplace();
+    }
+  }
+
   Cell cell;
   support::metrics::MetricsRegistry registry;
   support::RunningStat stat;
@@ -154,8 +181,11 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
     // take no EimOptions (run_eim re-attaches the same instruments).
     device.memory().attach_metrics(&registry.gauge("device.peak_bytes"),
                                    &registry.counter("device.alloc_events"));
+    support::trace::TraceRecorder* trace =
+        recorder.has_value() && run == 0 ? &*recorder : nullptr;
+    if (trace != nullptr) trace->register_process(cell_id, &device);
     try {
-      cell.last = runner(device, g, registry, run);
+      cell.last = runner(device, g, registry, trace, run);
     } catch (const support::DeviceOutOfMemoryError& e) {
       registry.counter("bench.oom_runs").add();
       // Record how far over budget the cell was, so the EIM_BENCH_JSON
@@ -173,7 +203,15 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
     stat.push(cell.last.device_seconds);
   }
   if (!oom) cell.seconds = stat.mean();
-  BenchReporter::instance().record(std::move(cell_id), registry);
+  if (recorder.has_value()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      recorder->write_chrome_trace(out);
+    } else {
+      std::fprintf(stderr, "warning: cannot write EIM_BENCH_TRACE=%s\n", trace_path);
+    }
+  }
+  BenchReporter::instance().record(std::move(cell_id), registry, cell);
   return cell;
 }
 
@@ -181,11 +219,13 @@ Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,
                   eim_impl::EimOptions options) {
   return [model, params, options](gpusim::Device& device, const graph::Graph& g,
                                   support::metrics::MetricsRegistry& registry,
+                                  support::trace::TraceRecorder* trace,
                                   std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;
     eim_impl::EimOptions o = options;
     o.metrics = &registry;
+    o.trace = trace;
     return eim_impl::run_eim(device, g, model, p, o);
   };
 }
@@ -193,6 +233,7 @@ Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,
 Runner gim_runner(graph::DiffusionModel model, imm::ImmParams params) {
   return [model, params](gpusim::Device& device, const graph::Graph& g,
                          support::metrics::MetricsRegistry& /*registry*/,
+                         support::trace::TraceRecorder* /*trace*/,
                          std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;
@@ -203,6 +244,7 @@ Runner gim_runner(graph::DiffusionModel model, imm::ImmParams params) {
 Runner curipples_runner(graph::DiffusionModel model, imm::ImmParams params) {
   return [model, params](gpusim::Device& device, const graph::Graph& g,
                          support::metrics::MetricsRegistry& /*registry*/,
+                         support::trace::TraceRecorder* /*trace*/,
                          std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;

@@ -12,9 +12,14 @@
 //                       suite smoke-runs in a couple of minutes;
 //   EIM_BENCH_MEMORY_MB simulated device memory (default 512 — the 48 GB
 //                       A6000 scaled by roughly the dataset scale factor);
-//   EIM_BENCH_JSON      path to write an eim.metrics.v1 report with one
-//                       metrics snapshot per benchmark cell at process exit
-//                       (see docs/OBSERVABILITY.md).
+//   EIM_BENCH_JSON      path to write an eim.metrics.v2 report with one
+//                       metrics snapshot (plus modeled seconds / kernel /
+//                       transfer timing) per benchmark cell at process exit
+//                       — the input format of tools/bench_diff
+//                       (see docs/OBSERVABILITY.md);
+//   EIM_BENCH_TRACE     path to write a Chrome trace-event file of the first
+//                       benchmark cell's first run (a bounded, deterministic
+//                       representative trace; open in ui.perfetto.dev).
 #pragma once
 
 #include <functional>
@@ -29,6 +34,7 @@
 #include "eim/support/metrics.hpp"
 #include "eim/support/stats.hpp"
 #include "eim/support/table.hpp"
+#include "eim/support/trace.hpp"
 
 namespace eim::bench {
 
@@ -57,10 +63,12 @@ struct Cell {
 
 /// One run of one backend. The registry is the cell's instrumentation sink:
 /// eIM wires it through EimOptions::metrics; every backend gets the device
-/// pool's high-water mark and allocation events recorded into it.
-using Runner = std::function<eim_impl::EimResult(gpusim::Device&, const graph::Graph&,
-                                                 support::metrics::MetricsRegistry&,
-                                                 std::uint32_t run)>;
+/// pool's high-water mark and allocation events recorded into it. `trace`
+/// is non-null only for the run EIM_BENCH_TRACE captures (eIM wires it
+/// through EimOptions::trace; baselines ignore it).
+using Runner = std::function<eim_impl::EimResult(
+    gpusim::Device&, const graph::Graph&, support::metrics::MetricsRegistry&,
+    support::trace::TraceRecorder* trace, std::uint32_t run)>;
 
 /// Run `runner` EIM_BENCH_RUNS times on fresh devices; averages modeled
 /// time; returns nullopt seconds if any run OOMs (the paper reports OOM if

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # Pre-merge gate: build everything under AddressSanitizer + UBSan and run
-# the default test suite plus the stress-labeled tests (see README.md).
+# the default test suite plus the stress-labeled tests (see README.md),
+# then run one small traced benchmark, validate the JSON artifacts it
+# emits, and diff its timings against the committed baseline.
 #
 # Usage: scripts/run_checks.sh [build-dir]
 #   build-dir defaults to build-asan (kept separate from the regular build).
+#
+# The benchmark diff is warn-only by default (modeled time shifts whenever
+# the cost model or the pipeline legitimately changes); export
+# EIM_CHECKS_BENCH_GATE=1 to make a regression beyond the threshold fatal.
+# Refresh the baseline with the command printed on mismatch.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -28,5 +35,31 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 echo "== stress-labeled tests =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -C stress -L stress
+
+echo "== traced benchmark + artifact validation =="
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "${bench_tmp}"' EXIT
+EIM_BENCH_DATASETS=WV EIM_BENCH_FAST=1 \
+  EIM_BENCH_JSON="${bench_tmp}/BENCH_fig7_ic.json" \
+  EIM_BENCH_TRACE="${bench_tmp}/TRACE_fig7_ic.json" \
+  "${build_dir}/bench/bench_fig7_ic"
+"${build_dir}/tools/bench_diff" --validate \
+  "${bench_tmp}/BENCH_fig7_ic.json" "${bench_tmp}/TRACE_fig7_ic.json"
+
+echo "== benchmark regression diff vs committed baseline =="
+baseline="${repo_root}/bench/baselines/BENCH_fig7_ic_WV_fast.json"
+if "${build_dir}/tools/bench_diff" "${baseline}" "${bench_tmp}/BENCH_fig7_ic.json"; then
+  :
+else
+  diff_exit=$?
+  echo "bench_diff: modeled time moved vs ${baseline} (exit ${diff_exit})."
+  echo "If intentional, refresh the baseline:"
+  echo "  cp ${bench_tmp}/BENCH_fig7_ic.json ${baseline}"
+  if [[ "${EIM_CHECKS_BENCH_GATE:-0}" == "1" ]]; then
+    echo "EIM_CHECKS_BENCH_GATE=1 — treating the regression as fatal."
+    exit "${diff_exit}"
+  fi
+  echo "Warn-only (set EIM_CHECKS_BENCH_GATE=1 to gate on this)."
+fi
 
 echo "All checks passed."

@@ -10,6 +10,10 @@ namespace eim::support::metrics {
 class MetricsRegistry;
 }  // namespace eim::support::metrics
 
+namespace eim::support::trace {
+class TraceRecorder;
+}  // namespace eim::support::trace
+
 namespace eim::eim_impl {
 
 /// Which kernel shape scans the RRR sets during seed selection (§3.5).
@@ -52,6 +56,12 @@ struct EimOptions {
   /// run). When set, the pipeline records phase timers and commit/regrow/
   /// decode counters into it — see docs/OBSERVABILITY.md.
   support::metrics::MetricsRegistry* metrics = nullptr;
+  /// Optional span recorder (not owned; must outlive the run). When set,
+  /// the pipeline records the phase -> round -> wave hierarchy plus fault/
+  /// degrade instants against each device's modeled clock, exportable as a
+  /// Chrome trace-event file — see docs/OBSERVABILITY.md. Null skips every
+  /// site, like `metrics`.
+  support::trace::TraceRecorder* trace = nullptr;
   /// Behavior when device memory runs out mid-collection-growth.
   OomPolicy oom_policy = OomPolicy::Throw;
   /// Bounded retry for transient device faults around sampler launches and

@@ -30,6 +30,7 @@
 
 namespace eim::support::metrics {
 class Counter;
+class Histogram;
 class MetricsRegistry;
 }  // namespace eim::support::metrics
 
@@ -119,6 +120,7 @@ class DeviceRrrCollection {
   support::metrics::Counter* claim_cas_retries_ = nullptr;
   support::metrics::Counter* regrow_r_ = nullptr;
   support::metrics::Counter* regrow_o_ = nullptr;
+  support::metrics::Histogram* set_size_hist_ = nullptr;
 };
 
 }  // namespace eim::eim_impl

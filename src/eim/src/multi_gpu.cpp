@@ -7,10 +7,12 @@
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/sampler.hpp"
 #include "eim/encoding/packed_csc.hpp"
+#include "eim/gpusim/timeline_trace.hpp"
 #include "eim/imm/driver.hpp"
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/trace.hpp"
 
 namespace eim::eim_impl {
 
@@ -46,6 +48,15 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   std::vector<gpusim::FaultStats> faults_before(num_devices);
   for (std::uint32_t d = 0; d < num_devices; ++d) {
     faults_before[d] = devices[d]->fault_stats();
+  }
+
+  // One trace track per device; the samplers resolve their wave-span pids
+  // through pid_of, and the phase spans ride on the current primary.
+  support::trace::TraceRecorder* trace = options.trace;
+  if (trace != nullptr) {
+    for (std::uint32_t d = 0; d < num_devices; ++d) {
+      trace->register_process("device " + std::to_string(d), devices[d]);
+    }
   }
 
   // Every device holds the (packed) graph and its own shard state.
@@ -120,15 +131,41 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
       options.metrics->counter("multi.failover_regenerated_sets").add(regenerated);
       options.metrics->counter("multi.failover_transfer_bytes").add(bytes);
     }
+    if (trace != nullptr) {
+      if (const auto lost_pid = trace->pid_of(devices[d]); lost_pid.has_value()) {
+        trace->instant(*lost_pid, "device.lost",
+                       "respilled=" + std::to_string(respilled),
+                       devices[d]->timeline().total_seconds());
+      }
+      if (const auto pri_pid = trace->pid_of(primary);
+          pri_pid.has_value() && bytes > 0) {
+        trace->instant(*pri_pid, "failover.redistribute",
+                       "bytes=" + std::to_string(bytes),
+                       primary->timeline().total_seconds());
+      }
+    }
   };
 
   // Sampling with failover: distribute the outstanding ids over the
   // survivors (id % |alive| striping), absorb device deaths by respilling,
   // and loop until every id is committed somewhere.
+  std::uint64_t sample_round = 0;
   auto sample_to = [&](std::uint64_t target) {
     if (target <= sampled_global) return;
     std::optional<support::metrics::ScopedPhase> scope;
     if (sample_phase != nullptr) scope.emplace(*sample_phase);
+    // The phase rides on whatever device is primary when the round starts;
+    // its modeled clock anchors both endpoints even if failover promotes a
+    // new primary mid-round.
+    gpusim::Device* const span_dev = primary;
+    const std::uint32_t span_pid =
+        trace != nullptr ? trace->pid_of(span_dev).value_or(0) : 0;
+    const double span_start = span_dev->timeline().total_seconds();
+    support::trace::ScopedSpan phase_span(
+        trace, span_pid, support::trace::SpanCategory::Phase, "sample", span_start);
+    support::trace::ScopedSpan round_span(
+        trace, span_pid, support::trace::SpanCategory::Round,
+        "round " + std::to_string(sample_round++), span_start);
 
     std::vector<std::uint64_t> todo;
     todo.reserve(target - sampled_global);
@@ -175,6 +212,8 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
       communication += primary->timeline().transfer_seconds() - before;
       if (count_allreduces != nullptr) count_allreduces->add();
     }
+    round_span.end(span_dev->timeline().total_seconds());
+    phase_span.end(span_dev->timeline().total_seconds());
   };
 
   // Selection: exact greedy on the merged host mirror; modeled cost is the
@@ -183,6 +222,12 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   auto select = [&] {
     std::optional<support::metrics::ScopedPhase> scope;
     if (select_phase != nullptr) scope.emplace(*select_phase);
+    gpusim::Device* const span_dev = primary;
+    const std::uint32_t span_pid =
+        trace != nullptr ? trace->pid_of(span_dev).value_or(0) : 0;
+    support::trace::ScopedSpan phase_span(
+        trace, span_pid, support::trace::SpanCategory::Phase, "select",
+        span_dev->timeline().total_seconds());
     const VertexId n = g.num_vertices();
 
     // Merge shard mirrors through the owner/slot maps (id % D striping in
@@ -314,6 +359,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     sel.coverage_fraction = num_sets == 0 ? 0.0
                                           : static_cast<double>(sel.covered_sets) /
                                                 static_cast<double>(num_sets);
+    phase_span.end(span_dev->timeline().total_seconds());
     return sel;
   };
 
@@ -322,6 +368,16 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
 
   primary->transfer_to_host("seed set",
                             outcome.final_selection.seeds.size() * sizeof(VertexId));
+
+  // Fold every device's ledger — including dead devices' pre-loss work —
+  // into the trace as leaf spans on its own track.
+  if (trace != nullptr) {
+    for (std::uint32_t d = 0; d < num_devices; ++d) {
+      if (const auto pid = trace->pid_of(devices[d]); pid.has_value()) {
+        gpusim::record_timeline_spans(*trace, *pid, devices[d]->timeline());
+      }
+    }
+  }
 
   result.seeds = outcome.final_selection.seeds;
   result.num_sets = sampled_global;

@@ -6,10 +6,12 @@
 #include "eim/eim/sampler.hpp"
 #include "eim/eim/seed_selector.hpp"
 #include "eim/encoding/packed_csc.hpp"
+#include "eim/gpusim/timeline_trace.hpp"
 #include "eim/imm/driver.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
 #include "eim/support/retry.hpp"
+#include "eim/support/trace.hpp"
 
 namespace eim::eim_impl {
 
@@ -25,7 +27,10 @@ void retry_transfer(gpusim::Device& device, const EimOptions& options,
       [&](std::uint32_t /*attempt*/, double backoff,
           const support::DeviceFaultError&) {
         device.charge_backoff(std::string(label) + " retry", backoff);
-        if (options.metrics != nullptr) options.metrics->counter("retry.attempts").add();
+        if (options.metrics != nullptr) {
+          options.metrics->counter("retry.attempts").add();
+          options.metrics->histogram("retry.backoff_seconds").observe_duration(backoff);
+        }
       });
 }
 
@@ -63,6 +68,16 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   const gpusim::FaultStats faults_before = device.fault_stats();
 
   support::metrics::MetricsRegistry* reg = options.metrics;
+  support::trace::TraceRecorder* trace = options.trace;
+  // Find (or register) this device's trace track. A caller that already
+  // named the track — eim_cli, the multi-GPU driver — wins; instrumentation
+  // down the stack (sampler waves) resolves the pid through pid_of(&device).
+  std::uint32_t trace_pid = 0;
+  if (trace != nullptr) {
+    const auto existing = trace->pid_of(&device);
+    trace_pid =
+        existing.has_value() ? *existing : trace->register_process("device 0", &device);
+  }
   PoolMetricsGuard pool_guard(device);
   if (reg != nullptr) {
     device.memory().attach_metrics(&reg->gauge("device.peak_bytes"),
@@ -119,27 +134,48 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
         reg->counter("degrade.activations").add();
         reg->gauge("degrade.shortfall_bytes").set(degrade_shortfall);
       }
+      if (trace != nullptr) {
+        trace->instant(trace_pid, "oom.degrade",
+                       "shortfall_bytes=" + std::to_string(degrade_shortfall),
+                       device.timeline().total_seconds());
+      }
     }
   };
 
+  std::uint64_t sample_round = 0;
   const imm::FrameworkOutcome outcome = imm::run_imm_framework(
       g.num_vertices(), effective,
       [&](std::uint64_t target) {
+        const double before = device.timeline().total_seconds();
+        support::trace::ScopedSpan phase_span(
+            trace, trace_pid, support::trace::SpanCategory::Phase, "sample", before);
+        support::trace::ScopedSpan round_span(
+            trace, trace_pid, support::trace::SpanCategory::Round,
+            "round " + std::to_string(sample_round++), before);
         if (sample_phase == nullptr) {
           sample_to(target);
-          return;
+        } else {
+          const support::metrics::ScopedPhase scope(*sample_phase);
+          sample_to(target);
+          sample_phase->add_modeled(device.timeline().total_seconds() - before);
         }
-        const support::metrics::ScopedPhase scope(*sample_phase);
-        const double before = device.timeline().total_seconds();
-        sample_to(target);
-        sample_phase->add_modeled(device.timeline().total_seconds() - before);
+        const double after = device.timeline().total_seconds();
+        round_span.end(after);
+        phase_span.end(after);
       },
       [&] {
-        if (select_phase == nullptr) return selector.select(collection, effective.k);
-        const support::metrics::ScopedPhase scope(*select_phase);
         const double before = device.timeline().total_seconds();
-        const imm::SelectionResult sel = selector.select(collection, effective.k);
-        select_phase->add_modeled(device.timeline().total_seconds() - before);
+        support::trace::ScopedSpan phase_span(
+            trace, trace_pid, support::trace::SpanCategory::Phase, "select", before);
+        imm::SelectionResult sel;
+        if (select_phase == nullptr) {
+          sel = selector.select(collection, effective.k);
+        } else {
+          const support::metrics::ScopedPhase scope(*select_phase);
+          sel = selector.select(collection, effective.k);
+          select_phase->add_modeled(device.timeline().total_seconds() - before);
+        }
+        phase_span.end(device.timeline().total_seconds());
         return sel;
       });
 
@@ -177,6 +213,13 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   result.device_mallocs = 0;  // eIM's design point: no in-kernel allocation
   result.degraded = degraded;
   result.degrade_shortfall_bytes = degrade_shortfall;
+
+  // Fold the device ledger into the trace as leaf spans. The run is over, so
+  // every segment interval is final; the phase/round/wave spans recorded
+  // live above enclose them by containment on the modeled clock.
+  if (trace != nullptr) {
+    gpusim::record_timeline_spans(*trace, trace_pid, device.timeline());
+  }
 
   record_fault_deltas(reg, faults_before, device.fault_stats());
   if (reg != nullptr) {

@@ -44,12 +44,14 @@ void DeviceRrrCollection::attach_metrics(support::metrics::MetricsRegistry* regi
     claim_cas_retries_ = nullptr;
     regrow_r_ = nullptr;
     regrow_o_ = nullptr;
+    set_size_hist_ = nullptr;
     return;
   }
   commit_rejects_ = &registry->counter("rrr.commit_rejects");
   claim_cas_retries_ = &registry->counter("rrr.claim_cas_retries");
   regrow_r_ = &registry->counter("rrr.regrow_r");
   regrow_o_ = &registry->counter("rrr.regrow_o");
+  set_size_hist_ = &registry->histogram("rrr.set_size");
 }
 
 void DeviceRrrCollection::charge_device(std::uint64_t bytes) {
@@ -131,6 +133,7 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
 
   starts_[set_index] = offset;
   lengths_[set_index] = static_cast<std::uint32_t>(sorted_set.size());
+  if (set_size_hist_ != nullptr) set_size_hist_->observe(sorted_set.size());
 
   for (std::size_t j = 0; j < sorted_set.size(); ++j) {
     const VertexId v = sorted_set[j];

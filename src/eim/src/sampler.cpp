@@ -10,6 +10,7 @@
 #include "eim/support/metrics.hpp"
 #include "eim/support/retry.hpp"
 #include "eim/support/rng.hpp"
+#include "eim/support/trace.hpp"
 
 namespace eim::eim_impl {
 
@@ -82,18 +83,39 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
   support::metrics::Counter* retries_c = nullptr;
   support::metrics::Counter* regens_c = nullptr;
   support::metrics::Counter* fault_retries_c = nullptr;
+  support::metrics::Histogram* queue_depth_h = nullptr;
+  support::metrics::Histogram* backoff_h = nullptr;
   if (options_.metrics != nullptr) {
     waves_c = &options_.metrics->counter("sampler.waves");
     committed_c = &options_.metrics->counter("sampler.samples_committed");
     retries_c = &options_.metrics->counter("sampler.commit_retries");
     regens_c = &options_.metrics->counter("sampler.singleton_regens");
     fault_retries_c = &options_.metrics->counter("retry.attempts");
+    queue_depth_h = &options_.metrics->histogram("sampler.queue_depth");
+    backoff_h = &options_.metrics->histogram("retry.backoff_seconds");
+  }
+
+  // Wave spans attach to the device's trace track; the device must have
+  // been registered by the pipeline for pid_of to resolve.
+  support::trace::TraceRecorder* trace = options_.trace;
+  std::uint32_t trace_pid = 0;
+  if (trace != nullptr) {
+    const auto pid = trace->pid_of(device_);
+    if (pid.has_value()) {
+      trace_pid = *pid;
+    } else {
+      trace = nullptr;
+    }
   }
 
   int wave = 0;
   std::uint64_t max_failed_len = 0;
   while (!pending.empty()) {
     EIM_CHECK_MSG(++wave <= 64, "sampler failed to converge on capacity");
+    support::trace::ScopedSpan wave_span(trace, trace_pid,
+                                         support::trace::SpanCategory::Wave,
+                                         "wave " + std::to_string(wave),
+                                         device_->timeline().total_seconds());
 
     // Reserve O for every set and R using the observed average set size
     // (first wave: a generous default).
@@ -142,6 +164,9 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
             const PendingSample sample = pending[slot];
             const std::uint32_t regenerated =
                 generate(ctx, scratch, sample.global_id);
+            // Final queue length = the RRR set this sample produced (post
+            // source elimination); lock-free, safe from pool threads.
+            if (queue_depth_h != nullptr) queue_depth_h->observe(scratch.queue.size());
 
             // Sort + commit (Fig. 2). Source elimination already happened
             // inside generate(); queue holds the final sorted set.
@@ -162,6 +187,7 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
             const support::DeviceFaultError&) {
           device_->charge_backoff("eim::sample retry", backoff);
           if (fault_retries_c != nullptr) fault_retries_c->add();
+          if (backoff_h != nullptr) backoff_h->observe_duration(backoff);
         });
 
     std::vector<PendingSample> retry;
@@ -176,6 +202,7 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
     if (waves_c != nullptr) waves_c->add();
     if (retries_c != nullptr) retries_c->add(retry.size());
     if (committed_c != nullptr) committed_c->add(pending.size() - retry.size());
+    wave_span.end(device_->timeline().total_seconds());
     std::sort(retry.begin(), retry.end(),
               [](const PendingSample& a, const PendingSample& b) {
                 return a.local_slot < b.local_slot;

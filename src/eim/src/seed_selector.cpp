@@ -58,6 +58,8 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
       metrics_ != nullptr ? &metrics_->counter("selector.update_kernels") : nullptr;
   support::metrics::Counter* fallback_picks =
       metrics_ != nullptr ? &metrics_->counter("selector.fallback_picks") : nullptr;
+  support::metrics::Histogram* gain_hist =
+      metrics_ != nullptr ? &metrics_->histogram("selector.gain_per_pick") : nullptr;
 
   // Inverted index vertex -> set ids (host-side greedy accelerator).
   std::vector<std::uint64_t> index_offsets(static_cast<std::size_t>(n) + 1, 0);
@@ -156,6 +158,7 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
           first_filler = false;
           charge_update(0);
           if (fallback_picks != nullptr) fallback_picks->add();
+          if (gain_hist != nullptr) gain_hist->observe(0);
           chosen[v] = true;
           result.seeds.push_back(v);
         }
@@ -164,6 +167,7 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
     }
     chosen[best] = true;
     result.seeds.push_back(best);
+    if (gain_hist != nullptr) gain_hist->observe(best_count);
 
     // Cover best's sets; track decrement traffic for the cost model.
     std::uint64_t dec_cycles = 0;

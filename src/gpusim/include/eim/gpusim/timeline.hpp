@@ -4,6 +4,12 @@
 // segment; total_seconds() is the modeled wall time the paper's speedup plots
 // compare. Segments keep their labels so benches can break down where a
 // baseline loses (e.g. cuRipples' time is dominated by Transfer segments).
+//
+// Each segment is a true span on the device's modeled clock: `start` is the
+// clock value when the segment was charged (the device executes serially, so
+// a segment occupies [start, start + seconds) and consecutive segments never
+// overlap), and `sequence` is its monotone position in the ledger. Both feed
+// the trace export (support/trace.hpp, docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>
@@ -24,12 +30,15 @@ enum class SegmentKind {
 struct TimelineSegment {
   SegmentKind kind;
   std::string label;
+  double start;             ///< modeled clock when the segment began
   double seconds;
+  std::uint64_t sequence;   ///< monotone ledger position (0-based)
 };
 
 class DeviceTimeline {
  public:
   void add(SegmentKind kind, std::string label, double seconds) {
+    const double start = total_seconds_;
     total_seconds_ += seconds;
     switch (kind) {
       case SegmentKind::Kernel: kernel_seconds_ += seconds; break;
@@ -37,7 +46,8 @@ class DeviceTimeline {
       case SegmentKind::Allocation: allocation_seconds_ += seconds; break;
       case SegmentKind::Backoff: backoff_seconds_ += seconds; break;
     }
-    segments_.push_back(TimelineSegment{kind, std::move(label), seconds});
+    segments_.push_back(TimelineSegment{kind, std::move(label), start, seconds,
+                                        static_cast<std::uint64_t>(segments_.size())});
   }
 
   [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
@@ -49,8 +59,12 @@ class DeviceTimeline {
     return segments_;
   }
 
+  /// Clear the ledger *and* release its storage: bench sweeps reset the
+  /// timeline between cells, and keeping a peak-size segment buffer alive
+  /// per device would otherwise hold the largest cell's footprint for the
+  /// whole sweep.
   void reset() {
-    segments_.clear();
+    std::vector<TimelineSegment>().swap(segments_);
     total_seconds_ = kernel_seconds_ = transfer_seconds_ = allocation_seconds_ =
         backoff_seconds_ = 0.0;
   }

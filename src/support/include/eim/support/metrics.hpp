@@ -12,10 +12,11 @@
 // reference that stays valid for the registry's lifetime — look handles up
 // once outside hot loops. write_json() snapshots under the same mutex.
 //
-// The JSON schema ("eim.metrics.v1") is documented in docs/OBSERVABILITY.md.
+// The JSON schema ("eim.metrics.v2") is documented in docs/OBSERVABILITY.md.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -64,6 +65,63 @@ class Gauge {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Fixed log2-bucket distribution of an unsigned quantity (RRR set sizes,
+/// queue depths, per-pick gains). Bucket 0 counts zeros; bucket b (1..64)
+/// counts values of bit width b, i.e. the range [2^(b-1), 2^b). Buckets,
+/// count, sum, and max are all lock-free relaxed atomics, so observe() is
+/// safe from sampler blocks running concurrently on the host pool.
+class Histogram {
+ public:
+  static constexpr std::uint32_t kNumBuckets = 65;
+
+  static constexpr std::uint32_t bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0u : static_cast<std::uint32_t>(64 - std::countl_zero(v));
+  }
+  /// Largest value bucket `b` can hold (its reported "le" bound).
+  static constexpr std::uint64_t bucket_upper(std::uint32_t b) noexcept {
+    return b == 0 ? 0 : (b >= 64 ? ~0ull : (1ull << b) - 1);
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < v && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Duration convenience: records whole nanoseconds, so the log2 buckets
+  /// resolve from ~1 ns to centuries (docs/OBSERVABILITY.md).
+  void observe_duration(double seconds) noexcept {
+    observe(seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9 + 0.5));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::uint32_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket-resolution quantile estimate: the upper bound of the first
+  /// bucket whose cumulative count reaches q * count, clamped to the true
+  /// max. q in (0, 1]; returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
 /// Accumulated time for one named pipeline phase. Wall seconds are host
 /// time (what the operator waits for); modeled seconds are simulated device
 /// time (what the paper's speedup plots compare). Both accumulate across
@@ -109,17 +167,19 @@ class MetricsRegistry {
 
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
   [[nodiscard]] PhaseTimer& phase(std::string_view name);
 
   /// Serialize the registry as one JSON object:
-  /// {"counters":{...},"gauges":{...},"phases":[{...}]}. Names sort
-  /// lexicographically so reports diff cleanly across runs.
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"phases":[{...}]}.
+  /// Names sort lexicographically so reports diff cleanly across runs.
   void write_json(JsonWriter& w) const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, std::unique_ptr<PhaseTimer>, std::less<>> phases_;
 };
 
@@ -138,7 +198,7 @@ class ScopedPhase {
 };
 
 /// One run's identity plus a snapshot of its registry, serializable to the
-/// "eim.metrics.v1" JSON document that eim_cli --metrics-json and the bench
+/// "eim.metrics.v2" JSON document that eim_cli --metrics-json and the bench
 /// reporter both emit.
 struct RunReport {
   std::string tool;   ///< producing binary ("eim_cli", "bench_fig7_ic", ...)

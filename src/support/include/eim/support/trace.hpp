@@ -1,0 +1,155 @@
+// Hierarchical span tracing with Chrome trace-event / Perfetto export.
+//
+// A TraceRecorder captures what the metrics registry cannot: *when* things
+// happened on the modeled device clock. Spans nest — phase -> estimation
+// round -> sampling wave -> kernel/transfer/backoff leaf segments — and
+// every span carries both its modeled interval (deterministic, exported)
+// and the host wall seconds the same scope took (diagnostic, kept out of
+// the export so traces stay bit-identical across runs with the same seed).
+//
+// Like the metrics registry, the recorder is opt-in and non-owning: a null
+// EimOptions::trace pointer means every instrumentation site is skipped at
+// zero cost. Recording is mutex-serialized — spans are begun/ended from the
+// orchestration thread around kernel launches, never from inside block
+// bodies, so the lock is uncontended in practice.
+//
+// The export (`write_chrome_trace`) is the Chrome trace-event JSON format:
+// one `pid` per registered process (a simulated device), one `tid` per host
+// thread that recorded spans, `ph:"X"` complete events for spans, `ph:"i"`
+// instant events for faults/failover, and `ph:"M"` metadata naming the
+// tracks. Open the file in https://ui.perfetto.dev or chrome://tracing.
+// Schema details in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eim::support::trace {
+
+/// What a span models. Leaf kinds mirror gpusim::SegmentKind; the first
+/// three are host-side orchestration scopes.
+enum class SpanCategory {
+  Phase,       ///< pipeline phase (sample / select)
+  Round,       ///< one IMM estimation round inside a phase
+  Wave,        ///< one sampling kernel wave (launch + commit + retries)
+  Kernel,      ///< modeled kernel segment from the device timeline
+  Transfer,    ///< modeled H2D/D2H segment
+  Allocation,  ///< modeled cudaMalloc-style event
+  Backoff,     ///< modeled retry backoff after a transient fault
+};
+
+[[nodiscard]] const char* to_string(SpanCategory cat) noexcept;
+
+/// True for the categories that are device-timeline leaves: summing their
+/// durations per pid reproduces DeviceTimeline::total_seconds() exactly.
+[[nodiscard]] constexpr bool is_device_leaf(SpanCategory cat) noexcept {
+  return cat == SpanCategory::Kernel || cat == SpanCategory::Transfer ||
+         cat == SpanCategory::Allocation || cat == SpanCategory::Backoff;
+}
+
+struct TraceSpan {
+  std::uint64_t sequence = 0;   ///< global record order (deterministic)
+  std::uint32_t pid = 0;        ///< registered process (simulated device)
+  std::uint32_t tid = 0;        ///< host thread ordinal (first recorder = 0)
+  std::string name;
+  SpanCategory category = SpanCategory::Kernel;
+  double modeled_start = 0.0;   ///< seconds on the device's modeled clock
+  double modeled_seconds = 0.0;
+  double wall_seconds = 0.0;    ///< host wall time; NOT exported
+  std::int64_t parent = -1;     ///< sequence of the enclosing span, -1 = root
+};
+
+/// Point event (ph:"i"): device loss, failover redistribution, degrade
+/// activation — things with a time but no duration.
+struct TraceInstant {
+  std::uint64_t sequence = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::string name;
+  std::string detail;           ///< free-form args.detail payload
+  double modeled_ts = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Allocate the next pid and name its track. `key` (optional) lets later
+  /// instrumentation sites that only hold a device pointer find the pid
+  /// again via pid_of(); re-registering the same key re-uses its pid.
+  std::uint32_t register_process(const std::string& name, const void* key = nullptr);
+  [[nodiscard]] std::optional<std::uint32_t> pid_of(const void* key) const;
+
+  /// Open a span at `modeled_start`; the span's parent is the innermost
+  /// still-open span begun by this thread. Returns the span's sequence id.
+  std::uint64_t begin_span(std::uint32_t pid, SpanCategory category, std::string name,
+                           double modeled_start);
+  /// Close span `id` at `modeled_end`, folding in the measured wall time.
+  void end_span(std::uint64_t id, double modeled_end, double wall_seconds = 0.0);
+
+  /// Record an already-finished leaf span (device timeline segments).
+  /// Bypasses the open-span stack; parent is the caller's innermost open
+  /// span, which is how leaves attach to the wave that launched them.
+  void complete_span(std::uint32_t pid, SpanCategory category, std::string name,
+                     double modeled_start, double modeled_seconds);
+
+  void instant(std::uint32_t pid, std::string name, std::string detail,
+               double modeled_ts);
+
+  /// Snapshots for tests/tools (copies under the lock).
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::vector<TraceInstant> instants() const;
+
+  /// Emit the Chrome trace-event JSON document. Deterministic: only modeled
+  /// times and stable ids are written; wall seconds are omitted.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::uint32_t tid_for_locked(std::thread::id id);
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+  std::vector<std::string> process_names_;      ///< index = pid
+  std::map<const void*, std::uint32_t> pids_;   ///< key -> pid
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::map<std::thread::id, std::vector<std::uint64_t>> open_stacks_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+/// RAII span. Inactive when the recorder is null, so call sites read
+/// `ScopedSpan span(options.trace, ...)` with no branching. Wall time is
+/// measured here (steady_clock across the scope); modeled end must be
+/// supplied by end() — if the scope unwinds without it (a device fault
+/// propagating), the span closes zero-length at its start point, which
+/// marks exactly where the run died on the timeline.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceRecorder* recorder, std::uint32_t pid, SpanCategory category,
+             std::string name, double modeled_start);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Close at `modeled_end` (idempotent; later calls are ignored).
+  void end(double modeled_end);
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  std::uint64_t id_ = 0;
+  double modeled_start_ = 0.0;
+  bool ended_ = true;
+  std::chrono::steady_clock::time_point wall_start_{};
+};
+
+}  // namespace eim::support::trace

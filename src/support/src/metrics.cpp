@@ -1,5 +1,6 @@
 #include "eim/support/metrics.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace eim::support::metrics {
@@ -28,6 +29,29 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   return lookup(mu_, gauges_, name);
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return lookup(mu_, histograms_, name);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  // Rank of the requested quantile, at least 1 so q -> first bucket works.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t b = 0; b < kNumBuckets; ++b) {
+    cumulative += bucket_count(b);
+    if (cumulative >= rank) {
+      // The bucket's upper bound, clamped by the true max (exact when the
+      // quantile falls in the max's bucket).
+      return std::min(bucket_upper(b), max_value());
+    }
+  }
+  return max_value();
+}
+
 PhaseTimer& MetricsRegistry::phase(std::string_view name) {
   return lookup(mu_, phases_, name);
 }
@@ -40,6 +64,27 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
   w.end_object();
   w.key("gauges").begin_object();
   for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.field("count", h->count())
+        .field("sum", h->sum())
+        .field("max", h->max_value())
+        .field("p50", h->quantile(0.50))
+        .field("p95", h->quantile(0.95));
+    w.begin_array("buckets");
+    for (std::uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;  // sparse: only occupied buckets are reported
+      w.begin_object()
+          .field("le", Histogram::bucket_upper(b))
+          .field("count", n)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   w.begin_array("phases");
   for (const auto& [name, p] : phases_) {
@@ -65,7 +110,7 @@ ScopedPhase::~ScopedPhase() {
 void RunReport::write_json(std::ostream& out) const {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "eim.metrics.v1");
+  w.field("schema", "eim.metrics.v2");
   w.field("tool", std::string_view(tool));
   w.key("run").begin_object();
   w.field("graph", std::string_view(graph))

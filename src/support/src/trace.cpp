@@ -1,0 +1,250 @@
+#include "eim/support/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "eim/support/error.hpp"
+#include "eim/support/json.hpp"
+
+namespace eim::support::trace {
+
+namespace {
+
+/// Shortest-round-trip double formatting for the trace export: %.17g is
+/// guaranteed to parse back to the identical IEEE value, which is what lets
+/// the tests assert that parsed span durations sum *exactly* to
+/// DeviceTimeline::total_seconds(). (JsonWriter's default 15 digits is fine
+/// for human-facing reports but can drop the last bit.)
+std::string exact_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(SpanCategory cat) noexcept {
+  switch (cat) {
+    case SpanCategory::Phase: return "phase";
+    case SpanCategory::Round: return "round";
+    case SpanCategory::Wave: return "wave";
+    case SpanCategory::Kernel: return "kernel";
+    case SpanCategory::Transfer: return "transfer";
+    case SpanCategory::Allocation: return "allocation";
+    case SpanCategory::Backoff: return "backoff";
+  }
+  return "unknown";
+}
+
+std::uint32_t TraceRecorder::register_process(const std::string& name,
+                                              const void* key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (key != nullptr) {
+    const auto it = pids_.find(key);
+    if (it != pids_.end()) {
+      process_names_[it->second] = name;  // latest registration names the track
+      return it->second;
+    }
+  }
+  const auto pid = static_cast<std::uint32_t>(process_names_.size());
+  process_names_.push_back(name);
+  if (key != nullptr) pids_.emplace(key, pid);
+  return pid;
+}
+
+std::optional<std::uint32_t> TraceRecorder::pid_of(const void* key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pids_.find(key);
+  if (it == pids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t TraceRecorder::tid_for_locked(std::thread::id id) {
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto tid = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+std::uint64_t TraceRecorder::begin_span(std::uint32_t pid, SpanCategory category,
+                                        std::string name, double modeled_start) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  auto& stack = open_stacks_[self];
+
+  TraceSpan span;
+  span.sequence = next_sequence_++;
+  span.pid = pid;
+  span.tid = tid_for_locked(self);
+  span.name = std::move(name);
+  span.category = category;
+  span.modeled_start = modeled_start;
+  span.modeled_seconds = -1.0;  // sentinel: still open
+  span.parent = stack.empty() ? -1 : static_cast<std::int64_t>(stack.back());
+  const std::uint64_t sequence = span.sequence;
+  stack.push_back(sequence);
+  spans_.push_back(std::move(span));
+  return sequence;
+}
+
+void TraceRecorder::end_span(std::uint64_t id, double modeled_end,
+                             double wall_seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Sequences are shared with instants, so the id is not an index; the span
+  // being ended is almost always near the back.
+  const auto rit = std::find_if(spans_.rbegin(), spans_.rend(),
+                                [id](const TraceSpan& s) { return s.sequence == id; });
+  EIM_CHECK_MSG(rit != spans_.rend(), "end_span on unknown span id");
+  TraceSpan& span = *rit;
+  if (span.modeled_seconds >= 0.0) return;  // already closed
+  span.modeled_seconds = std::max(0.0, modeled_end - span.modeled_start);
+  span.wall_seconds = wall_seconds;
+  auto& stack = open_stacks_[std::this_thread::get_id()];
+  const auto it = std::find(stack.begin(), stack.end(), id);
+  if (it != stack.end()) stack.erase(it, stack.end());  // pop it and any orphans
+}
+
+void TraceRecorder::complete_span(std::uint32_t pid, SpanCategory category,
+                                  std::string name, double modeled_start,
+                                  double modeled_seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  const auto& stack = open_stacks_[self];
+
+  TraceSpan span;
+  span.sequence = next_sequence_++;
+  span.pid = pid;
+  span.tid = tid_for_locked(self);
+  span.name = std::move(name);
+  span.category = category;
+  span.modeled_start = modeled_start;
+  span.modeled_seconds = modeled_seconds;
+  span.parent = stack.empty() ? -1 : static_cast<std::int64_t>(stack.back());
+  spans_.push_back(std::move(span));
+}
+
+void TraceRecorder::instant(std::uint32_t pid, std::string name, std::string detail,
+                            double modeled_ts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TraceInstant inst;
+  inst.sequence = next_sequence_++;
+  inst.pid = pid;
+  inst.tid = tid_for_locked(std::this_thread::get_id());
+  inst.name = std::move(name);
+  inst.detail = std::move(detail);
+  inst.modeled_ts = modeled_ts;
+  instants_.push_back(std::move(inst));
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<TraceInstant> TraceRecorder::instants() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instants_;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.begin_array("traceEvents");
+
+  // Track metadata first: process names for every registered pid, thread
+  // names for every host worker that recorded.
+  for (std::uint32_t pid = 0; pid < process_names_.size(); ++pid) {
+    w.begin_object()
+        .field("ph", "M")
+        .field("name", "process_name")
+        .field("pid", std::uint64_t{pid})
+        .field("tid", std::uint64_t{0})
+        .key("args")
+        .begin_object()
+        .field("name", std::string_view(process_names_[pid]))
+        .end_object()
+        .end_object();
+  }
+  for (const auto& [thread_id, tid] : tids_) {
+    (void)thread_id;
+    for (std::uint32_t pid = 0; pid < process_names_.size(); ++pid) {
+      w.begin_object()
+          .field("ph", "M")
+          .field("name", "thread_name")
+          .field("pid", std::uint64_t{pid})
+          .field("tid", std::uint64_t{tid})
+          .key("args")
+          .begin_object()
+          .field("name", "host-worker-" + std::to_string(tid))
+          .end_object()
+          .end_object();
+    }
+  }
+
+  // Spans as ph:"X" complete events. ts/dur are microseconds of *modeled*
+  // time; args carry the raw seconds at full precision plus the stable
+  // sequence/parent ids. Wall time is deliberately absent (bit-identical
+  // traces across same-seed runs).
+  for (const TraceSpan& span : spans_) {
+    const double dur = std::max(0.0, span.modeled_seconds);  // open -> 0
+    w.begin_object()
+        .field("ph", "X")
+        .field("name", std::string_view(span.name))
+        .field("cat", to_string(span.category))
+        .field("pid", std::uint64_t{span.pid})
+        .field("tid", std::uint64_t{span.tid});
+    w.key("ts").raw_value(exact_double(span.modeled_start * 1e6));
+    w.key("dur").raw_value(exact_double(dur * 1e6));
+    w.key("args").begin_object();
+    w.field("seq", span.sequence);
+    if (span.parent >= 0) w.field("parent", span.parent);
+    w.key("seconds").raw_value(exact_double(dur));
+    w.end_object();
+    w.end_object();
+  }
+
+  // Instants as ph:"i", process-scoped so Perfetto draws a full-height line.
+  for (const TraceInstant& inst : instants_) {
+    w.begin_object()
+        .field("ph", "i")
+        .field("s", "p")
+        .field("name", std::string_view(inst.name))
+        .field("cat", "fault")
+        .field("pid", std::uint64_t{inst.pid})
+        .field("tid", std::uint64_t{inst.tid});
+    w.key("ts").raw_value(exact_double(inst.modeled_ts * 1e6));
+    w.key("args").begin_object();
+    w.field("seq", inst.sequence);
+    if (!inst.detail.empty()) w.field("detail", std::string_view(inst.detail));
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, std::uint32_t pid,
+                       SpanCategory category, std::string name, double modeled_start)
+    : recorder_(recorder), modeled_start_(modeled_start), ended_(recorder == nullptr) {
+  if (recorder_ == nullptr) return;
+  wall_start_ = std::chrono::steady_clock::now();
+  id_ = recorder_->begin_span(pid, category, std::move(name), modeled_start);
+}
+
+void ScopedSpan::end(double modeled_end) {
+  if (ended_) return;
+  ended_ = true;
+  const auto elapsed = std::chrono::steady_clock::now() - wall_start_;
+  recorder_->end_span(id_, modeled_end,
+                      std::chrono::duration<double>(elapsed).count());
+}
+
+ScopedSpan::~ScopedSpan() { end(modeled_start_); }
+
+}  // namespace eim::support::trace

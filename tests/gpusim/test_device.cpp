@@ -122,6 +122,50 @@ TEST(Device, TimelineResetClearsEverything) {
   EXPECT_TRUE(device.timeline().segments().empty());
 }
 
+TEST(Device, TimelineResetReleasesSegmentCapacity) {
+  Device device;
+  for (int i = 0; i < 1000; ++i) device.charge_allocation_event("a");
+  ASSERT_GE(device.timeline().segments().capacity(), 1000u);
+  device.timeline().reset();
+  // reset() must swap the vector away, not just clear() it — a long run's
+  // ledger should not pin memory after the stats were harvested.
+  EXPECT_EQ(device.timeline().segments().capacity(), 0u);
+}
+
+TEST(Device, TimelineSegmentsCarryStartAndSequence) {
+  Device device;
+  device.transfer_to_device("t0", 4096);
+  device.launch_blocks("k0", 1, [](BlockContext& ctx) { ctx.add_cycles(1000); });
+  device.charge_allocation_event("a0");
+  const auto& segs = device.timeline().segments();
+  ASSERT_EQ(segs.size(), 3u);
+  // The modeled clock is serial per device: each segment starts exactly
+  // where the previous one ended, starting from zero, and sequence ids are
+  // dense in ledger order.
+  double clock = 0.0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(segs[i].sequence, i);
+    EXPECT_DOUBLE_EQ(segs[i].start, clock);
+    EXPECT_GT(segs[i].seconds, 0.0);
+    clock += segs[i].seconds;
+  }
+  EXPECT_DOUBLE_EQ(clock, device.timeline().total_seconds());
+}
+
+TEST(Device, TimelineSequenceContinuesAcrossReset) {
+  Device device;
+  device.charge_allocation_event("a0");
+  device.charge_allocation_event("a1");
+  device.timeline().reset();
+  device.charge_allocation_event("a2");
+  const auto& segs = device.timeline().segments();
+  ASSERT_EQ(segs.size(), 1u);
+  // After reset the clock restarts at zero and numbering restarts with the
+  // empty ledger.
+  EXPECT_EQ(segs[0].sequence, 0u);
+  EXPECT_DOUBLE_EQ(segs[0].start, 0.0);
+}
+
 TEST(Device, CyclesToSecondsUsesClock) {
   DeviceSpec spec;
   spec.clock_ghz = 2.0;

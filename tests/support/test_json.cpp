@@ -77,5 +77,85 @@ TEST(Json, NullValue) {
   EXPECT_EQ(render([](JsonWriter& w) { w.begin_array().null().end_array(); }), "[null]");
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("-42").as_int(), -42);
+  EXPECT_EQ(parse_json("-42").kind(), JsonValue::Kind::Int);
+  EXPECT_DOUBLE_EQ(parse_json("2.5e-3").as_double(), 0.0025);
+  EXPECT_EQ(parse_json("2.5e-3").kind(), JsonValue::Kind::Double);
+  // as_double widens integers, so numeric consumers need one accessor only.
+  EXPECT_DOUBLE_EQ(parse_json("7").as_double(), 7.0);
+  EXPECT_EQ(parse_json("\"a\\\"b\\nc\\u0041\"").as_string(), "a\"b\ncA");
+}
+
+TEST(JsonParse, ObjectsKeepSourceOrderAndSupportLookup) {
+  const JsonValue doc = parse_json(R"({"z":1,"a":{"inner":[1,2,3]},"b":null})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.at("z").as_int(), 1);
+  EXPECT_EQ(doc.at("a").at("inner").items().size(), 3u);
+  EXPECT_TRUE(doc.at("b").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, WhitespaceAndNesting) {
+  const JsonValue doc = parse_json(" [ { \"k\" : [ ] } ,\t-0.5 ,\n\"s\" ] ");
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.items().size(), 3u);
+  EXPECT_TRUE(doc.items()[0].at("k").items().empty());
+  EXPECT_DOUBLE_EQ(doc.items()[1].as_double(), -0.5);
+  EXPECT_EQ(doc.items()[2].as_string(), "s");
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW((void)parse_json(""), JsonParseError);
+  EXPECT_THROW((void)parse_json("{"), JsonParseError);
+  EXPECT_THROW((void)parse_json("[1,]"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":1} trailing"), JsonParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), JsonParseError);
+  try {
+    (void)parse_json("[1, oops]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);  // points at the bad token, not the start
+  }
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_object()
+        .field("name", "eim")
+        .field("k", std::uint64_t{50})
+        .field("eps", 0.05)
+        .field("oom", false);
+    w.begin_array("seeds");
+    w.value(std::uint64_t{1}).value(std::uint64_t{2});
+    w.end_array();
+    w.end_object();
+  });
+  const JsonValue doc = parse_json(out);
+  EXPECT_EQ(doc.at("name").as_string(), "eim");
+  EXPECT_EQ(doc.at("k").as_int(), 50);
+  EXPECT_FALSE(doc.at("oom").as_bool());
+  EXPECT_EQ(doc.at("seeds").items().size(), 2u);
+  // A parse -> write -> parse trip is lossless because members keep order.
+  std::ostringstream os;
+  JsonWriter w2(os);
+  doc.write(w2);
+  EXPECT_TRUE(parse_json(os.str()).structurally_equal(doc));
+}
+
+TEST(JsonParse, StructuralEqualityComparesNumbersByValue) {
+  EXPECT_TRUE(parse_json("{\"a\":[1,2]}").structurally_equal(parse_json("{\"a\":[1,2]}")));
+  EXPECT_FALSE(parse_json("{\"a\":[1,2]}").structurally_equal(parse_json("{\"a\":[2,1]}")));
+  // Int vs Double with the same value is equal — re-serialization may widen.
+  EXPECT_TRUE(parse_json("1").structurally_equal(parse_json("1.0")));
+  EXPECT_FALSE(parse_json("1").structurally_equal(parse_json("2")));
+}
+
 }  // namespace
 }  // namespace eim::support

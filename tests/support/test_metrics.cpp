@@ -73,6 +73,115 @@ TEST(MetricsRegistry, ConcurrentRegistrationAndBumps) {
   EXPECT_EQ(total, 4000u);
 }
 
+TEST(Histogram, BucketsByBitWidthAndTracksAggregates) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty
+
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.max_value(), 1000u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_of(0)), 1u);   // bucket 0: zeros
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_of(1)), 1u);   // [1,1]
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_of(2)), 2u);   // [2,3]
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_of(1000)), 1u);
+}
+
+TEST(Histogram, BucketBoundsAreExactPowersOfTwo) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64u);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~0ull);
+  // Every value lands in a bucket whose range contains it.
+  for (const std::uint64_t v : {0ull, 1ull, 5ull, 255ull, 256ull, 1ull << 40}) {
+    const std::uint32_t b = Histogram::bucket_of(v);
+    EXPECT_LE(v, Histogram::bucket_upper(b));
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(b - 1));
+    }
+  }
+}
+
+TEST(Histogram, QuantilesClampToObservedMax) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  // p50 reports the upper bound of the rank-50 bucket ([32,63]), p95 falls
+  // in [64,127] but clamps to the true max.
+  EXPECT_EQ(h.quantile(0.50), 63u);
+  EXPECT_EQ(h.quantile(0.95), 100u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Histogram, ObserveDurationRecordsWholeNanoseconds) {
+  Histogram h;
+  h.observe_duration(1e-9);   // 1 ns
+  h.observe_duration(2.5e-9); // rounds to 3 ns
+  h.observe_duration(0.0);    // clamped to the zero bucket
+  h.observe_duration(-1.0);   // negative clamps too
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 4u);
+  EXPECT_EQ(h.max_value(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+}
+
+TEST(Histogram, ConcurrentObserveSumsExactly) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("stress");
+  ThreadPool pool(8);
+  // 8000 observations racing from the pool: count and sum are exact because
+  // every update is a relaxed atomic RMW; the per-bucket tallies must also
+  // total the observation count.
+  pool.parallel_for(0, 8000, [&h](std::size_t i) { h.observe(i % 97); });
+  EXPECT_EQ(h.count(), 8000u);
+  std::uint64_t expected_sum = 0;
+  for (std::size_t i = 0; i < 8000; ++i) expected_sum += i % 97;
+  EXPECT_EQ(h.sum(), expected_sum);
+  EXPECT_EQ(h.max_value(), 96u);
+  std::uint64_t bucket_total = 0;
+  for (std::uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    bucket_total += h.bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, 8000u);
+}
+
+TEST(MetricsRegistry, WriteJsonEmitsHistogramSection) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("rrr.set_size");
+  h.observe(0);
+  h.observe(5);
+  h.observe(5);
+
+  std::ostringstream out;
+  JsonWriter w(out);
+  reg.write_json(w);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"histograms\":{\"rrr.set_size\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":5"), std::string::npos) << json;
+  // rank(0.5 * 3) = 1 falls in the zeros bucket; rank 2 falls in [4,7],
+  // clamped to the observed max.
+  EXPECT_NE(json.find("\"p50\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":5"), std::string::npos) << json;
+  // Sparse buckets: zeros bucket (le 0) and the [4,7] bucket (le 7) only.
+  EXPECT_NE(json.find("\"buckets\":[{\"le\":0,\"count\":1},{\"le\":7,\"count\":2}]"),
+            std::string::npos)
+      << json;
+}
+
 TEST(MetricsRegistry, WriteJsonEmitsSortedSnapshot) {
   MetricsRegistry reg;
   reg.counter("b.second").add(2);
@@ -123,7 +232,7 @@ TEST(RunReport, WritesSchemaEnvelope) {
   report.write_json(out);
   const std::string json = out.str();
 
-  EXPECT_NE(json.find("\"schema\":\"eim.metrics.v1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema\":\"eim.metrics.v2\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"tool\":\"test\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"graph\":\"wiki-Vote\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"k\":25"), std::string::npos) << json;

@@ -1,0 +1,262 @@
+// bench_diff — regression diffing for eim.metrics.v2 bench reports.
+//
+// Compares two EIM_BENCH_JSON files cell by cell on *modeled* time (the
+// deterministic quantity the simulator computes; wall time never appears in
+// the envelope's timing fields) and prints a per-metric delta table:
+//
+//   bench_diff old/BENCH_fig7.json new/BENCH_fig7.json
+//   bench_diff --threshold 10 old.json new.json   # tolerate <10% growth
+//
+// Exit codes follow the repo convention (support/error.hpp): 0 = no
+// regression, 1 = at least one metric regressed beyond the threshold (or a
+// cell that used to complete now OOMs), 2 = bad arguments, 3 = unreadable
+// or malformed input. Identical inputs always exit 0.
+//
+//   bench_diff --validate <file>...
+//
+// validates instead of diffing: each file must parse as JSON and look like
+// one of the observability artifacts (a bench envelope, an eim.metrics run
+// report, or a Chrome trace-event file). Used by scripts/run_checks.sh.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eim/support/error.hpp"
+#include "eim/support/json.hpp"
+#include "eim/support/table.hpp"
+
+namespace {
+
+using eim::support::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw eim::support::IoError("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// One cell's modeled timing; a field is nullopt when the envelope omitted
+/// it (OOM cells carry no timing).
+struct CellTiming {
+  std::string id;
+  std::optional<double> seconds;
+  std::optional<double> kernel_seconds;
+  std::optional<double> transfer_seconds;
+};
+
+std::optional<double> number_field(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_double();
+}
+
+std::vector<CellTiming> load_envelope(const std::string& path) {
+  const JsonValue doc = eim::support::parse_json(read_file(path));
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    throw eim::support::IoError(path + ": missing \"schema\" — not a bench envelope");
+  }
+  const JsonValue* cells = doc.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    throw eim::support::IoError(path + ": missing \"cells\" array");
+  }
+  std::vector<CellTiming> out;
+  for (const JsonValue& cell : cells->items()) {
+    const JsonValue* id = cell.find("id");
+    if (id == nullptr || !id->is_string()) {
+      throw eim::support::IoError(path + ": cell without a string \"id\"");
+    }
+    CellTiming t;
+    t.id = id->as_string();
+    t.seconds = number_field(cell, "seconds");
+    t.kernel_seconds = number_field(cell, "kernel_seconds");
+    t.transfer_seconds = number_field(cell, "transfer_seconds");
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+const CellTiming* find_cell(const std::vector<CellTiming>& cells,
+                            const std::string& id) {
+  for (const CellTiming& c : cells) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+/// Identify + sanity-check one observability artifact; returns a short
+/// description ("bench envelope, 12 cells") for the ok line.
+std::string validate_artifact(const std::string& path) {
+  const JsonValue doc = eim::support::parse_json(read_file(path));
+  if (const JsonValue* events = doc.find("traceEvents");
+      events != nullptr && events->is_array()) {
+    for (const JsonValue& ev : events->items()) {
+      const JsonValue* ph = ev.find("ph");
+      if (ph == nullptr || !ph->is_string() || ev.find("pid") == nullptr ||
+          ev.find("tid") == nullptr) {
+        throw eim::support::IoError(path +
+                                    ": trace event without ph/pid/tid fields");
+      }
+    }
+    return "chrome trace, " + std::to_string(events->items().size()) + " events";
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    throw eim::support::IoError(
+        path + ": neither a trace (traceEvents) nor a metrics document (schema)");
+  }
+  if (const JsonValue* cells = doc.find("cells");
+      cells != nullptr && cells->is_array()) {
+    return schema->as_string() + " bench envelope, " +
+           std::to_string(cells->items().size()) + " cells";
+  }
+  if (doc.find("metrics") != nullptr) {
+    return schema->as_string() + " run report";
+  }
+  throw eim::support::IoError(path + ": schema \"" + schema->as_string() +
+                              "\" with neither cells nor metrics");
+}
+
+void print_usage() {
+  std::puts(
+      "usage: bench_diff [--threshold <pct>] <old.json> <new.json>\n"
+      "       bench_diff --validate <file>...\n"
+      "  Diffs two EIM_BENCH_JSON (eim.metrics.v2) envelopes on modeled time\n"
+      "  and exits 1 when any cell's seconds / kernel_seconds /\n"
+      "  transfer_seconds grew more than <pct> percent (default 5), or when\n"
+      "  a cell that used to complete is now missing or OOM.\n"
+      "  --validate parses each file and checks it is a well-formed bench\n"
+      "  envelope, run report, or Chrome trace; exits 3 on the first bad one.");
+}
+
+struct MetricRow {
+  const char* name;
+  std::optional<double> CellTiming::* field;
+};
+
+constexpr MetricRow kMetrics[] = {
+    {"seconds", &CellTiming::seconds},
+    {"kernel_seconds", &CellTiming::kernel_seconds},
+    {"transfer_seconds", &CellTiming::transfer_seconds},
+};
+
+int run_diff(const std::string& old_path, const std::string& new_path,
+             double threshold_pct) {
+  const std::vector<CellTiming> old_cells = load_envelope(old_path);
+  const std::vector<CellTiming> new_cells = load_envelope(new_path);
+
+  eim::support::TextTable table(
+      {"cell", "metric", "old", "new", "delta%", "status"});
+  bool regressed = false;
+
+  for (const CellTiming& oldc : old_cells) {
+    const CellTiming* newc = find_cell(new_cells, oldc.id);
+    if (newc == nullptr) {
+      table.add_row({oldc.id, "-", "-", "-", "-", "MISSING"});
+      if (oldc.seconds.has_value()) regressed = true;  // completed cell vanished
+      continue;
+    }
+    for (const MetricRow& m : kMetrics) {
+      const std::optional<double> ov = oldc.*m.field;
+      const std::optional<double> nv = (*newc).*m.field;
+      if (!ov.has_value() && !nv.has_value()) continue;  // OOM both sides
+      if (ov.has_value() && !nv.has_value()) {
+        table.add_row({oldc.id, m.name, eim::support::TextTable::num(*ov, 6), "OOM",
+                       "-", "REGRESSED"});
+        regressed = true;
+        continue;
+      }
+      if (!ov.has_value()) {
+        table.add_row({oldc.id, m.name, "OOM",
+                       eim::support::TextTable::num(*nv, 6), "-", "recovered"});
+        continue;
+      }
+      // Relative growth; a zero baseline only regresses if the new value is
+      // observably nonzero.
+      const double delta_pct =
+          *ov > 0.0 ? (*nv - *ov) / *ov * 100.0 : (*nv > 1e-12 ? 1e9 : 0.0);
+      const bool bad = delta_pct > threshold_pct;
+      regressed = regressed || bad;
+      table.add_row({oldc.id, m.name, eim::support::TextTable::num(*ov, 6),
+                     eim::support::TextTable::num(*nv, 6),
+                     eim::support::TextTable::num(delta_pct, 2),
+                     bad ? "REGRESSED" : "ok"});
+    }
+  }
+  for (const CellTiming& newc : new_cells) {
+    if (find_cell(old_cells, newc.id) == nullptr) {
+      table.add_row({newc.id, "-", "-", "-", "-", "new"});
+    }
+  }
+
+  table.print(std::cout);
+  std::printf("# threshold: +%.2f%% on modeled seconds/kernel/transfer\n",
+              threshold_pct);
+  std::printf("# verdict: %s\n", regressed ? "REGRESSED" : "ok");
+  return regressed ? eim::support::kExitError : eim::support::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 5.0;
+  bool validate = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return eim::support::kExitOk;
+    }
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threshold needs a value\n");
+        return eim::support::kExitBadArgs;
+      }
+      char* end = nullptr;
+      threshold_pct = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || threshold_pct < 0.0) {
+        std::fprintf(stderr, "error: bad threshold '%s'\n", argv[i]);
+        return eim::support::kExitBadArgs;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n\n", arg.c_str());
+      print_usage();
+      return eim::support::kExitBadArgs;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  try {
+    if (validate) {
+      if (paths.empty()) {
+        std::fprintf(stderr, "error: --validate needs at least one file\n");
+        return eim::support::kExitBadArgs;
+      }
+      for (const std::string& path : paths) {
+        std::printf("ok %s (%s)\n", path.c_str(), validate_artifact(path).c_str());
+      }
+      return eim::support::kExitOk;
+    }
+    if (paths.size() != 2) {
+      print_usage();
+      return eim::support::kExitBadArgs;
+    }
+    return run_diff(paths[0], paths[1], threshold_pct);
+  } catch (const eim::support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return eim::support::kExitIo;
+  }
+}

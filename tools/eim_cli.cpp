@@ -30,6 +30,7 @@
 #include "eim/support/error.hpp"
 #include "eim/support/json.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/trace.hpp"
 
 namespace {
 
@@ -68,7 +69,8 @@ struct CliOptions {
   bool no_source_elim = false;
   bool oom_degrade = false;
   bool json = false;
-  std::string metrics_json;  ///< write an eim.metrics.v1 report here
+  std::string metrics_json;  ///< write an eim.metrics.v2 report here ("-" = stdout)
+  std::string trace_out;     ///< write a Chrome trace-event file here ("-" = stdout)
 };
 
 void print_usage() {
@@ -89,9 +91,14 @@ void print_usage() {
       "  --oom-degrade        on device OOM, return best-effort seeds from\n"
       "                       the sets that fit instead of failing (eim only)\n"
       "  --json               print the result as a JSON object\n"
-      "  --metrics-json <path>  write an eim.metrics.v1 run report (phase\n"
-      "                       timers, memory high-water mark, commit/regrow\n"
-      "                       counters; see docs/OBSERVABILITY.md)\n"
+      "  --metrics-json <path|->  write an eim.metrics.v2 run report (phase\n"
+      "                       timers, histograms, memory high-water mark,\n"
+      "                       commit/regrow counters; '-' = stdout; emitted\n"
+      "                       even when the run fails or degrades;\n"
+      "                       see docs/OBSERVABILITY.md)\n"
+      "  --trace-out <path|->  write a Chrome trace-event / Perfetto span\n"
+      "                       trace of the run on the modeled device clock\n"
+      "                       ('-' = stdout; open in ui.perfetto.dev)\n"
       "  --list-datasets      print the registry and exit");
 }
 
@@ -163,6 +170,8 @@ std::optional<CliOptions> parse(int argc, char** argv, int& exit_code) {
       opt.json = true;
     } else if (arg == "--metrics-json" && (value = next())) {
       opt.metrics_json = value;
+    } else if (arg == "--trace-out" && (value = next())) {
+      opt.trace_out = value;
     } else if (value == nullptr) {
       std::fprintf(stderr, "error: unknown option '%s'\n\n", arg.c_str());
       print_usage();
@@ -202,7 +211,11 @@ int main(int argc, char** argv) {
     return report_error(e);
   }
   graph::assign_weights(g, opt.model);
-  if (!opt.json) {
+  // Reserve stdout for machine output when any of it is routed there:
+  // --json, --metrics-json -, or --trace-out - suppress the human text.
+  const bool machine_stdout =
+      opt.json || opt.metrics_json == "-" || opt.trace_out == "-";
+  if (!machine_stdout) {
     std::printf("graph: %s — %u vertices, %llu edges | model=%s algo=%s k=%u eps=%g\n",
                 source_name.c_str(), g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()),
@@ -210,10 +223,16 @@ int main(int argc, char** argv) {
                 opt.params.epsilon);
   }
 
-  // Run the requested algorithm. The registry collects instrumentation from
-  // whatever path runs; --metrics-json serializes it afterwards.
+  // Run the requested algorithm. The registry and recorder collect
+  // instrumentation from whatever path runs; --metrics-json / --trace-out
+  // serialize them afterwards — even when the run fails, so failure paths
+  // stay observable (everything recorded up to the fault is kept).
   support::metrics::MetricsRegistry registry;
+  support::trace::TraceRecorder recorder;
+  support::trace::TraceRecorder* trace =
+      opt.trace_out.empty() ? nullptr : &recorder;
   eim_impl::EimResult result;
+  int run_exit = support::kExitOk;
   try {
     if (opt.algo == "serial") {
       const auto serial = imm::run_imm_serial(g, opt.model, opt.params);
@@ -221,8 +240,10 @@ int main(int argc, char** argv) {
     } else if (opt.algo == "tim") {
       const auto tim = imm::run_tim(g, opt.model, opt.params);
       static_cast<imm::ImmResult&>(result) = tim;
-      std::printf("TIM KPT* estimate: %.1f (%llu estimation samples)\n", tim.kpt,
-                  static_cast<unsigned long long>(tim.estimation_samples));
+      if (!machine_stdout) {
+        std::printf("TIM KPT* estimate: %.1f (%llu estimation samples)\n", tim.kpt,
+                    static_cast<unsigned long long>(tim.estimation_samples));
+      }
     } else if (opt.algo == "eim" && opt.devices > 1) {
       std::vector<std::unique_ptr<gpusim::Device>> owned;
       std::vector<gpusim::Device*> ptrs;
@@ -236,10 +257,13 @@ int main(int argc, char** argv) {
       options.eliminate_sources = !opt.no_source_elim;
       if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
       options.metrics = &registry;
+      options.trace = trace;
       const auto multi = eim_impl::run_eim_multi(ptrs, g, opt.model, opt.params, options);
       result = multi;
-      std::printf("devices: %u (communication %.3f ms)\n", multi.num_devices,
-                  multi.communication_seconds * 1e3);
+      if (!machine_stdout) {
+        std::printf("devices: %u (communication %.3f ms)\n", multi.num_devices,
+                    multi.communication_seconds * 1e3);
+      }
     } else {
       gpusim::Device device(gpusim::make_benchmark_device(opt.memory_mb));
       if (opt.algo == "eim") {
@@ -248,27 +272,21 @@ int main(int argc, char** argv) {
         options.eliminate_sources = !opt.no_source_elim;
         if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
         options.metrics = &registry;
+        options.trace = trace;
         result = eim_impl::run_eim(device, g, opt.model, opt.params, options);
       } else if (opt.algo == "gim") {
         result = baselines::run_gim(device, g, opt.model, opt.params);
       } else if (opt.algo == "curipples") {
         result = baselines::run_curipples(device, g, opt.model, opt.params);
       } else {
-        return report_error(
-            support::InvalidArgumentError("unknown algorithm '" + opt.algo + "'"));
+        throw support::InvalidArgumentError("unknown algorithm '" + opt.algo + "'");
       }
     }
   } catch (const support::Error& e) {
-    return report_error(e);
+    run_exit = report_error(e);
   }
 
   if (!opt.metrics_json.empty()) {
-    std::ofstream out(opt.metrics_json);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                   opt.metrics_json.c_str());
-      return 1;
-    }
     support::metrics::RunReport report;
     report.tool = "eim_cli";
     report.graph = source_name;
@@ -279,8 +297,34 @@ int main(int argc, char** argv) {
     report.k = opt.params.k;
     report.epsilon = opt.params.epsilon;
     report.metrics = &registry;
-    report.write_json(out);
+    if (opt.metrics_json == "-") {
+      report.write_json(std::cout);
+    } else {
+      std::ofstream out(opt.metrics_json);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                     opt.metrics_json.c_str());
+        return 1;
+      }
+      report.write_json(out);
+    }
   }
+
+  if (trace != nullptr) {
+    if (opt.trace_out == "-") {
+      recorder.write_chrome_trace(std::cout);
+    } else {
+      std::ofstream out(opt.trace_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                     opt.trace_out.c_str());
+        return 1;
+      }
+      recorder.write_chrome_trace(out);
+    }
+  }
+
+  if (run_exit != support::kExitOk) return run_exit;
 
   if (opt.json) {
     support::JsonWriter w(std::cout);
@@ -315,6 +359,7 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     return 0;
   }
+  if (machine_stdout) return 0;
 
   std::printf("seeds:");
   for (const auto v : result.seeds) std::printf(" %u", v);
