@@ -3,12 +3,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <string_view>
 
+#include "eim/support/atomic_write.hpp"
 #include "eim/support/json.hpp"
 
 #if defined(__GLIBC__)
@@ -59,28 +59,33 @@ class BenchReporter {
   void flush() const {
     const char* path = std::getenv("EIM_BENCH_JSON");
     if (path == nullptr || *path == '\0' || cells_.empty()) return;
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "warning: cannot write EIM_BENCH_JSON=%s\n", path);
-      return;
+    // Atomic publication: a killed sweep leaves the previous report (or
+    // nothing), never a torn JSON that tools/bench_diff would choke on.
+    // Runs in a static destructor, so failures warn instead of throwing.
+    try {
+      support::atomic_write_text(path, [&](std::ostream& out) {
+        support::JsonWriter w(out);
+        w.begin_object();
+        w.field("schema", "eim.metrics.v2");
+        w.field("tool", tool_name());
+        w.begin_array("cells");
+        for (const auto& cell : cells_) {
+          w.begin_object().field("id", cell.id);
+          if (cell.seconds.has_value()) {
+            w.field("seconds", *cell.seconds)
+                .field("kernel_seconds", cell.kernel_seconds)
+                .field("transfer_seconds", cell.transfer_seconds);
+          }
+          w.key("metrics").raw_value(cell.metrics_json).end_object();
+        }
+        w.end_array();
+        w.end_object();
+        out << '\n';
+      });
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "warning: cannot write EIM_BENCH_JSON=%s: %s\n", path,
+                   e.what());
     }
-    support::JsonWriter w(out);
-    w.begin_object();
-    w.field("schema", "eim.metrics.v2");
-    w.field("tool", tool_name());
-    w.begin_array("cells");
-    for (const auto& cell : cells_) {
-      w.begin_object().field("id", cell.id);
-      if (cell.seconds.has_value()) {
-        w.field("seconds", *cell.seconds)
-            .field("kernel_seconds", cell.kernel_seconds)
-            .field("transfer_seconds", cell.transfer_seconds);
-      }
-      w.key("metrics").raw_value(cell.metrics_json).end_object();
-    }
-    w.end_array();
-    w.end_object();
-    out << '\n';
   }
 
   struct CellRecord {
@@ -204,11 +209,12 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
   }
   if (!oom) cell.seconds = stat.mean();
   if (recorder.has_value()) {
-    std::ofstream out(trace_path);
-    if (out) {
-      recorder->write_chrome_trace(out);
-    } else {
-      std::fprintf(stderr, "warning: cannot write EIM_BENCH_TRACE=%s\n", trace_path);
+    try {
+      support::atomic_write_text(
+          trace_path, [&](std::ostream& out) { recorder->write_chrome_trace(out); });
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "warning: cannot write EIM_BENCH_TRACE=%s: %s\n", trace_path,
+                   e.what());
     }
   }
   BenchReporter::instance().record(std::move(cell_id), registry, cell);

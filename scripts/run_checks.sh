@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Pre-merge gate: build everything under AddressSanitizer + UBSan and run
-# the default test suite plus the stress-labeled tests (see README.md),
-# then run one small traced benchmark, validate the JSON artifacts it
-# emits, and diff its timings against the committed baseline.
+# the default test suite plus the stress- and checkpoint-labeled tests (see
+# README.md), exercise CLI-level checkpoint/resume including corrupt-
+# snapshot rejection, then run one small traced benchmark, validate the
+# JSON artifacts it emits, and diff its timings against the committed
+# baseline.
 #
 # Usage: scripts/run_checks.sh [build-dir]
 #   build-dir defaults to build-asan (kept separate from the regular build).
@@ -35,6 +37,46 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 echo "== stress-labeled tests =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -C stress -L stress
+
+echo "== checkpoint-labeled tests (kill-at-every-ordinal resume sweep) =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L checkpoint
+
+echo "== CLI checkpoint/resume round-trip + corrupt-snapshot rejection =="
+ckpt_tmp="$(mktemp -d)"
+cli="${build_dir}/tools/eim_cli"
+cli_args=(--dataset WV --k 10 --eps 0.3 --json)
+"${cli}" "${cli_args[@]}" --checkpoint "${ckpt_tmp}/ck" > "${ckpt_tmp}/full.json"
+"${cli}" "${cli_args[@]}" --resume "${ckpt_tmp}/ck" > "${ckpt_tmp}/resumed.json"
+# Seeds and every algorithmic field must be bit-identical; only the modeled
+# clock fields may differ (the resumed run charges a restore transfer).
+for f in full resumed; do
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); [d.pop(k) for k in ("device_seconds","peak_device_bytes")]; print(json.dumps(d,sort_keys=True))' \
+    "${ckpt_tmp}/${f}.json" > "${ckpt_tmp}/${f}.norm.json"
+done
+diff "${ckpt_tmp}/full.norm.json" "${ckpt_tmp}/resumed.norm.json"
+
+# A bit-flipped snapshot must be refused with the I/O exit code (3), and a
+# truncated one likewise — never a crash or a silently wrong answer.
+python3 - "${ckpt_tmp}/ck/snapshot.bin" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 0xFF
+open(path, "wb").write(bytes(data))
+EOF
+status=0
+"${cli}" "${cli_args[@]}" --resume "${ckpt_tmp}/ck" > /dev/null 2>&1 || status=$?
+if [[ "${status}" -ne 3 ]]; then
+  echo "ERROR: bit-flipped snapshot: expected exit 3, got ${status}" >&2; exit 1
+fi
+"${cli}" "${cli_args[@]}" --checkpoint "${ckpt_tmp}/ck2" > /dev/null
+truncate -s 100 "${ckpt_tmp}/ck2/snapshot.bin"
+status=0
+"${cli}" "${cli_args[@]}" --resume "${ckpt_tmp}/ck2" > /dev/null 2>&1 || status=$?
+if [[ "${status}" -ne 3 ]]; then
+  echo "ERROR: truncated snapshot: expected exit 3, got ${status}" >&2; exit 1
+fi
+rm -rf "${ckpt_tmp}"
 
 echo "== traced benchmark + artifact validation =="
 bench_tmp="$(mktemp -d)"

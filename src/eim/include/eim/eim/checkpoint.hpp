@@ -1,0 +1,115 @@
+// Crash-safe checkpoint/resume for the eIM pipeline (docs/RESILIENCE.md).
+//
+// At every round boundary the pipeline can serialize its complete restart
+// state into a checkpoint directory:
+//
+//   <dir>/manifest.json   run identity (graph shape, params, model, options)
+//   <dir>/snapshot.bin    support::snapshot container with the sections
+//                         "framework", "collection", "sampler", "timeline",
+//                         "metrics"
+//
+// Both files are published with support::atomic_write_file, and snapshot.bin
+// is written before manifest.json, so a kill at any instant leaves either
+// the previous consistent checkpoint or none — never a torn one.
+//
+// Resume is bit-identical by construction: RRR sampling draws from streams
+// keyed by the *global sample index* (sampler.hpp's determinism contract),
+// so restoring the committed sets 0..theta'-1 plus the framework's round
+// position replays the remaining indices exactly as the uninterrupted run
+// would have generated them. The snapshot therefore stores the collection
+// in global sample-id order (lengths + flattened sorted elements), the
+// framework round state, the singleton tally (which fixes the §3.4
+// kept-fraction, and with it estimated_spread), the modeled-timeline
+// aggregates, and a metrics-registry snapshot.
+//
+// Corruption handling: any bit flip or truncation in snapshot.bin is caught
+// by the container's CRC-32C checksums; a malformed manifest is caught by
+// support::parse_json. Both surface as snapshot::SnapshotCorruptError — an
+// IoError, exit code 3 — never a crash or a silently wrong resume. Resuming
+// against the wrong graph/params is InvalidArgumentError (exit code 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/imm/driver.hpp"
+#include "eim/imm/params.hpp"
+
+namespace eim::eim_impl {
+
+class DeviceRrrCollection;
+struct EimOptions;
+
+/// Everything a crashed run needs to continue, decoded into host memory.
+struct CheckpointState {
+  // Run identity — validated against the resuming run's inputs so a
+  // snapshot can never silently continue the wrong run.
+  std::uint64_t rng_seed = 0;
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t k = 0;
+  double epsilon = 0.0;
+  double ell = 0.0;
+  std::uint8_t model = 0;  ///< graph::DiffusionModel as an integer
+  bool log_encode = false;
+  bool eliminate_sources = false;
+  /// Device count of the writing run. Informational only: a resumed run may
+  /// redistribute the restored collection across a different device count.
+  std::uint32_t num_devices = 1;
+
+  /// Where the IMM framework stopped (theta targets are recomputed).
+  imm::FrameworkRoundState round;
+
+  /// The committed collection in global sample-id order: per-set lengths
+  /// and the flattened element array (each set ascending, as committed).
+  std::vector<std::uint32_t> lengths;
+  std::vector<graph::VertexId> elements;
+
+  /// §3.4 singleton tally at the boundary (exact, for estimated_spread).
+  std::uint64_t singletons_discarded = 0;
+
+  /// Modeled-timeline aggregates, carried over so device_seconds stays the
+  /// cumulative modeled cost of reaching the answer across run segments.
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double allocation_seconds = 0.0;
+  double backoff_seconds = 0.0;
+
+  /// Registry snapshot in the eim.metrics.v2 registry schema ("" = none);
+  /// folded back via support::metrics::restore_registry_json on resume.
+  std::string metrics_json;
+};
+
+/// Serialize `state` into `dir` (created if missing) as manifest.json +
+/// snapshot.bin, each published atomically. Returns total bytes written.
+/// Throws support::IoError when the directory or files cannot be written.
+std::uint64_t save_checkpoint(const std::string& dir, const CheckpointState& state);
+
+/// Load and fully validate the checkpoint in `dir`. Throws plain
+/// support::IoError when no checkpoint exists (missing/unreadable files) and
+/// support::snapshot::SnapshotCorruptError on any structural, checksum, or
+/// schema damage — including a manifest that fails support::parse_json and
+/// element values outside the recorded vertex range.
+[[nodiscard]] CheckpointState load_checkpoint(const std::string& dir);
+
+/// Guard a resume against the wrong run: `state`'s identity block must match
+/// the resuming run's graph shape, diffusion model, ImmParams, and the
+/// layout-relevant options. Throws support::InvalidArgumentError (exit code
+/// 2) naming the first mismatched field.
+void validate_checkpoint(const CheckpointState& state, const graph::Graph& g,
+                         graph::DiffusionModel model, const imm::ImmParams& params,
+                         const EimOptions& options);
+
+/// Flatten `collection` (its full committed range) into
+/// `state.lengths`/`state.elements` in set-index order.
+void export_collection(const DeviceRrrCollection& collection, CheckpointState& state);
+
+/// Rebuild `collection` from `state`: reserve exact capacity, re-commit
+/// every set at its original index, and publish the set count. The
+/// collection must be freshly constructed (empty).
+void restore_collection(DeviceRrrCollection& collection, const CheckpointState& state);
+
+}  // namespace eim::eim_impl

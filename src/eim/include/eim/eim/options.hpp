@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "eim/imm/params.hpp"
 #include "eim/support/retry.hpp"
@@ -15,6 +16,8 @@ class TraceRecorder;
 }  // namespace eim::support::trace
 
 namespace eim::eim_impl {
+
+struct CheckpointState;
 
 /// Which kernel shape scans the RRR sets during seed selection (§3.5).
 enum class ScanStrategy {
@@ -67,6 +70,16 @@ struct EimOptions {
   /// Bounded retry for transient device faults around sampler launches and
   /// transfers; backoff is deterministic modeled time on the device.
   support::RetryPolicy retry;
+  /// Directory for round-boundary snapshots (empty = no checkpointing).
+  /// Created on first write; each snapshot is published atomically, so a
+  /// crash mid-write leaves the previous snapshot — or none — never a torn
+  /// file. See eim/checkpoint.hpp and docs/RESILIENCE.md.
+  std::string checkpoint_dir;
+  /// Restored state to continue from (not owned; must outlive the run;
+  /// null = fresh run). Obtained from load_checkpoint() and validated
+  /// against this run's graph/model/params — the resumed run's seeds and
+  /// spread estimate are bit-identical to an uninterrupted same-seed run.
+  const CheckpointState* resume = nullptr;
 };
 
 /// ImmResult plus the device-side metrics the paper's figures report.

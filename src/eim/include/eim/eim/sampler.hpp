@@ -52,6 +52,13 @@ class EimSampler {
     return singletons_discarded_;
   }
 
+  /// Checkpoint resume: reinstate the crashed run's singleton tally so the
+  /// kept-fraction correction — and with it estimated_spread — replays
+  /// bit-identically (eim/checkpoint.hpp).
+  void restore_singletons(std::uint64_t count) noexcept {
+    singletons_discarded_ = count;
+  }
+
   [[nodiscard]] std::uint32_t num_blocks() const noexcept { return num_blocks_; }
 
  private:

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <sstream>
 
+#include "eim/eim/checkpoint.hpp"
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/sampler.hpp"
 #include "eim/encoding/packed_csc.hpp"
@@ -70,7 +72,6 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     d->transfer_to_device("network CSC", network_bytes);
     shards.push_back(
         std::make_unique<DeviceRrrCollection>(*d, g.num_vertices(), options.log_encode));
-    shards.back()->attach_metrics(options.metrics);
     samplers.push_back(std::make_unique<EimSampler>(*d, g, model, effective, options));
   }
 
@@ -100,6 +101,74 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   gpusim::Device* primary = devices.front();
   std::uint64_t sampled_global = 0;
   double communication = 0.0;
+
+  // Resume: redistribute the restored global sets over THIS run's device
+  // count (id % D striping) — the writing run may have used a different
+  // number of devices; because the snapshot stores sets in global sample-id
+  // order and streams are index-keyed, any D produces the identical answer.
+  if (options.resume != nullptr) {
+    const CheckpointState& ckpt = *options.resume;
+    validate_checkpoint(ckpt, g, model, params, options);
+    const std::uint64_t restored = ckpt.lengths.size();
+    std::vector<std::uint64_t> starts(restored + 1, 0);
+    for (std::uint64_t i = 0; i < restored; ++i) {
+      starts[i + 1] = starts[i] + ckpt.lengths[i];
+    }
+    owner_of.resize(restored);
+    slot_of.resize(restored);
+    for (std::uint32_t d = 0; d < num_devices; ++d) {
+      std::uint64_t shard_sets = 0;
+      std::uint64_t shard_elems = 0;
+      for (std::uint64_t i = d; i < restored; i += num_devices) {
+        ++shard_sets;
+        shard_elems += ckpt.lengths[i];
+      }
+      if (shard_sets == 0) continue;
+      shards[d]->reserve(shard_sets, shard_elems);
+      for (std::uint64_t i = d; i < restored; i += num_devices) {
+        const std::span<const VertexId> set(ckpt.elements.data() + starts[i],
+                                            ckpt.lengths[i]);
+        EIM_CHECK_MSG(shards[d]->try_commit(assigned[d].size(), set),
+                      "checkpoint restore: set did not fit reserved shard capacity");
+        owner_of[i] = d;
+        slot_of[i] = assigned[d].size();
+        assigned[d].push_back(i);
+      }
+      shards[d]->set_num_sets(assigned[d].size());
+      devices[d]->transfer_to_device("checkpoint restore",
+                                     shard_elems * sizeof(VertexId) +
+                                         shard_sets * sizeof(std::uint32_t));
+    }
+    sampled_global = restored;
+    // Only the total matters for the kept-fraction; park it on one sampler.
+    samplers[alive.front()]->restore_singletons(ckpt.singletons_discarded);
+    // Carried modeled clock lands on the primary, matching how the result's
+    // device_seconds aggregates over the fleet.
+    primary->timeline().add(gpusim::SegmentKind::Kernel, "resume carry-over",
+                            ckpt.kernel_seconds);
+    primary->timeline().add(gpusim::SegmentKind::Transfer, "resume carry-over",
+                            ckpt.transfer_seconds);
+    primary->timeline().add(gpusim::SegmentKind::Allocation, "resume carry-over",
+                            ckpt.allocation_seconds);
+    primary->timeline().add(gpusim::SegmentKind::Backoff, "resume carry-over",
+                            ckpt.backoff_seconds);
+    if (options.metrics != nullptr) {
+      if (!ckpt.metrics_json.empty()) {
+        support::metrics::restore_registry_json(*options.metrics, ckpt.metrics_json);
+      }
+      options.metrics->counter("checkpoint.resume_loaded").add();
+    }
+    if (trace != nullptr) {
+      if (const auto pid = trace->pid_of(primary); pid.has_value()) {
+        trace->instant(*pid, "checkpoint.resume",
+                       "num_sets=" + std::to_string(restored),
+                       primary->timeline().total_seconds());
+      }
+    }
+  }
+  for (std::uint32_t d = 0; d < num_devices; ++d) {
+    shards[d]->attach_metrics(options.metrics);
+  }
 
   // Decommission device d: respill everything it owned (plus its in-flight
   // batch) into `todo`, free its device-side state, and charge the
@@ -363,8 +432,72 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     return sel;
   };
 
-  const imm::FrameworkOutcome outcome =
-      imm::run_imm_framework(g.num_vertices(), effective, sample_to, select);
+  // Round-boundary checkpointing: merge the shard mirrors back into global
+  // sample-id order (through the owner/slot maps, so failover relayouts
+  // don't matter) and snapshot, exactly like the single-device pipeline.
+  std::function<void(const imm::FrameworkRoundState&)> on_round;
+  if (!options.checkpoint_dir.empty()) {
+    on_round = [&](const imm::FrameworkRoundState& fr) {
+      CheckpointState ckpt;
+      ckpt.rng_seed = effective.rng_seed;
+      ckpt.num_vertices = g.num_vertices();
+      ckpt.num_edges = g.num_edges();
+      ckpt.k = effective.k;
+      ckpt.epsilon = effective.epsilon;
+      ckpt.ell = effective.ell;
+      ckpt.model = static_cast<std::uint8_t>(model);
+      ckpt.log_encode = options.log_encode;
+      ckpt.eliminate_sources = effective.eliminate_sources;
+      ckpt.num_devices = num_devices;
+      ckpt.round = fr;
+      ckpt.lengths.resize(sampled_global);
+      std::uint64_t total = 0;
+      for (std::uint64_t i = 0; i < sampled_global; ++i) {
+        ckpt.lengths[i] = shards[owner_of[i]]->set_length(slot_of[i]);
+        total += ckpt.lengths[i];
+      }
+      ckpt.elements.reserve(total);
+      for (std::uint64_t i = 0; i < sampled_global; ++i) {
+        const auto& shard = *shards[owner_of[i]];
+        for (std::uint32_t j = 0; j < ckpt.lengths[i]; ++j) {
+          ckpt.elements.push_back(shard.element(slot_of[i], j));
+        }
+      }
+      for (const std::uint32_t d : alive) {
+        ckpt.singletons_discarded += samplers[d]->singletons_discarded();
+      }
+      double max_kernel = 0.0;
+      for (gpusim::Device* d : devices) {
+        max_kernel = std::max(max_kernel, d->timeline().kernel_seconds());
+      }
+      ckpt.kernel_seconds = std::max(max_kernel, primary->timeline().kernel_seconds());
+      ckpt.transfer_seconds = primary->timeline().transfer_seconds();
+      ckpt.allocation_seconds = primary->timeline().allocation_seconds();
+      ckpt.backoff_seconds = primary->timeline().backoff_seconds();
+      if (options.metrics != nullptr) {
+        std::ostringstream snapshot;
+        support::JsonWriter w(snapshot);
+        options.metrics->write_json(w);
+        ckpt.metrics_json = snapshot.str();
+      }
+      const std::uint64_t bytes = save_checkpoint(options.checkpoint_dir, ckpt);
+      if (options.metrics != nullptr) {
+        options.metrics->counter("checkpoint.writes").add();
+        options.metrics->counter("checkpoint.bytes_written").add(bytes);
+      }
+      if (trace != nullptr) {
+        if (const auto pid = trace->pid_of(primary); pid.has_value()) {
+          trace->instant(*pid, "checkpoint.write",
+                         "num_sets=" + std::to_string(sampled_global),
+                         primary->timeline().total_seconds());
+        }
+      }
+    };
+  }
+
+  const imm::FrameworkOutcome outcome = imm::run_imm_framework(
+      g.num_vertices(), effective, sample_to, select,
+      options.resume != nullptr ? &options.resume->round : nullptr, on_round);
 
   primary->transfer_to_host("seed set",
                             outcome.final_selection.seeds.size() * sizeof(VertexId));

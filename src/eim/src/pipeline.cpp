@@ -1,7 +1,9 @@
 #include "eim/eim/pipeline.hpp"
 
+#include <sstream>
 #include <utility>
 
+#include "eim/eim/checkpoint.hpp"
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/sampler.hpp"
 #include "eim/eim/seed_selector.hpp"
@@ -102,10 +104,48 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
                  [&] { device.transfer_to_device("network CSC", network_bytes); });
 
   DeviceRrrCollection collection(device, g.num_vertices(), options.log_encode);
-  collection.attach_metrics(reg);
   EimSampler sampler(device, g, model, effective, options);
   GpuSeedSelector selector(device, options.scan);
   selector.attach_metrics(reg);
+
+  // Resume: rebuild the committed collection and the run's carried state
+  // before wiring commit instrumentation, so restored commits are not
+  // double-counted on top of the merged metrics snapshot below.
+  if (options.resume != nullptr) {
+    const CheckpointState& ckpt = *options.resume;
+    validate_checkpoint(ckpt, g, model, params, options);
+    restore_collection(collection, ckpt);
+    sampler.restore_singletons(ckpt.singletons_discarded);
+    // The restored R travels back over PCIe like any staged input.
+    const std::uint64_t restore_bytes =
+        ckpt.elements.size() * sizeof(graph::VertexId) +
+        ckpt.lengths.size() * sizeof(std::uint32_t);
+    retry_transfer(device, options, "checkpoint restore", [&] {
+      device.transfer_to_device("checkpoint restore", restore_bytes);
+    });
+    // Carry the crashed segment's modeled clock so device_seconds stays the
+    // cumulative modeled cost of reaching the answer.
+    device.timeline().add(gpusim::SegmentKind::Kernel, "resume carry-over",
+                          ckpt.kernel_seconds);
+    device.timeline().add(gpusim::SegmentKind::Transfer, "resume carry-over",
+                          ckpt.transfer_seconds);
+    device.timeline().add(gpusim::SegmentKind::Allocation, "resume carry-over",
+                          ckpt.allocation_seconds);
+    device.timeline().add(gpusim::SegmentKind::Backoff, "resume carry-over",
+                          ckpt.backoff_seconds);
+    if (reg != nullptr) {
+      if (!ckpt.metrics_json.empty()) {
+        support::metrics::restore_registry_json(*reg, ckpt.metrics_json);
+      }
+      reg->counter("checkpoint.resume_loaded").add();
+    }
+    if (trace != nullptr) {
+      trace->instant(trace_pid, "checkpoint.resume",
+                     "num_sets=" + std::to_string(collection.num_sets()),
+                     device.timeline().total_seconds());
+    }
+  }
+  collection.attach_metrics(reg);
 
   // Phase timers pair host wall time (ScopedPhase) with the modeled device
   // seconds the same span added to the timeline.
@@ -142,6 +182,49 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
     }
   };
 
+  // Round-boundary checkpointing: snapshot the full restart state after
+  // every estimation round and after the final sampling phase. Published
+  // atomically — a kill mid-write leaves the previous snapshot intact.
+  std::function<void(const imm::FrameworkRoundState&)> on_round;
+  if (!options.checkpoint_dir.empty()) {
+    on_round = [&](const imm::FrameworkRoundState& fr) {
+      CheckpointState ckpt;
+      ckpt.rng_seed = effective.rng_seed;
+      ckpt.num_vertices = g.num_vertices();
+      ckpt.num_edges = g.num_edges();
+      ckpt.k = effective.k;
+      ckpt.epsilon = effective.epsilon;
+      ckpt.ell = effective.ell;
+      ckpt.model = static_cast<std::uint8_t>(model);
+      ckpt.log_encode = options.log_encode;
+      ckpt.eliminate_sources = effective.eliminate_sources;
+      ckpt.num_devices = 1;
+      ckpt.round = fr;
+      export_collection(collection, ckpt);
+      ckpt.singletons_discarded = sampler.singletons_discarded();
+      ckpt.kernel_seconds = device.timeline().kernel_seconds();
+      ckpt.transfer_seconds = device.timeline().transfer_seconds();
+      ckpt.allocation_seconds = device.timeline().allocation_seconds();
+      ckpt.backoff_seconds = device.timeline().backoff_seconds();
+      if (reg != nullptr) {
+        std::ostringstream snapshot;
+        support::JsonWriter w(snapshot);
+        reg->write_json(w);
+        ckpt.metrics_json = snapshot.str();
+      }
+      const std::uint64_t bytes = save_checkpoint(options.checkpoint_dir, ckpt);
+      if (reg != nullptr) {
+        reg->counter("checkpoint.writes").add();
+        reg->counter("checkpoint.bytes_written").add(bytes);
+      }
+      if (trace != nullptr) {
+        trace->instant(trace_pid, "checkpoint.write",
+                       "num_sets=" + std::to_string(collection.num_sets()),
+                       device.timeline().total_seconds());
+      }
+    };
+  }
+
   std::uint64_t sample_round = 0;
   const imm::FrameworkOutcome outcome = imm::run_imm_framework(
       g.num_vertices(), effective,
@@ -177,7 +260,8 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
         }
         phase_span.end(device.timeline().total_seconds());
         return sel;
-      });
+      },
+      options.resume != nullptr ? &options.resume->round : nullptr, on_round);
 
   // Seeds travel back over PCIe (k vertex ids).
   retry_transfer(device, options, "seed set", [&] {

@@ -50,6 +50,11 @@ struct FaultPlan {
   std::uint64_t alloc_oom_bytes_threshold = 0;
   /// Permanent loss: the device dies when its launch ordinal reaches this.
   std::uint64_t device_loss_kernel_ordinal = kNeverOrdinal;
+  /// Scripted process death: ProcessAbortError at exactly this launch
+  /// ordinal, thrown before any block body runs — the checkpoint/resume
+  /// tests sweep this over every ordinal to prove a run killed anywhere
+  /// resumes to the bit-identical answer (docs/RESILIENCE.md).
+  std::uint64_t process_abort_kernel_ordinal = kNeverOrdinal;
   /// Permanent loss keyed by modeled time: the device dies at the first
   /// launch or transfer once its timeline passes this (< 0 = disabled).
   double device_loss_at_seconds = -1.0;
@@ -58,6 +63,7 @@ struct FaultPlan {
     return kernel_fault_ordinals.empty() && transfer_fault_ordinals.empty() &&
            alloc_oom_ordinals.empty() && alloc_oom_bytes_threshold == 0 &&
            device_loss_kernel_ordinal == kNeverOrdinal &&
+           process_abort_kernel_ordinal == kNeverOrdinal &&
            device_loss_at_seconds < 0.0;
   }
 
@@ -75,6 +81,7 @@ struct FaultStats {
   std::uint64_t transfer_faults = 0;  ///< transient transfer faults injected
   std::uint64_t alloc_ooms = 0;       ///< allocation OOMs injected by plan
   std::uint64_t device_losses = 0;    ///< 0 or 1: the device died
+  std::uint64_t process_aborts = 0;   ///< scripted process deaths injected
 };
 
 }  // namespace eim::gpusim

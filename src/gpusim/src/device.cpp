@@ -66,6 +66,13 @@ void Device::check_launch_faults(const std::string& label) {
     mark_lost(label);
   }
   const std::uint64_t ordinal = kernel_ordinal_++;
+  if (ordinal == fault_plan_.process_abort_kernel_ordinal) {
+    // Scripted process death: thrown before any block body runs, so the
+    // launch mutates nothing — exactly what a SIGKILL at this point leaves
+    // behind. The catcher must treat all in-memory state as gone.
+    ++fault_stats_.process_aborts;
+    throw support::ProcessAbortError("kernel launch '" + label + "'", ordinal);
+  }
   if (ordinal >= fault_plan_.device_loss_kernel_ordinal) mark_lost(label);
   if (FaultPlan::hits(fault_plan_.kernel_fault_ordinals, ordinal)) {
     ++fault_stats_.kernel_faults;

@@ -23,31 +23,63 @@ struct FrameworkOutcome {
   std::uint32_t estimation_rounds = 0;
 };
 
+/// The framework's position between round boundaries — everything needed to
+/// re-enter run_imm_framework where a previous run stopped. Snapshotted by
+/// the checkpoint layer (eim/checkpoint.hpp); because theta targets are
+/// derived, not stored, a resumed framework recomputes the identical
+/// schedule and continues bit-identically.
+struct FrameworkRoundState {
+  std::uint32_t next_round = 1;         ///< next estimation round (1-based)
+  std::uint32_t estimation_rounds = 0;  ///< rounds completed so far
+  double lower_bound = 1.0;             ///< LB found so far (1.0 = none yet)
+  bool estimation_done = false;         ///< LB settled; only final sampling left
+};
+
 inline FrameworkOutcome run_imm_framework(
     std::uint32_t num_vertices, const ImmParams& params,
     const std::function<void(std::uint64_t target)>& sample_to,
-    const std::function<SelectionResult()>& select) {
+    const std::function<SelectionResult()>& select,
+    const FrameworkRoundState* resume = nullptr,
+    const std::function<void(const FrameworkRoundState&)>& on_round = {}) {
   const ThetaSchedule schedule(num_vertices, params);
   FrameworkOutcome out;
 
-  double lb = 1.0;
-  for (std::uint32_t round = 1; round <= schedule.max_rounds(); ++round) {
-    ++out.estimation_rounds;
-    sample_to(schedule.round_theta(round));
-    const SelectionResult sel = select();
-    if (schedule.passes(round, sel.coverage_fraction)) {
-      lb = schedule.lower_bound(sel.coverage_fraction);
-      break;
+  FrameworkRoundState state;
+  if (resume != nullptr) state = *resume;
+  out.estimation_rounds = state.estimation_rounds;
+  double lb = state.lower_bound;
+
+  if (!state.estimation_done) {
+    for (std::uint32_t round = state.next_round; round <= schedule.max_rounds();
+         ++round) {
+      ++out.estimation_rounds;
+      sample_to(schedule.round_theta(round));
+      const SelectionResult sel = select();
+      if (schedule.passes(round, sel.coverage_fraction)) {
+        lb = schedule.lower_bound(sel.coverage_fraction);
+        state.estimation_done = true;
+      } else if (round == schedule.max_rounds()) {
+        // Degenerate fallback (tiny graphs): best supportable bound.
+        lb = std::max(1.0, schedule.lower_bound(sel.coverage_fraction));
+        state.estimation_done = true;
+      }
+      state.next_round = round + 1;
+      state.estimation_rounds = out.estimation_rounds;
+      state.lower_bound = lb;
+      if (on_round) on_round(state);
+      if (state.estimation_done) break;
     }
-    if (round == schedule.max_rounds()) {
-      // Degenerate fallback (tiny graphs): best supportable bound.
-      lb = std::max(1.0, schedule.lower_bound(sel.coverage_fraction));
-    }
+    // max_rounds() can be 0 on trivial graphs; the final phase below still
+    // runs, it just starts from lb = 1.0.
+    state.estimation_done = true;
   }
 
   out.lower_bound = lb;
   out.theta = schedule.final_theta(lb);
   sample_to(out.theta);
+  // One more boundary after the (often dominant) final sampling phase, so a
+  // crash during final selection resumes with the whole collection on disk.
+  if (on_round) on_round(state);
   out.final_selection = select();
   return out;
 }

@@ -1,0 +1,37 @@
+// Crash-safe file emission: write-temp / flush / verify / rename.
+//
+// Every artifact the tools produce (metrics reports, traces, bench
+// envelopes, checkpoint snapshots) goes through atomic_write_file so a
+// crash — or a full disk — can never leave a torn or empty file at the
+// destination path: either the previous contents survive untouched or the
+// complete new contents appear, because the POSIX rename(2) that publishes
+// the temp file is atomic within a filesystem. The temp file lives in the
+// destination's directory (rename across filesystems is not atomic) and is
+// unlinked on any failure.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace eim::support {
+
+/// Write `contents` to `path` atomically. Throws IoError when the temp file
+/// cannot be created, written, flushed, or renamed; on failure the
+/// destination is left exactly as it was and the temp file is removed.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Serialize through `producer` into a memory buffer, verify the stream is
+/// still good (a silently failed write must not be published), then
+/// atomically install the buffer at `path`. The convenience wrapper for
+/// JSON artifact emitters that take an std::ostream.
+void atomic_write_text(const std::string& path,
+                       const std::function<void(std::ostream&)>& producer);
+
+/// The temp-file name `atomic_write_file` stages through (exposed so crash
+/// tests and cleanup tooling can reason about leftovers): `path` +
+/// ".tmp.<pid>".
+[[nodiscard]] std::string atomic_write_temp_path(const std::string& path);
+
+}  // namespace eim::support

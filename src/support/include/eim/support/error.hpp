@@ -73,6 +73,24 @@ class DeviceLostError : public Error {
   explicit DeviceLostError(const std::string& what) : Error("device lost: " + what) {}
 };
 
+/// Simulated process death, fired by the fault plan at a scripted kernel
+/// ordinal — the in-simulation stand-in for SIGKILL. Nothing in memory is
+/// assumed to survive: checkpoint/resume tests catch this, discard every
+/// live object, and restart from the last on-disk snapshot
+/// (docs/RESILIENCE.md). Not retryable and not a device fault.
+class ProcessAbortError : public Error {
+ public:
+  ProcessAbortError(const std::string& what, std::uint64_t ordinal)
+      : Error("process abort: " + what + " (kernel ordinal " +
+              std::to_string(ordinal) + ")"),
+        ordinal_(ordinal) {}
+
+  [[nodiscard]] std::uint64_t ordinal() const noexcept { return ordinal_; }
+
+ private:
+  std::uint64_t ordinal_;
+};
+
 // Process exit codes for tools mapping the hierarchy above (eim_cli et al.).
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitError = 1;        ///< unclassified library error

@@ -115,6 +115,21 @@ class Histogram {
   /// max. q in (0, 1]; returns 0 on an empty histogram.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
+  /// Checkpoint-resume merge: fold `n` prior observations into bucket `b`
+  /// (also advances count), then fold the prior sum/max via merge_totals.
+  void merge_bucket(std::uint32_t b, std::uint64_t n) noexcept {
+    buckets_[b < kNumBuckets ? b : kNumBuckets - 1].fetch_add(
+        n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void merge_totals(std::uint64_t sum, std::uint64_t max_value) noexcept {
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < max_value &&
+           !max_.compare_exchange_weak(cur, max_value, std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
@@ -142,6 +157,14 @@ class PhaseTimer {
   }
   [[nodiscard]] std::uint64_t entries() const noexcept {
     return entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpoint-resume merge: fold a prior run segment's accumulated wall /
+  /// modeled seconds and entry count into this timer.
+  void merge(double wall, double modeled, std::uint64_t entries) noexcept {
+    atomic_add(wall_, wall);
+    atomic_add(modeled_, modeled);
+    entries_.fetch_add(entries, std::memory_order_relaxed);
   }
 
  private:
@@ -213,5 +236,12 @@ struct RunReport {
 
   void write_json(std::ostream& out) const;
 };
+
+/// Fold a registry JSON snapshot (the write_json schema) back into `into`:
+/// counters add, gauges overwrite, histograms merge their sparse buckets and
+/// totals, phase timers merge. Checkpoint resume uses this to carry the
+/// crashed run's accumulated metrics forward. Throws JsonParseError /
+/// support::Error on a document that does not follow the schema.
+void restore_registry_json(MetricsRegistry& into, std::string_view json);
 
 }  // namespace eim::support::metrics

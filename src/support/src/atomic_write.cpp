@@ -1,0 +1,66 @@
+#include "eim/support/atomic_write.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eim/support/error.hpp"
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace eim::support {
+
+namespace {
+
+long current_pid() noexcept {
+#if defined(_WIN32)
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(getpid());
+#endif
+}
+
+}  // namespace
+
+std::string atomic_write_temp_path(const std::string& path) {
+  return path + ".tmp." + std::to_string(current_pid());
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = atomic_write_temp_path(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("atomic write: cannot create temp file '" + tmp + "'");
+    }
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw IoError("atomic write: short write to '" + tmp + "' (disk full?)");
+    }
+  }
+  // rename(2) atomically replaces `path`; the destination never holds a
+  // partial file, no matter when the process dies.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("atomic write: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+void atomic_write_text(const std::string& path,
+                       const std::function<void(std::ostream&)>& producer) {
+  std::ostringstream buffer;
+  producer(buffer);
+  if (!buffer) {
+    throw IoError("atomic write: serializer failed before reaching '" + path + "'");
+  }
+  atomic_write_file(path, buffer.str());
+}
+
+}  // namespace eim::support

@@ -107,6 +107,40 @@ ScopedPhase::~ScopedPhase() {
   timer_->add_wall(std::chrono::duration<double>(elapsed).count());
 }
 
+void restore_registry_json(MetricsRegistry& into, std::string_view json) {
+  const JsonValue doc = parse_json(json);
+  EIM_CHECK_MSG(doc.is_object(), "metrics snapshot is not a JSON object");
+  if (const JsonValue* counters = doc.find("counters"); counters != nullptr) {
+    for (const auto& [name, v] : counters->members()) {
+      into.counter(name).add(static_cast<std::uint64_t>(v.as_int()));
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges"); gauges != nullptr) {
+    for (const auto& [name, v] : gauges->members()) {
+      into.gauge(name).set(static_cast<std::uint64_t>(v.as_int()));
+    }
+  }
+  if (const JsonValue* histograms = doc.find("histograms"); histograms != nullptr) {
+    for (const auto& [name, v] : histograms->members()) {
+      Histogram& h = into.histogram(name);
+      for (const JsonValue& bucket : v.at("buckets").items()) {
+        const auto le = static_cast<std::uint64_t>(bucket.at("le").as_int());
+        const auto n = static_cast<std::uint64_t>(bucket.at("count").as_int());
+        h.merge_bucket(Histogram::bucket_of(le), n);
+      }
+      h.merge_totals(static_cast<std::uint64_t>(v.at("sum").as_int()),
+                     static_cast<std::uint64_t>(v.at("max").as_int()));
+    }
+  }
+  if (const JsonValue* phases = doc.find("phases"); phases != nullptr) {
+    for (const JsonValue& p : phases->items()) {
+      into.phase(p.at("name").as_string())
+          .merge(p.at("wall_seconds").as_double(), p.at("modeled_seconds").as_double(),
+                 static_cast<std::uint64_t>(p.at("entries").as_int()));
+    }
+  }
+}
+
 void RunReport::write_json(std::ostream& out) const {
   JsonWriter w(out);
   w.begin_object();

@@ -137,6 +137,45 @@ TEST(FaultPlan, InjectedOomReportsGenuineShortfall) {
   }
 }
 
+TEST(FaultPlan, ProcessAbortFiresAtExactOrdinalBeforeAnyBlockRuns) {
+  // The scripted "kill -9": the abort must land before the kernel body so a
+  // checkpoint/resume test killed at ordinal N has done exactly N launches
+  // of work — no partial side effects from launch N itself.
+  Device device;
+  FaultPlan plan;
+  plan.process_abort_kernel_ordinal = 1;
+  EXPECT_FALSE(plan.empty());
+  device.set_fault_plan(plan);
+
+  int bodies_run = 0;
+  const auto counting_block = [&](BlockContext&) { ++bodies_run; };
+  device.launch_blocks("k0", 2, counting_block);
+  EXPECT_EQ(bodies_run, 2);
+  try {
+    device.launch_blocks("k1", 2, counting_block);
+    FAIL() << "expected ProcessAbortError";
+  } catch (const support::ProcessAbortError& e) {
+    EXPECT_EQ(e.ordinal(), 1u);
+  }
+  EXPECT_EQ(bodies_run, 2);  // aborted launch ran zero blocks
+  EXPECT_EQ(device.fault_stats().process_aborts, 1u);
+  // Unlike device loss, the abort models host death, not device death: a
+  // fresh process talking to the same device could continue.
+  EXPECT_FALSE(device.lost());
+}
+
+TEST(FaultPlan, ProcessAbortOrdinalConsumedLikeOtherFaults) {
+  Device device;
+  FaultPlan plan;
+  plan.process_abort_kernel_ordinal = 0;
+  device.set_fault_plan(plan);
+  EXPECT_THROW(device.launch_blocks("k", 1, noop_block), support::ProcessAbortError);
+  // The ordinal advanced past the scripted abort; re-running is clean
+  // (the test harness's stand-in for "restart the process and resume").
+  device.launch_blocks("k", 1, noop_block);
+  EXPECT_EQ(device.kernel_launch_ordinal(), 2u);
+}
+
 TEST(FaultPlan, DeviceLossAtKernelOrdinalIsSticky) {
   Device device;
   FaultPlan plan;

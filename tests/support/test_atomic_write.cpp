@@ -1,0 +1,93 @@
+#include "eim/support/atomic_write.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eim/support/error.hpp"
+
+namespace eim::support {
+namespace {
+
+std::string unique_path(const std::string& stem) {
+  return ::testing::TempDir() + stem + "_" + std::to_string(::getpid());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return in ? os.str() : "<unreadable>";
+}
+
+bool exists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+TEST(AtomicWrite, WritesContentAndLeavesNoTempBehind) {
+  const std::string path = unique_path("atomic_basic");
+  atomic_write_file(path, "payload\n");
+  EXPECT_EQ(slurp(path), "payload\n");
+  EXPECT_FALSE(exists(atomic_write_temp_path(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, ReplacesExistingFileCompletely) {
+  const std::string path = unique_path("atomic_replace");
+  atomic_write_file(path, "old contents, quite long");
+  atomic_write_file(path, "new");
+  EXPECT_EQ(slurp(path), "new");  // no stale tail from the longer old file
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, UnwritableDirectoryThrowsIoError) {
+  EXPECT_THROW(atomic_write_file("/nonexistent-dir-eim/file.json", "x"), IoError);
+}
+
+TEST(AtomicWrite, TempPathStaysInDestinationDirectory) {
+  // rename(2) is only atomic within one filesystem, so the staging file must
+  // live next to the destination.
+  const std::string temp = atomic_write_temp_path("/some/dir/report.json");
+  EXPECT_EQ(temp.rfind("/some/dir/", 0), 0u);
+  EXPECT_NE(temp.find(".tmp."), std::string::npos);
+}
+
+TEST(AtomicWriteText, SerializesProducerOutput) {
+  const std::string path = unique_path("atomic_text");
+  atomic_write_text(path, [](std::ostream& out) { out << "{\"ok\":true}"; });
+  EXPECT_EQ(slurp(path), "{\"ok\":true}");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteText, FailedProducerStreamNeverPublishes) {
+  const std::string path = unique_path("atomic_failed_stream");
+  atomic_write_file(path, "previous good artifact");
+  EXPECT_THROW(atomic_write_text(path,
+                                 [](std::ostream& out) {
+                                   out << "partial";
+                                   out.setstate(std::ios::badbit);
+                                 }),
+               IoError);
+  // The destination keeps the previous artifact; no temp file lingers.
+  EXPECT_EQ(slurp(path), "previous good artifact");
+  EXPECT_FALSE(exists(atomic_write_temp_path(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteText, ProducerExceptionPropagatesWithoutPublishing) {
+  const std::string path = unique_path("atomic_throwing_producer");
+  atomic_write_file(path, "keep me");
+  EXPECT_THROW(atomic_write_text(
+                   path, [](std::ostream&) { throw InvalidArgumentError("boom"); }),
+               InvalidArgumentError);
+  EXPECT_EQ(slurp(path), "keep me");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eim::support

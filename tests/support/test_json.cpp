@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace eim::support {
 namespace {
@@ -123,6 +125,113 @@ TEST(JsonParse, MalformedInputThrowsWithOffset) {
   } catch (const JsonParseError& e) {
     EXPECT_EQ(e.offset(), 4u);  // points at the bad token, not the start
   }
+}
+
+// ---------------------------------------------------------------------------
+// Hardening corpus: every entry must raise JsonParseError (with a sane
+// offset), never crash, hang, or decode to a value — checkpoint manifests and
+// bench envelopes are parsed from disk, so damaged bytes reach this code.
+// Run under ASan/UBSan by scripts/run_checks.sh.
+// ---------------------------------------------------------------------------
+
+struct MalformedCase {
+  const char* label;
+  std::string input;
+};
+
+class JsonParseMalformed : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(JsonParseMalformed, ThrowsParseErrorWithInRangeOffset) {
+  const MalformedCase& c = GetParam();
+  try {
+    (void)parse_json(c.input);
+    FAIL() << c.label << ": expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    // The offset must point into (or just past) the document so error
+    // messages can show the damaged region.
+    EXPECT_LE(e.offset(), c.input.size()) << c.label;
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos) << c.label;
+  }
+}
+
+std::vector<MalformedCase> malformed_corpus() {
+  std::vector<MalformedCase> cases = {
+      {"empty", ""},
+      {"whitespace_only", " \t\n "},
+      {"lone_open_brace", "{"},
+      {"lone_open_bracket", "["},
+      {"lone_close_brace", "}"},
+      {"unclosed_nested", "{\"a\":[1,{\"b\":"},
+      {"trailing_comma_array", "[1,]"},
+      {"trailing_comma_object", "{\"a\":1,}"},
+      {"missing_colon", "{\"a\" 1}"},
+      {"missing_comma", "[1 2]"},
+      {"unquoted_key", "{a:1}"},
+      {"single_quotes", "{'a':1}"},
+      {"bare_word", "oops"},
+      {"truncated_true", "tru"},
+      {"truncated_null", "nul"},
+      {"capitalized_literal", "True"},
+      {"unterminated_string", "\"abc"},
+      {"string_truncated_mid_escape", "\"ab\\"},
+      {"bad_escape", "\"\\x41\""},
+      {"truncated_unicode_escape", "\"\\u00\""},
+      {"invalid_unicode_hex", "\"\\u00zz\""},
+      {"raw_control_char_in_string", std::string("\"a\x01b\"", 5)},
+      {"lone_minus", "-"},
+      {"double_minus", "--1"},
+      {"exponent_no_digits", "1e"},
+      {"exponent_sign_only", "1e+"},
+      {"hex_number", "0x10"},
+      {"two_documents", "{} {}"},
+      {"trailing_garbage", "[1,2] x"},
+      {"comma_before_value", "[,1]"},
+      {"colon_in_array", "[\"a\":1]"},
+      {"nul_byte_document", std::string("\0", 1)},
+      {"nul_byte_after_value", std::string("1\0", 2)},
+      {"mismatched_closers", "[{]}"},
+  };
+  // Truncation sweep over a representative document: every proper prefix
+  // that is not itself valid JSON must fail cleanly. (Prefixes that ARE
+  // valid — e.g. "1" of "12" — cannot occur here: the document starts with
+  // an object so no proper prefix parses.)
+  const std::string doc = R"({"k":[1,-2.5e3,"s\n"],"m":{"x":null,"y":true}})";
+  for (std::size_t len = 1; len < doc.size(); ++len) {
+    cases.push_back({"prefix", doc.substr(0, len)});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, JsonParseMalformed,
+                         ::testing::ValuesIn(malformed_corpus()));
+
+TEST(JsonParse, NestingBeyondDepthLimitRejectedNotStackOverflow) {
+  // The recursive-descent parser caps depth; 100k open brackets must be a
+  // parse error, not a stack overflow (the classic untrusted-JSON DoS).
+  const std::string deep_array(100000, '[');
+  EXPECT_THROW((void)parse_json(deep_array), JsonParseError);
+
+  std::string deep_object;
+  for (int i = 0; i < 5000; ++i) deep_object += "{\"a\":";
+  EXPECT_THROW((void)parse_json(deep_object), JsonParseError);
+}
+
+TEST(JsonParse, DepthJustUnderTheLimitParses) {
+  // 64 nested arrays is comfortably inside the 128-level cap: realistic
+  // documents must not be rejected by the DoS guard.
+  std::string doc(64, '[');
+  doc += "1";
+  doc.append(64, ']');
+  const JsonValue v = parse_json(doc);
+  EXPECT_TRUE(v.is_array());
+}
+
+TEST(JsonParse, HugeLengthClaimsDoNotPreallocate) {
+  // A document that *claims* many elements but truncates must fail by
+  // parsing, not by attempting a giant allocation.
+  std::string doc = "[";
+  for (int i = 0; i < 1000; ++i) doc += "9999999999999999999999,";  // overflowing ints
+  EXPECT_THROW((void)parse_json(doc), JsonParseError);
 }
 
 TEST(JsonParse, WriterOutputRoundTrips) {

@@ -11,7 +11,7 @@
 // Monte-Carlo estimate of the expected spread over N cascades.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -21,14 +21,17 @@
 #include "eim/baselines/curipples.hpp"
 #include "eim/baselines/gim.hpp"
 #include "eim/diffusion/forward.hpp"
+#include "eim/eim/checkpoint.hpp"
 #include "eim/eim/multi_gpu.hpp"
 #include "eim/eim/pipeline.hpp"
 #include "eim/graph/io.hpp"
 #include "eim/graph/registry.hpp"
 #include "eim/imm/imm.hpp"
 #include "eim/imm/tim.hpp"
+#include "eim/support/atomic_write.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/json.hpp"
+#include "eim/support/snapshot.hpp"
 #include "eim/support/metrics.hpp"
 #include "eim/support/trace.hpp"
 
@@ -71,6 +74,8 @@ struct CliOptions {
   bool json = false;
   std::string metrics_json;  ///< write an eim.metrics.v2 report here ("-" = stdout)
   std::string trace_out;     ///< write a Chrome trace-event file here ("-" = stdout)
+  std::string checkpoint_dir;  ///< round-boundary snapshots land here
+  std::string resume_dir;      ///< continue from this directory's snapshot
 };
 
 void print_usage() {
@@ -99,6 +104,13 @@ void print_usage() {
       "  --trace-out <path|->  write a Chrome trace-event / Perfetto span\n"
       "                       trace of the run on the modeled device clock\n"
       "                       ('-' = stdout; open in ui.perfetto.dev)\n"
+      "  --checkpoint <dir>   write a crash-safe snapshot at every round\n"
+      "                       boundary (eim only; see docs/RESILIENCE.md)\n"
+      "  --resume <dir>       continue from <dir>'s snapshot — the final\n"
+      "                       seeds are bit-identical to an uninterrupted\n"
+      "                       run, even onto a different --devices count;\n"
+      "                       keeps checkpointing into <dir> unless\n"
+      "                       --checkpoint overrides (eim only)\n"
       "  --list-datasets      print the registry and exit");
 }
 
@@ -172,6 +184,10 @@ std::optional<CliOptions> parse(int argc, char** argv, int& exit_code) {
       opt.metrics_json = value;
     } else if (arg == "--trace-out" && (value = next())) {
       opt.trace_out = value;
+    } else if (arg == "--checkpoint" && (value = next())) {
+      opt.checkpoint_dir = value;
+    } else if (arg == "--resume" && (value = next())) {
+      opt.resume_dir = value;
     } else if (value == nullptr) {
       std::fprintf(stderr, "error: unknown option '%s'\n\n", arg.c_str());
       print_usage();
@@ -189,6 +205,15 @@ int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv, parse_exit);
   if (!parsed) return parse_exit;
   const CliOptions& opt = *parsed;
+
+  if ((!opt.checkpoint_dir.empty() || !opt.resume_dir.empty()) && opt.algo != "eim") {
+    return report_error(support::InvalidArgumentError(
+        "--checkpoint/--resume require --algo eim (got '" + opt.algo + "')"));
+  }
+  // --resume keeps checkpointing into the same directory unless --checkpoint
+  // points elsewhere.
+  const std::string checkpoint_dir =
+      !opt.checkpoint_dir.empty() ? opt.checkpoint_dir : opt.resume_dir;
 
   // Load or generate the graph. A malformed or unreadable edge list exits
   // with the I/O code and a structured stderr record.
@@ -234,6 +259,18 @@ int main(int argc, char** argv) {
   eim_impl::EimResult result;
   int run_exit = support::kExitOk;
   try {
+    // Load the snapshot before touching any device. A damaged checkpoint —
+    // truncation, bit flip, malformed manifest — is rejected here by its
+    // checksums with the I/O exit code, never resumed silently wrong.
+    std::optional<eim_impl::CheckpointState> ckpt;
+    if (!opt.resume_dir.empty()) {
+      try {
+        ckpt = eim_impl::load_checkpoint(opt.resume_dir);
+      } catch (const support::snapshot::SnapshotCorruptError&) {
+        registry.counter("checkpoint.corrupt_rejected").add();
+        throw;
+      }
+    }
     if (opt.algo == "serial") {
       const auto serial = imm::run_imm_serial(g, opt.model, opt.params);
       static_cast<imm::ImmResult&>(result) = serial;
@@ -258,6 +295,8 @@ int main(int argc, char** argv) {
       if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
       options.metrics = &registry;
       options.trace = trace;
+      options.checkpoint_dir = checkpoint_dir;
+      options.resume = ckpt.has_value() ? &*ckpt : nullptr;
       const auto multi = eim_impl::run_eim_multi(ptrs, g, opt.model, opt.params, options);
       result = multi;
       if (!machine_stdout) {
@@ -273,6 +312,8 @@ int main(int argc, char** argv) {
         if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
         options.metrics = &registry;
         options.trace = trace;
+        options.checkpoint_dir = checkpoint_dir;
+        options.resume = ckpt.has_value() ? &*ckpt : nullptr;
         result = eim_impl::run_eim(device, g, opt.model, opt.params, options);
       } else if (opt.algo == "gim") {
         result = baselines::run_gim(device, g, opt.model, opt.params);
@@ -286,6 +327,28 @@ int main(int argc, char** argv) {
     run_exit = report_error(e);
   }
 
+  // Artifact emission is atomic (temp + rename) and stream-checked: a full
+  // disk or failed serializer surfaces as the I/O exit code with a
+  // structured stderr record, and never publishes a torn file.
+  int artifact_exit = support::kExitOk;
+  const auto emit_artifact = [&](const std::string& dest, const char* what,
+                                 const std::function<void(std::ostream&)>& producer) {
+    try {
+      if (dest == "-") {
+        producer(std::cout);
+        std::cout.flush();
+        if (!std::cout) {
+          throw support::IoError(std::string("cannot write ") + what + " to stdout");
+        }
+      } else {
+        support::atomic_write_text(dest, producer);
+      }
+    } catch (const support::Error& e) {
+      const int code = report_error(e);
+      if (artifact_exit == support::kExitOk) artifact_exit = code;
+    }
+  };
+
   if (!opt.metrics_json.empty()) {
     support::metrics::RunReport report;
     report.tool = "eim_cli";
@@ -297,34 +360,17 @@ int main(int argc, char** argv) {
     report.k = opt.params.k;
     report.epsilon = opt.params.epsilon;
     report.metrics = &registry;
-    if (opt.metrics_json == "-") {
-      report.write_json(std::cout);
-    } else {
-      std::ofstream out(opt.metrics_json);
-      if (!out) {
-        std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                     opt.metrics_json.c_str());
-        return 1;
-      }
-      report.write_json(out);
-    }
+    emit_artifact(opt.metrics_json, "metrics report",
+                  [&](std::ostream& out) { report.write_json(out); });
   }
 
   if (trace != nullptr) {
-    if (opt.trace_out == "-") {
-      recorder.write_chrome_trace(std::cout);
-    } else {
-      std::ofstream out(opt.trace_out);
-      if (!out) {
-        std::fprintf(stderr, "error: cannot write trace to '%s'\n",
-                     opt.trace_out.c_str());
-        return 1;
-      }
-      recorder.write_chrome_trace(out);
-    }
+    emit_artifact(opt.trace_out, "trace",
+                  [&](std::ostream& out) { recorder.write_chrome_trace(out); });
   }
 
   if (run_exit != support::kExitOk) return run_exit;
+  if (artifact_exit != support::kExitOk) return artifact_exit;
 
   if (opt.json) {
     support::JsonWriter w(std::cout);
