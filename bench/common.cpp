@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -40,7 +41,7 @@ class BenchReporter {
     registry.write_json(w);
     const std::lock_guard<std::mutex> lock(mu_);
     cells_.push_back(CellRecord{std::move(id), metrics.str(), cell.seconds,
-                                cell.last.kernel_seconds,
+                                cell.wall_seconds, cell.last.kernel_seconds,
                                 cell.last.transfer_seconds});
   }
 
@@ -76,6 +77,9 @@ class BenchReporter {
                 .field("kernel_seconds", cell.kernel_seconds)
                 .field("transfer_seconds", cell.transfer_seconds);
           }
+          if (cell.wall_seconds.has_value()) {
+            w.field("wall_seconds", *cell.wall_seconds);
+          }
           w.key("metrics").raw_value(cell.metrics_json).end_object();
         }
         w.end_array();
@@ -92,6 +96,7 @@ class BenchReporter {
     std::string id;
     std::string metrics_json;  ///< pre-serialized registry snapshot
     std::optional<double> seconds;  ///< mean modeled seconds; nullopt = OOM
+    std::optional<double> wall_seconds;  ///< mean host wall clock (noisy)
     double kernel_seconds = 0.0;    ///< last successful run's kernel time
     double transfer_seconds = 0.0;
   };
@@ -179,6 +184,7 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
   Cell cell;
   support::metrics::MetricsRegistry registry;
   support::RunningStat stat;
+  support::RunningStat wall_stat;
   bool oom = false;
   for (std::uint32_t run = 0; run < env.runs; ++run) {
     gpusim::Device device(gpusim::make_benchmark_device(env.memory_mb));
@@ -189,6 +195,7 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
     support::trace::TraceRecorder* trace =
         recorder.has_value() && run == 0 ? &*recorder : nullptr;
     if (trace != nullptr) trace->register_process(cell_id, &device);
+    const auto wall_begin = std::chrono::steady_clock::now();
     try {
       cell.last = runner(device, g, registry, trace, run);
     } catch (const support::DeviceOutOfMemoryError& e) {
@@ -205,9 +212,15 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
       oom = true;
       break;
     }
+    wall_stat.push(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 wall_begin)
+                       .count());
     stat.push(cell.last.device_seconds);
   }
-  if (!oom) cell.seconds = stat.mean();
+  if (!oom) {
+    cell.seconds = stat.mean();
+    cell.wall_seconds = wall_stat.mean();
+  }
   if (recorder.has_value()) {
     try {
       support::atomic_write_text(

@@ -56,8 +56,12 @@ struct BenchEnv {
 [[nodiscard]] BenchEnv load_env();
 
 /// One benchmark cell: modeled seconds (mean over runs), or nullopt on OOM.
+/// `wall_seconds` is the measured host wall-clock mean over the same runs —
+/// machine-noisy by nature, reported for trajectory tracking (bench_diff
+/// treats it warn-only), never part of the modeled-cost contract.
 struct Cell {
   std::optional<double> seconds;
+  std::optional<double> wall_seconds;
   eim_impl::EimResult last;  ///< last successful run's full result
 };
 

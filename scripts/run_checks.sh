@@ -4,7 +4,9 @@
 # README.md), exercise CLI-level checkpoint/resume including corrupt-
 # snapshot rejection, then run one small traced benchmark, validate the
 # JSON artifacts it emits, and diff its timings against the committed
-# baseline.
+# baseline. Finishes with a Release-build perf smoke: bench_micro plus a
+# wall-clock diff against bench/baselines (wall rows are warn-only; see
+# docs/PERFORMANCE.md).
 #
 # Usage: scripts/run_checks.sh [build-dir]
 #   build-dir defaults to build-asan (kept separate from the regular build).
@@ -97,6 +99,40 @@ else
   echo "bench_diff: modeled time moved vs ${baseline} (exit ${diff_exit})."
   echo "If intentional, refresh the baseline:"
   echo "  cp ${bench_tmp}/BENCH_fig7_ic.json ${baseline}"
+  if [[ "${EIM_CHECKS_BENCH_GATE:-0}" == "1" ]]; then
+    echo "EIM_CHECKS_BENCH_GATE=1 — treating the regression as fatal."
+    exit "${diff_exit}"
+  fi
+  echo "Warn-only (set EIM_CHECKS_BENCH_GATE=1 to gate on this)."
+fi
+
+echo "== Release perf smoke (bench_micro + wall-clock diff, warn-only) =="
+# Wall-clock numbers from a sanitizer build are meaningless, so the perf
+# smoke uses a separate Release build. Never pass -DEIM_NATIVE=ON here: the
+# committed baselines must stay comparable across machines.
+perf_dir="${repo_root}/build-perf"
+cmake -B "${perf_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${perf_dir}" -j "${jobs}" --target bench_micro bench_fig7_ic bench_diff
+EIM_BENCH_JSON="${bench_tmp}/BENCH_micro.json" \
+  "${perf_dir}/bench/bench_micro" --benchmark_min_time=0.2 > /dev/null
+"${perf_dir}/tools/bench_diff" --validate "${bench_tmp}/BENCH_micro.json"
+micro_baseline="${repo_root}/bench/baselines/BENCH_micro.json"
+if [[ -f "${micro_baseline}" ]]; then
+  # Micro cells carry only wall_seconds, which bench_diff treats warn-only —
+  # the diff prints the host-time trajectory but cannot fail the gate.
+  "${perf_dir}/tools/bench_diff" "${micro_baseline}" "${bench_tmp}/BENCH_micro.json" || true
+fi
+EIM_BENCH_DATASETS=WV EIM_BENCH_FAST=1 \
+  EIM_BENCH_JSON="${bench_tmp}/BENCH_fig7_ic_release.json" \
+  "${perf_dir}/bench/bench_fig7_ic" > /dev/null
+echo "-- fig7 WV fast: modeled time gated at threshold, wall warn-only --"
+if "${perf_dir}/tools/bench_diff" "${baseline}" "${bench_tmp}/BENCH_fig7_ic_release.json"; then
+  :
+else
+  diff_exit=$?
+  echo "bench_diff (Release): modeled time moved vs ${baseline} (exit ${diff_exit})."
+  echo "If intentional, refresh the baseline:"
+  echo "  cp ${bench_tmp}/BENCH_fig7_ic_release.json ${baseline}"
   if [[ "${EIM_CHECKS_BENCH_GATE:-0}" == "1" ]]; then
     echo "EIM_CHECKS_BENCH_GATE=1 — treating the regression as fatal."
     exit "${diff_exit}"

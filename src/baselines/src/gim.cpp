@@ -211,6 +211,10 @@ class GimSampler {
   void bfs_ic(BlockContext& ctx, BlockScratch& scratch, RandomStream& rng) {
     const graph::Graph& g = *graph_;
     const std::uint32_t warp = ctx.warp_size();
+    // Hoisted: queue.push_back writes through a uint32 pointer, so keeping
+    // stamp/epoch as locals spares a per-edge member reload in this hot loop.
+    std::uint32_t* const stamp = scratch.stamp.data();
+    const std::uint32_t epoch = scratch.epoch;
     for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
       const VertexId u = scratch.queue[head];
       if (scratch.spilled) {
@@ -224,9 +228,9 @@ class GimSampler {
       ctx.charge_alu(warp_chunks(ins.size(), warp));
       for (std::size_t j = 0; j < ins.size(); ++j) {
         const VertexId v = ins[j];
-        if (scratch.stamp[v] == scratch.epoch) continue;
+        if (stamp[v] == epoch) continue;
         if (rng.next_float() <= ws[j]) {
-          scratch.stamp[v] = scratch.epoch;
+          stamp[v] = epoch;
           scratch.queue.push_back(v);
           charge_enqueue(ctx, scratch, scratch.queue.size());
         }

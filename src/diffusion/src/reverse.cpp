@@ -50,6 +50,12 @@ void RrrSampler::sample_ic(VertexId source, RandomStream& rng,
   out.push_back(source);
   stamp_[source] = epoch_;
 
+  // Hoisted out of the loop: `out.push_back` writes through a uint32
+  // pointer, so without the locals the compiler must reload the stamp
+  // base/epoch members on every edge (this loop is the profile's top bucket).
+  std::uint32_t* const stamp = stamp_.data();
+  const std::uint32_t epoch = epoch_;
+
   // Queue-as-set BFS, mirroring Algorithm 2's "the queue is the RRR set".
   for (std::size_t head = 0; head < out.size(); ++head) {
     const VertexId u = out[head];
@@ -57,9 +63,9 @@ void RrrSampler::sample_ic(VertexId source, RandomStream& rng,
     const auto ws = g.in_weights(u);
     for (std::size_t j = 0; j < ins.size(); ++j) {
       const VertexId v = ins[j];
-      if (stamp_[v] == epoch_) continue;
+      if (stamp[v] == epoch) continue;
       if (rng.next_float() <= ws[j]) {
-        stamp_[v] = epoch_;
+        stamp[v] = epoch;
         out.push_back(v);
       }
     }

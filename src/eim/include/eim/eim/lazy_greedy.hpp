@@ -1,0 +1,89 @@
+// CELF-style lazy arg-max for greedy seed selection (host-side accelerator).
+//
+// The greedy invariant that makes laziness sound: marginal counts only ever
+// decrease as sets get covered, so a heap keyed by *cached* counts holds an
+// upper bound for every vertex. When the popped top's cached count matches
+// its current count, it is the true arg-max — every other entry's current
+// count is bounded by its cached key, which the heap says is <= the top.
+//
+// Tie-breaking is part of the contract: the reference linear scan picks the
+// smallest vertex id among maximal counts (strict `>` while scanning ids in
+// ascending order). Packing keys as (count << 32) | ~v reproduces exactly
+// that under ordinary uint64 max-heap ordering, so the selected seed
+// sequence is bit-identical to the reference — which the property tests in
+// tests/eim/test_seed_selector.cpp pin down.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eim/graph/types.hpp"
+
+namespace eim::eim_impl {
+
+class LazyArgMaxHeap {
+ public:
+  /// Build from the initial counts; O(n) make_heap.
+  explicit LazyArgMaxHeap(std::span<const std::uint32_t> counts) {
+    keys_.reserve(counts.size());
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      keys_.push_back(pack(counts[v], static_cast<graph::VertexId>(v)));
+    }
+    std::make_heap(keys_.begin(), keys_.end());
+  }
+
+  /// Pop the arg-max of `counts` over vertices not yet `chosen`, skipping
+  /// chosen entries and re-keying stale ones. Returns false when every
+  /// remaining vertex has count zero (the caller's filler path) — the heap
+  /// is left intact so a later call still sees those vertices.
+  [[nodiscard]] bool pop_best(std::span<const std::uint32_t> counts,
+                              std::span<const std::uint8_t> chosen,
+                              graph::VertexId& best, std::uint32_t& best_count) {
+    while (!keys_.empty()) {
+      std::pop_heap(keys_.begin(), keys_.end());
+      const std::uint64_t key = keys_.back();
+      keys_.pop_back();
+      const auto v = vertex(key);
+      if (chosen[v] != 0) continue;  // permanently drained
+      const std::uint32_t current = counts[v];
+      if (current != count(key)) {
+        push(pack(current, v));  // stale upper bound: re-key and retry
+        continue;
+      }
+      if (current == 0) {
+        // Accurate top with count 0 ⇒ all remaining counts are 0.
+        push(key);
+        return false;
+      }
+      best = v;
+      best_count = current;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t pack(std::uint32_t cnt,
+                                          graph::VertexId v) noexcept {
+    // Count major; ~v minor so equal counts order by *smallest* id first.
+    return (static_cast<std::uint64_t>(cnt) << 32) |
+           static_cast<std::uint32_t>(~v);
+  }
+  [[nodiscard]] static std::uint32_t count(std::uint64_t key) noexcept {
+    return static_cast<std::uint32_t>(key >> 32);
+  }
+  [[nodiscard]] static graph::VertexId vertex(std::uint64_t key) noexcept {
+    return static_cast<graph::VertexId>(~static_cast<std::uint32_t>(key));
+  }
+
+  void push(std::uint64_t key) {
+    keys_.push_back(key);
+    std::push_heap(keys_.begin(), keys_.end());
+  }
+
+  std::vector<std::uint64_t> keys_;
+};
+
+}  // namespace eim::eim_impl

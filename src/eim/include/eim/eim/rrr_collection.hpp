@@ -78,6 +78,12 @@ class DeviceRrrCollection {
     return log_encode_ ? static_cast<graph::VertexId>(packed_.get(pos)) : raw_[pos];
   }
 
+  /// Bulk-decode all of set i into `out` (must hold set_length(i) values).
+  /// Uses the word-streaming decoder under log encoding instead of one
+  /// container walk per element — the hot path for selection, checkpoint
+  /// export, and shard redistribution.
+  void decode_set(std::uint64_t i, std::span<graph::VertexId> out) const noexcept;
+
   [[nodiscard]] std::span<const std::uint32_t> counts() const noexcept { return counts_; }
 
   /// Device bytes of R + O + C as stored.

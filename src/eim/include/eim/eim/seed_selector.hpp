@@ -26,10 +26,24 @@
 
 namespace eim::eim_impl {
 
+/// How the host computes each pick's arg-max. Both produce bit-identical
+/// seed sequences (same tie-break: smallest vertex id among maximal
+/// counts); LinearReference exists so tests can property-check the heap
+/// against the obviously-correct O(n)-per-pick scan.
+enum class ArgMaxMode : std::uint8_t {
+  kLazyHeap,         ///< CELF-style lazy max-heap (default, O(log n) amortized)
+  kLinearReference,  ///< full scan per pick — test-only reference
+};
+
 class GpuSeedSelector {
  public:
   GpuSeedSelector(gpusim::Device& device, ScanStrategy strategy)
       : device_(&device), strategy_(strategy) {}
+
+  /// Test hook: switch the host arg-max implementation. Modeled device
+  /// charges are identical either way.
+  void set_argmax_mode(ArgMaxMode mode) noexcept { argmax_mode_ = mode; }
+  [[nodiscard]] ArgMaxMode argmax_mode() const noexcept { return argmax_mode_; }
 
   /// Run the full k-pick greedy over the collection's current contents,
   /// charging modeled kernel time per pick. Safe to call repeatedly as the
@@ -48,6 +62,7 @@ class GpuSeedSelector {
  private:
   gpusim::Device* device_;
   ScanStrategy strategy_;
+  ArgMaxMode argmax_mode_ = ArgMaxMode::kLazyHeap;
   support::metrics::MetricsRegistry* metrics_ = nullptr;
 };
 

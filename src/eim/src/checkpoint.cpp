@@ -270,9 +270,9 @@ void export_collection(const DeviceRrrCollection& collection, CheckpointState& s
   for (std::uint64_t i = 0; i < num_sets; ++i) {
     const std::uint32_t len = collection.set_length(i);
     state.lengths[i] = len;
-    for (std::uint32_t j = 0; j < len; ++j) {
-      state.elements.push_back(collection.element(i, j));
-    }
+    const std::size_t at = state.elements.size();
+    state.elements.resize(at + len);
+    collection.decode_set(i, std::span(state.elements.data() + at, len));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "eim/eim/checkpoint.hpp"
+#include "eim/eim/lazy_greedy.hpp"
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/sampler.hpp"
 #include "eim/encoding/packed_csc.hpp"
@@ -310,10 +311,8 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     }
     std::vector<VertexId> flat(starts[num_sets]);
     for (std::uint64_t i = 0; i < num_sets; ++i) {
-      const auto& shard = *shards[owner_of[i]];
-      for (std::uint32_t j = 0; j < lengths[i]; ++j) {
-        flat[starts[i] + j] = shard.element(slot_of[i], j);
-      }
+      shards[owner_of[i]]->decode_set(
+          slot_of[i], std::span<VertexId>(flat.data() + starts[i], lengths[i]));
     }
 
     std::vector<std::uint32_t> counts(n, 0);
@@ -348,8 +347,8 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
       shard_search[owner_of[i]] += binsearch_probes(lengths[i]) * g_lat;
     }
 
-    std::vector<bool> covered(num_sets, false);
-    std::vector<bool> chosen(n, false);
+    std::vector<std::uint8_t> covered(num_sets, 0);
+    std::vector<std::uint8_t> chosen(n, 0);
     imm::SelectionResult sel;
     sel.seeds.reserve(effective.k);
 
@@ -381,37 +380,35 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     };
     const std::vector<std::uint64_t> no_decrements(num_devices, 0);
 
+    // CELF-style lazy arg-max over the merged counts; bit-identical to the
+    // linear reference scan (see lazy_greedy.hpp for the tie-break proof).
+    LazyArgMaxHeap heap{std::span<const std::uint32_t>(counts)};
+
     for (std::uint32_t pick = 0; pick < effective.k; ++pick) {
       VertexId best = graph::kInvalidVertex;
       std::uint32_t best_count = 0;
-      for (VertexId v = 0; v < n; ++v) {
-        if (!chosen[v] && counts[v] > best_count) {
-          best = v;
-          best_count = counts[v];
-        }
-      }
-      if (best == graph::kInvalidVertex) {
+      if (!heap.pop_best(counts, chosen, best, best_count)) {
         // Degenerate tail: every set is covered but picks remain. Charge
         // the per-pick kernel + broadcast round for each filler so the
         // modeled time reflects k rounds like the unsaturated path.
         for (VertexId v = 0; v < n && sel.seeds.size() < effective.k; ++v) {
-          if (!chosen[v]) {
-            chosen[v] = true;
+          if (chosen[v] == 0) {
+            chosen[v] = 1;
             sel.seeds.push_back(v);
             charge_pick(no_decrements);
           }
         }
         break;
       }
-      chosen[best] = true;
+      chosen[best] = 1;
       sel.seeds.push_back(best);
 
       std::vector<std::uint64_t> shard_dec(num_devices, 0);
       for (std::uint64_t idx = index_offsets[best]; idx < index_offsets[best + 1];
            ++idx) {
         const std::uint64_t set_id = index_sets[idx];
-        if (covered[set_id]) continue;
-        covered[set_id] = true;
+        if (covered[set_id] != 0) continue;
+        covered[set_id] = 1;
         ++sel.covered_sets;
         const std::uint32_t len = lengths[set_id];
         const std::uint32_t owner = owner_of[set_id];
@@ -456,12 +453,12 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
         ckpt.lengths[i] = shards[owner_of[i]]->set_length(slot_of[i]);
         total += ckpt.lengths[i];
       }
-      ckpt.elements.reserve(total);
+      ckpt.elements.resize(total);
+      std::uint64_t at = 0;
       for (std::uint64_t i = 0; i < sampled_global; ++i) {
-        const auto& shard = *shards[owner_of[i]];
-        for (std::uint32_t j = 0; j < ckpt.lengths[i]; ++j) {
-          ckpt.elements.push_back(shard.element(slot_of[i], j));
-        }
+        shards[owner_of[i]]->decode_set(
+            slot_of[i], std::span<VertexId>(ckpt.elements.data() + at, ckpt.lengths[i]));
+        at += ckpt.lengths[i];
       }
       for (const std::uint32_t d : alive) {
         ckpt.singletons_discarded += samplers[d]->singletons_discarded();

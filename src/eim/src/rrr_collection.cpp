@@ -87,8 +87,10 @@ void DeviceRrrCollection::reserve(std::uint64_t num_sets, std::uint64_t num_elem
                                       sizeof(std::uint32_t);
       charge_device(new_bytes);
       encoding::BitPackedArray grown(num_elements, bits_per_vertex_);
+      // Same bit width, so the committed prefix is a straight word copy —
+      // slots past the cursor are still zero on both sides.
       const std::uint64_t used = element_cursor_.load(std::memory_order_relaxed);
-      for (std::uint64_t i = 0; i < used; ++i) grown.set(i, packed_.get(i));
+      grown.assign_prefix(packed_, static_cast<std::size_t>(used));
       packed_ = std::move(grown);
       refund_device(old_bytes);
     } else {
@@ -135,16 +137,30 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
   lengths_[set_index] = static_cast<std::uint32_t>(sorted_set.size());
   if (set_size_hist_ != nullptr) set_size_hist_->observe(sorted_set.size());
 
-  for (std::size_t j = 0; j < sorted_set.size(); ++j) {
-    const VertexId v = sorted_set[j];
-    if (log_encode_) {
-      packed_.store_release(offset + j, v);
-    } else {
-      raw_[offset + j] = v;
-    }
+  if (log_encode_) {
+    // Bulk word-streaming publish of the claimed slice: only the boundary
+    // containers shared with neighboring slices pay an atomic op.
+    packed_.store_release_range(static_cast<std::size_t>(offset), sorted_set);
+  } else {
+    std::copy(sorted_set.begin(), sorted_set.end(),
+              raw_.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  for (const VertexId v : sorted_set) {
     std::atomic_ref<std::uint32_t>(counts_[v]).fetch_add(1, std::memory_order_relaxed);
   }
   return true;
+}
+
+void DeviceRrrCollection::decode_set(std::uint64_t i,
+                                     std::span<VertexId> out) const noexcept {
+  assert(out.size() == lengths_[i]);
+  const std::uint64_t start = starts_[i];
+  if (log_encode_) {
+    packed_.decode_into(static_cast<std::size_t>(start), out);
+  } else {
+    std::copy_n(raw_.begin() + static_cast<std::ptrdiff_t>(start), out.size(),
+                out.begin());
+  }
 }
 
 std::uint64_t DeviceRrrCollection::stored_bytes() const noexcept {

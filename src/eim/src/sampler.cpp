@@ -46,11 +46,12 @@ EimSampler::EimSampler(gpusim::Device& device, const graph::Graph& g,
       support::div_ceil<std::uint64_t>(g.num_vertices(), 8);
   pool_charge_ = device.alloc<std::uint8_t>(per_block * num_blocks_);
 
+  // Scratch stamps are allocated lazily on a block's first wave (see
+  // generate()): eagerly zeroing n words per block here is an O(n · blocks)
+  // page-touch that multi-GPU runs repeat per device, and blocks beyond the
+  // pending-sample count never run at all.
   scratch_.resize(num_blocks_);
-  for (auto& s : scratch_) {
-    s.queue.reserve(64);
-    s.stamp.assign(g.num_vertices(), 0);
-  }
+  for (auto& s : scratch_) s.queue.reserve(64);
 }
 
 void EimSampler::sample_to(DeviceRrrCollection& collection, std::uint64_t target) {
@@ -224,6 +225,9 @@ std::uint32_t EimSampler::generate(BlockContext& ctx, BlockScratch& scratch,
     const VertexId source = rng.next_below(n);
     ctx.charge_alu(2);  // lane 0 picks the source, seeds head/tail (Alg. 2 l.5-10)
 
+    // First use of this block's scratch: materialize the stamp array now
+    // (constructor defers it so idle blocks never pay the n-word touch).
+    if (scratch.stamp.empty()) scratch.stamp.assign(n, 0);
     // Fresh epoch == "initialize M" without touching n words every sample.
     if (++scratch.epoch == 0) {
       std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
@@ -259,6 +263,12 @@ void EimSampler::bfs_ic(BlockContext& ctx, BlockScratch& scratch, VertexId /*sou
                         RandomStream& rng) {
   const graph::Graph& g = *graph_;
   const std::uint32_t warp = ctx.warp_size();
+  // Hoisted: queue.push_back writes through a uint32 pointer, so keeping
+  // stamp/epoch as locals spares a per-edge member reload (hot loop). The
+  // stamp base is stable here — only the epoch-wrap path resizes it, and
+  // that ran before the BFS started.
+  std::uint32_t* const stamp = scratch.stamp.data();
+  const std::uint32_t epoch = scratch.epoch;
 
   // Warp-wide probabilistic BFS (Alg. 2 lines 11-20). The queue IS the
   // visited set; head walks forward, tail grows as lanes activate
@@ -276,12 +286,12 @@ void EimSampler::bfs_ic(BlockContext& ctx, BlockScratch& scratch, VertexId /*sou
 
     for (std::size_t j = 0; j < ins.size(); ++j) {
       const VertexId v = ins[j];
-      const bool visited = scratch.stamp[v] == scratch.epoch;
+      const bool visited = stamp[v] == epoch;
       // The serial reference consumes one draw per *unvisited* neighbor;
       // keep the identical consumption order for bit-parity.
       if (visited) continue;
       if (rng.next_float() <= ws[j]) {
-        scratch.stamp[v] = scratch.epoch;  // mark BEFORE enqueue (Alg. 2 l.18)
+        stamp[v] = epoch;  // mark BEFORE enqueue (Alg. 2 l.18)
         scratch.queue.push_back(v);
         ctx.charge_global(1);         // M store + Q store (write-combined)
         ctx.charge_atomic_global(1);  // atomicAdd on q_tail (Alg. 2 l.20)

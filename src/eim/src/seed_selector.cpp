@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "eim/eim/lazy_greedy.hpp"
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/thread_pool.hpp"
 
 namespace eim::eim_impl {
 
@@ -15,6 +17,68 @@ namespace {
 /// Scalar binary-search cost in global reads: probes of the sorted set.
 std::uint64_t binsearch_probes(std::uint32_t len) {
   return 1 + support::ceil_log2(std::max<std::uint32_t>(2, len));
+}
+
+/// Build the inverted index vertex -> set ids. Deterministic regardless of
+/// parallelism: sets are split into contiguous chunks, pass 1 counts each
+/// chunk's per-vertex occurrences, a serial prefix turns the histograms
+/// into per-chunk write bases, and pass 2 scatters set ids at those bases —
+/// reproducing the serial layout exactly (set ids ascending within each
+/// vertex's bucket).
+void build_inverted_index(std::span<const VertexId> flat,
+                          std::span<const std::uint64_t> starts, std::uint64_t num_sets,
+                          VertexId n, std::vector<std::uint64_t>& index_offsets,
+                          std::vector<std::uint64_t>& index_sets) {
+  auto& pool = support::ThreadPool::global();
+  // Parallelism only pays once the scatter dwarfs the O(chunks * n)
+  // histogram footprint; small problems keep the single-chunk (serial)
+  // path.
+  const std::size_t num_chunks =
+      (pool.size() > 1 && flat.size() >= 65536 && flat.size() >= n)
+          ? std::min<std::size_t>(4 * pool.size(), static_cast<std::size_t>(num_sets))
+          : 1;
+  const auto chunk_begin = [&](std::size_t c) {
+    return static_cast<std::uint64_t>(num_sets * c / num_chunks);
+  };
+
+  std::vector<std::vector<std::uint64_t>> hist(num_chunks);
+  pool.parallel_for(
+      0, num_chunks,
+      [&](std::size_t c) {
+        auto& h = hist[c];
+        h.assign(static_cast<std::size_t>(n), 0);
+        for (std::uint64_t p = starts[chunk_begin(c)]; p < starts[chunk_begin(c + 1)];
+             ++p) {
+          ++h[flat[p]];
+        }
+      },
+      /*grain=*/1);
+
+  // Serial prefix over (vertex, chunk): turns counts into write cursors.
+  index_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::uint64_t running = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    index_offsets[v] = running;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::uint64_t cnt = hist[c][v];
+      hist[c][v] = running;  // reuse as this chunk's write base for v
+      running += cnt;
+    }
+  }
+  index_offsets[n] = running;
+
+  index_sets.resize(flat.size());
+  pool.parallel_for(
+      0, num_chunks,
+      [&](std::size_t c) {
+        auto& cursor = hist[c];
+        for (std::uint64_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
+          for (std::uint64_t p = starts[i]; p < starts[i + 1]; ++p) {
+            index_sets[cursor[flat[p]]++] = i;
+          }
+        }
+      },
+      /*grain=*/1);
 }
 
 }  // namespace
@@ -42,11 +106,15 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
     starts[i + 1] = starts[i] + lengths[i];
   }
   std::vector<VertexId> flat(starts[num_sets]);
-  for (std::uint64_t i = 0; i < num_sets; ++i) {
-    for (std::uint32_t j = 0; j < lengths[i]; ++j) {
-      flat[starts[i] + j] = collection.element(i, j);
-    }
-  }
+  // Bulk word-streaming decode, parallel across sets (disjoint output
+  // slices, so the layout is identical to the serial per-element walk).
+  support::ThreadPool::global().parallel_for(
+      0, num_sets,
+      [&](std::size_t i) {
+        collection.decode_set(
+            i, std::span<VertexId>(flat.data() + starts[i], lengths[i]));
+      },
+      /*grain=*/0);
 
   if (metrics_ != nullptr) {
     metrics_->counter("selector.select_calls").add();
@@ -62,23 +130,16 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
       metrics_ != nullptr ? &metrics_->histogram("selector.gain_per_pick") : nullptr;
 
   // Inverted index vertex -> set ids (host-side greedy accelerator).
-  std::vector<std::uint64_t> index_offsets(static_cast<std::size_t>(n) + 1, 0);
-  for (const VertexId v : flat) ++index_offsets[v + 1];
-  for (VertexId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
-  std::vector<std::uint64_t> index_sets(flat.size());
-  {
-    std::vector<std::uint64_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
-    for (std::uint64_t i = 0; i < num_sets; ++i) {
-      for (std::uint64_t p = starts[i]; p < starts[i + 1]; ++p) {
-        index_sets[cursor[flat[p]]++] = i;
-      }
-    }
-  }
+  std::vector<std::uint64_t> index_offsets;
+  std::vector<std::uint64_t> index_sets;
+  build_inverted_index(flat, starts, num_sets, n, index_offsets, index_sets);
 
   std::vector<std::uint32_t> counts(collection.counts().begin(),
                                     collection.counts().end());
-  std::vector<bool> covered(num_sets, false);
-  std::vector<bool> chosen(n, false);
+  // uint8_t, not vector<bool>: the bit proxies sit inside the inner
+  // decrement loop and cost a shift+mask per touch.
+  std::vector<std::uint8_t> covered(num_sets, 0);
+  std::vector<std::uint8_t> chosen(n, 0);
 
   // Running aggregates for the update-kernel cost model.
   const bool thread_scan = strategy_ == ScanStrategy::ThreadPerSet;
@@ -134,15 +195,28 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
     if (update_kernels != nullptr) update_kernels->add();
   };
 
+  // The modeled device always runs a full arg-max reduction; the *host*
+  // answer comes from the lazy heap (or the linear reference scan in
+  // test mode) — both produce the same (count, smallest-id) winner.
+  LazyArgMaxHeap heap{argmax_mode_ == ArgMaxMode::kLazyHeap
+                          ? std::span<const std::uint32_t>(counts)
+                          : std::span<const std::uint32_t>()};
+
   for (std::uint32_t pick = 0; pick < k; ++pick) {
     charge_argmax();
 
     VertexId best = graph::kInvalidVertex;
     std::uint32_t best_count = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      if (!chosen[v] && counts[v] > best_count) {
-        best = v;
-        best_count = counts[v];
+    if (argmax_mode_ == ArgMaxMode::kLazyHeap) {
+      if (!heap.pop_best(counts, chosen, best, best_count)) {
+        best = graph::kInvalidVertex;
+      }
+    } else {
+      for (VertexId v = 0; v < n; ++v) {
+        if (chosen[v] == 0 && counts[v] > best_count) {
+          best = v;
+          best_count = counts[v];
+        }
       }
     }
     if (best == graph::kInvalidVertex) {
@@ -153,19 +227,19 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
       // exactly k argmax/update launches like unsaturated ones.
       bool first_filler = true;
       for (VertexId v = 0; v < n && result.seeds.size() < k; ++v) {
-        if (!chosen[v]) {
+        if (chosen[v] == 0) {
           if (!first_filler) charge_argmax();
           first_filler = false;
           charge_update(0);
           if (fallback_picks != nullptr) fallback_picks->add();
           if (gain_hist != nullptr) gain_hist->observe(0);
-          chosen[v] = true;
+          chosen[v] = 1;
           result.seeds.push_back(v);
         }
       }
       break;
     }
-    chosen[best] = true;
+    chosen[best] = 1;
     result.seeds.push_back(best);
     if (gain_hist != nullptr) gain_hist->observe(best_count);
 
@@ -173,8 +247,8 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
     std::uint64_t dec_cycles = 0;
     for (std::uint64_t idx = index_offsets[best]; idx < index_offsets[best + 1]; ++idx) {
       const std::uint64_t set_id = index_sets[idx];
-      if (covered[set_id]) continue;
-      covered[set_id] = true;
+      if (covered[set_id] != 0) continue;
+      covered[set_id] = 1;
       f_flags[set_id] = 1;
       ++result.covered_sets;
 

@@ -48,6 +48,42 @@ class BitPackedArray {
   /// atomic fetch_or.
   void store_release(std::size_t i, std::uint64_t value) noexcept;
 
+  /// Thread-safe bulk publish of slots [first, first + values.size()),
+  /// which must all still hold zero. Disjoint ranges may be written
+  /// concurrently: only the (up to two) boundary containers shared with
+  /// neighboring ranges use atomic fetch_or; interior containers — whose 32
+  /// bits all belong to this range — are plain word stores fed by the
+  /// streaming accumulator. This is the RRR commit fast path: a claimed
+  /// slice publishes per word instead of per element.
+  void store_release_range(std::size_t first,
+                           std::span<const std::uint32_t> values) noexcept;
+
+  /// Bulk decode: out[j] = get(first + j). Word-streaming — each value is
+  /// gathered from a 64-bit window over the containers instead of the
+  /// per-element multi-branch loop in get(), which is what makes decoding
+  /// whole RRR sets cheap (§3.1 consumers). Requires first + out.size()
+  /// <= size().
+  void decode_into(std::size_t first, std::span<std::uint64_t> out) const noexcept;
+
+  /// Narrow bulk decode for vertex-id payloads; requires bits_per_value()
+  /// <= 32 (values are truncated otherwise).
+  void decode_into(std::size_t first, std::span<std::uint32_t> out) const noexcept;
+
+  /// Bulk decode [first, first + count) into a fresh vector.
+  [[nodiscard]] std::vector<std::uint64_t> decode_range(std::size_t first,
+                                                        std::size_t count) const;
+
+  /// Bulk encode counterpart: set(first + j, values[j]) via a streaming
+  /// 128-bit accumulator flushed word-by-word. Single-writer, like set().
+  void encode_into(std::size_t first, std::span<const std::uint64_t> values) noexcept;
+  void encode_into(std::size_t first, std::span<const std::uint32_t> values) noexcept;
+
+  /// Word-level copy of src slots [0, count) into this array's prefix.
+  /// Requires identical bits_per_value, count <= min(size, src.size), and
+  /// the destination prefix currently zero (fresh or cleared array) — the
+  /// container words are OR-merged, not read-modify-written per slot.
+  void assign_prefix(const BitPackedArray& src, std::size_t count) noexcept;
+
   /// Reset all slots to zero (not thread-safe).
   void clear() noexcept;
 
@@ -55,8 +91,10 @@ class BitPackedArray {
   [[nodiscard]] std::uint32_t bits_per_value() const noexcept { return bits_; }
 
   /// Bytes occupied by the container storage — the quantity Fig. 4 reports.
+  /// Counts the logical words only, not the two zero pad words that let
+  /// decode_into read a full 64-bit window past the last value.
   [[nodiscard]] std::uint64_t storage_bytes() const noexcept {
-    return static_cast<std::uint64_t>(containers_.size()) * sizeof(std::uint32_t);
+    return static_cast<std::uint64_t>(num_words_) * sizeof(std::uint32_t);
   }
 
   /// Bytes the same data occupies un-encoded at the given element width.
@@ -70,6 +108,7 @@ class BitPackedArray {
  private:
   std::size_t size_ = 0;
   std::uint32_t bits_ = 0;
+  std::size_t num_words_ = 0;  ///< logical container words (excludes padding)
   std::vector<std::uint32_t> containers_;
 };
 

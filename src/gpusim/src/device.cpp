@@ -114,6 +114,9 @@ KernelStats Device::launch_blocks(const std::string& label, std::uint32_t num_bl
   check_launch_faults(label);
   std::vector<std::uint64_t> block_cycles(num_blocks, 0);
 
+  // Adaptive grain: per-block bodies are heavy (whole RRR waves), so the
+  // dispatch overhead of grain=1 used to dominate small launches; chunking
+  // stays dynamic via the pool's shared cursor.
   support::ThreadPool::global().parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
@@ -121,7 +124,7 @@ KernelStats Device::launch_blocks(const std::string& label, std::uint32_t num_bl
         body(ctx);
         block_cycles[b] = ctx.cycles();
       },
-      /*grain=*/1);
+      /*grain=*/0);
 
   KernelStats stats;
   stats.label = label;
@@ -157,7 +160,7 @@ KernelStats Device::launch_grid(const std::string& label, std::uint64_t num_thre
         }
         warp_cycles[w] = worst;
       },
-      /*grain=*/4);
+      /*grain=*/0);
 
   KernelStats stats;
   stats.label = label;

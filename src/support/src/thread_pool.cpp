@@ -27,59 +27,138 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  EIM_CHECK_MSG(task != nullptr, "null task submitted to ThreadPool");
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+std::future<void> ThreadPool::submit(MoveOnlyTask task) {
+  EIM_CHECK_MSG(static_cast<bool>(task), "null task submitted to ThreadPool");
+  std::promise<void> promise;
+  auto future = promise.get_future();
+  MoveOnlyTask wrapped([task = std::move(task), promise = std::move(promise)]() mutable {
+    try {
+      task();
+      promise.set_value();
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  });
   {
     std::lock_guard lock(mutex_);
     EIM_CHECK_MSG(!stopping_, "submit after ThreadPool shutdown");
-    queue_.push_back(std::move(packaged));
+    queue_.push_back(std::move(wrapped));
   }
   cv_.notify_one();
   return future;
 }
 
+void ThreadPool::enqueue_bulk(std::size_t count,
+                              const std::function<MoveOnlyTask()>& make) {
+  {
+    std::lock_guard lock(mutex_);
+    EIM_CHECK_MSG(!stopping_, "enqueue after ThreadPool shutdown");
+    for (std::size_t i = 0; i < count; ++i) queue_.push_back(make());
+  }
+  if (count == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+namespace {
+
+/// Per-call coordination for parallel_for; lives on the caller's stack. The
+/// calling thread waits (on the pool's done_cv_) until `remaining` helpers
+/// have fully finished, so helpers never touch a dead frame.
+struct ParallelForState {
+  std::atomic<std::size_t> cursor;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;     ///< guarded by error_mutex
+  std::mutex error_mutex;
+
+  std::size_t remaining = 0;    ///< live helpers; guarded by pool done_mutex_
+};
+
+void drain(ParallelForState& state) {
+  for (;;) {
+    const std::size_t chunk_begin =
+        state.cursor.fetch_add(state.grain, std::memory_order_relaxed);
+    if (chunk_begin >= state.end) return;
+    const std::size_t chunk_end = std::min(state.end, chunk_begin + state.grain);
+    for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+      if (state.failed.load(std::memory_order_relaxed)) return;
+      try {
+        (*state.fn)(i);
+      } catch (...) {
+        const std::lock_guard lock(state.error_mutex);
+        if (!state.failed.exchange(true)) state.error = std::current_exception();
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
   if (begin >= end) return;
-  grain = std::max<std::size_t>(1, grain);
+  const std::size_t items = end - begin;
+  if (grain == 0) {
+    // Adaptive: a few chunks per worker keeps dynamic balancing against
+    // stragglers while large ranges pay O(workers) cursor bumps, not
+    // O(items).
+    grain = std::max<std::size_t>(1, items / (4 * workers_.size() + 1));
+  }
 
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
-  auto first_error = std::make_shared<std::atomic<bool>>(false);
-  auto error_ptr = std::make_shared<std::exception_ptr>();
-  auto error_mutex = std::make_shared<std::mutex>();
+  // Serial fast path: a range that fits one chunk, or a pool with a single
+  // worker, never touches the queue, the cursor, or the wake machinery. The
+  // single-worker case matters beyond overhead: handing chunks to the lone
+  // worker while the caller also drains buys no parallelism but makes the
+  // iteration interleaving scheduler-dependent — and racy-claim protocols
+  // (the RRR commit cursor) then produce machine-noisy modeled output.
+  // Caller-only execution keeps single-core runs bit-reproducible.
+  const std::size_t chunks = div_ceil(items, grain);
+  if (chunks <= 1 || workers_.size() <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
 
-  auto drain = [=, this] {
-    for (;;) {
-      const std::size_t chunk_begin = cursor->fetch_add(grain);
-      if (chunk_begin >= end) break;
-      const std::size_t chunk_end = std::min(end, chunk_begin + grain);
-      for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-        if (first_error->load(std::memory_order_relaxed)) return;
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard lock(*error_mutex);
-          if (!first_error->exchange(true)) *error_ptr = std::current_exception();
-          return;
-        }
-      }
-    }
-  };
+  ParallelForState state;
+  state.cursor.store(begin, std::memory_order_relaxed);
+  state.end = end;
+  state.grain = grain;
+  state.fn = &fn;
 
   // The calling thread participates too, so a 1-thread pool still makes
   // progress even while all workers are busy elsewhere.
-  std::vector<std::future<void>> helpers;
-  const std::size_t items = end - begin;
-  const std::size_t want = std::min(workers_.size(), div_ceil(items, grain) - 1);
-  helpers.reserve(want);
-  for (std::size_t i = 0; i < want; ++i) helpers.push_back(submit(drain));
-  drain();
-  for (auto& h : helpers) h.wait();
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  {
+    const std::lock_guard lock(done_mutex_);
+    state.remaining = helpers;
+  }
+  enqueue_bulk(helpers, [this, &state]() -> MoveOnlyTask {
+    return MoveOnlyTask([this, &state] {
+      drain(state);
+      // Last touch of `state`: decrement under the pool-lifetime mutex, so
+      // once the caller observes remaining == 0 the frame is safe to die;
+      // the trailing notify only uses pool members.
+      {
+        const std::lock_guard lock(done_mutex_);
+        --state.remaining;
+      }
+      done_cv_.notify_all();
+    });
+  });
+  drain(state);
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&state] { return state.remaining == 0; });
+  }
 
-  if (first_error->load()) std::rethrow_exception(*error_ptr);
+  if (state.failed.load()) std::rethrow_exception(state.error);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -89,7 +168,7 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    MoveOnlyTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -97,7 +176,8 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task stores exceptions in the future
+    task();  // submit() wraps exceptions into the promise; parallel_for
+             // helpers capture them into the call state
   }
 }
 

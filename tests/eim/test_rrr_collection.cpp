@@ -32,6 +32,26 @@ TEST(DeviceRrrCollection, CommitAndDecode) {
   EXPECT_EQ(col.element(1, 0), 42u);
 }
 
+TEST(DeviceRrrCollection, DecodeSetMatchesElementForBothEncodings) {
+  for (const bool log_encode : {true, false}) {
+    gpusim::Device device = make_device();
+    DeviceRrrCollection col(device, 5000, log_encode);
+    col.reserve(3, 32);
+    ASSERT_TRUE(col.try_commit(0, std::vector<VertexId>{5, 17, 4093}));
+    ASSERT_TRUE(col.try_commit(1, std::vector<VertexId>{}));
+    ASSERT_TRUE(col.try_commit(2, std::vector<VertexId>{0, 1, 2, 3, 4999}));
+    col.set_num_sets(3);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      std::vector<VertexId> out(col.set_length(i));
+      col.decode_set(i, out);
+      for (std::uint32_t j = 0; j < col.set_length(i); ++j) {
+        EXPECT_EQ(out[j], col.element(i, j))
+            << "log_encode=" << log_encode << " set " << i << " j " << j;
+      }
+    }
+  }
+}
+
 TEST(DeviceRrrCollection, CountsTrackCommits) {
   gpusim::Device device = make_device();
   DeviceRrrCollection col(device, 50, true);

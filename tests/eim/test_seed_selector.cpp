@@ -146,6 +146,38 @@ TEST(GpuSeedSelector, WarpScanWinsAtSmallN) {
   EXPECT_LE(warp_time, thread_time);
 }
 
+// Property pin for the CELF lazy heap: against the linear-reference scan it
+// must produce the identical seed sequence (same tie-breaks), identical
+// coverage, and identical modeled device time — the heap is a host-side
+// accelerator only; the modeled argmax/update kernel charges are shared.
+TEST(GpuSeedSelector, LazyHeapMatchesLinearReferenceExactly) {
+  for (const std::uint32_t n : {50u, 400u}) {
+    for (const std::uint64_t sets : {60ull, 1500ull}) {
+      Fixture fx(n, sets);
+      // k large enough to drain into the zero-gain filler path on the small
+      // configurations, exercising the heap's accurate-zero handoff.
+      const std::uint32_t k = std::min(n / 2, 40u);
+
+      fx.device.timeline().reset();
+      GpuSeedSelector heap_sel(fx.device, ScanStrategy::ThreadPerSet);
+      ASSERT_EQ(heap_sel.argmax_mode(), ArgMaxMode::kLazyHeap);  // the default
+      const auto heap_res = heap_sel.select(fx.collection, k);
+      const double heap_seconds = fx.device.timeline().kernel_seconds();
+
+      fx.device.timeline().reset();
+      GpuSeedSelector ref_sel(fx.device, ScanStrategy::ThreadPerSet);
+      ref_sel.set_argmax_mode(ArgMaxMode::kLinearReference);
+      const auto ref_res = ref_sel.select(fx.collection, k);
+      const double ref_seconds = fx.device.timeline().kernel_seconds();
+
+      EXPECT_EQ(heap_res.seeds, ref_res.seeds) << "n=" << n << " sets=" << sets;
+      EXPECT_EQ(heap_res.covered_sets, ref_res.covered_sets);
+      EXPECT_DOUBLE_EQ(heap_res.coverage_fraction, ref_res.coverage_fraction);
+      EXPECT_EQ(heap_seconds, ref_seconds);  // bit-identical modeled charge
+    }
+  }
+}
+
 TEST(GpuSeedSelector, RepeatedSelectionIsStable) {
   Fixture fx;
   GpuSeedSelector selector(fx.device, ScanStrategy::ThreadPerSet);

@@ -176,6 +176,184 @@ TEST_P(WordBoundarySpan, MaxValuesDoNotBleedAcrossWords) {
 INSTANTIATE_TEST_SUITE_P(BoundaryWidths, WordBoundarySpan,
                          ::testing::Values(31u, 32u, 33u, 63u, 64u));
 
+// The word-streaming bulk paths must agree with the per-element get()/set()
+// loops for EVERY width — the 2-word window (bits <= 32), the 3-word spill
+// (bits > 32), and the exact-alignment widths all have distinct shift
+// arithmetic. Offsets 0..33 sweep every alignment of `first` within and
+// across container words.
+class BulkCodecEquivalence : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BulkCodecEquivalence, DecodeIntoMatchesGetAtEveryOffset) {
+  const std::uint32_t bits = GetParam();
+  support::RandomStream rng(901, bits);
+  constexpr std::size_t kCount = 173;
+  BitPackedArray packed(kCount, bits);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    packed.set(i, rng.next_u64() & support::low_mask64(bits));
+  }
+
+  std::vector<std::uint64_t> out;
+  for (std::size_t first = 0; first <= 34; ++first) {
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                    kCount - first}) {
+      out.assign(count, 0xDEADBEEFu);
+      packed.decode_into(first, out);
+      for (std::size_t j = 0; j < count; ++j) {
+        ASSERT_EQ(out[j], packed.get(first + j))
+            << "bits " << bits << " first " << first << " j " << j;
+      }
+    }
+  }
+  // decode_range is the vector convenience over the same path.
+  const auto tail = packed.decode_range(kCount - 5, 5);
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_EQ(tail[j], packed.get(kCount - 5 + j));
+}
+
+TEST_P(BulkCodecEquivalence, EncodeIntoMatchesSetAtEveryOffset) {
+  const std::uint32_t bits = GetParam();
+  support::RandomStream rng(902, bits);
+  constexpr std::size_t kCount = 173;
+  std::vector<std::uint64_t> values(kCount);
+  for (auto& v : values) v = rng.next_u64() & support::low_mask64(bits);
+
+  for (std::size_t first = 0; first <= 34; ++first) {
+    const std::size_t count = kCount - first;
+    BitPackedArray by_set(kCount, bits);
+    BitPackedArray by_bulk(kCount, bits);
+    // Surround the bulk write with sentinel values so partial head/tail word
+    // merges that clobber neighbors are caught.
+    for (std::size_t i = 0; i < first; ++i) {
+      by_set.set(i, support::low_mask64(bits));
+      by_bulk.set(i, support::low_mask64(bits));
+    }
+    for (std::size_t j = 0; j < count; ++j) by_set.set(first + j, values[j]);
+    by_bulk.encode_into(first, std::span<const std::uint64_t>(values.data(), count));
+    ASSERT_EQ(by_bulk.decode_all(), by_set.decode_all())
+        << "bits " << bits << " first " << first;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BulkCodecEquivalence,
+                         ::testing::Range(1u, 65u));
+
+TEST(BitPackedArray, StoreReleaseRangeMatchesPerElementAtEveryOffset) {
+  for (const std::uint32_t bits : {1u, 5u, 11u, 18u, 31u, 32u}) {
+    support::RandomStream rng(907, bits);
+    constexpr std::size_t kCount = 131;
+    std::vector<std::uint32_t> values(kCount);
+    for (auto& v : values) {
+      v = static_cast<std::uint32_t>(rng.next_u64() & support::low_mask64(bits));
+    }
+    for (std::size_t first = 0; first <= 34; ++first) {
+      const std::size_t count = kCount - first;
+      BitPackedArray by_element(kCount, bits);
+      BitPackedArray by_range(kCount, bits);
+      for (std::size_t i = 0; i < first; ++i) {
+        by_element.store_release(i, support::low_mask64(bits));
+        by_range.store_release(i, support::low_mask64(bits));
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        by_element.store_release(first + j, values[j]);
+      }
+      by_range.store_release_range(
+          first, std::span<const std::uint32_t>(values.data(), count));
+      ASSERT_EQ(by_range.decode_all(), by_element.decode_all())
+          << "bits " << bits << " first " << first;
+    }
+  }
+}
+
+TEST(BitPackedArray, StoreReleaseRangeConcurrentAdjacentSlices) {
+  // Racing bulk publishes of adjacent slices share exactly the boundary
+  // containers — the case the head/tail fetch_or exists for. Width 13 keeps
+  // every slice boundary misaligned.
+  constexpr std::uint32_t kBits = 13;
+  constexpr std::size_t kSlice = 37;
+  constexpr std::size_t kSlices = 64;
+  BitPackedArray packed(kSlice * kSlices, kBits);
+
+  support::ThreadPool pool(8);
+  pool.parallel_for(0, kSlices, [&](std::size_t s) {
+    std::array<std::uint32_t, kSlice> vals;
+    for (std::size_t j = 0; j < kSlice; ++j) {
+      vals[j] = static_cast<std::uint32_t>((s * kSlice + j) * 31) & 0x1FFFu;
+    }
+    packed.store_release_range(s * kSlice, vals);
+  }, /*grain=*/1);
+
+  for (std::size_t i = 0; i < kSlice * kSlices; ++i) {
+    ASSERT_EQ(packed.get(i), (i * 31) & 0x1FFFu) << "slot " << i;
+  }
+}
+
+TEST(BitPackedArray, DecodeIntoU32MatchesGet) {
+  support::RandomStream rng(903, 21);
+  BitPackedArray packed(257, 21);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    packed.set(i, rng.next_u64() & support::low_mask64(21));
+  }
+  std::vector<std::uint32_t> out(100);
+  packed.decode_into(129, out);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    EXPECT_EQ(out[j], static_cast<std::uint32_t>(packed.get(129 + j)));
+  }
+}
+
+TEST(BitPackedArray, EncodeIntoU32MatchesSet) {
+  support::RandomStream rng(904, 18);
+  std::vector<std::uint32_t> values(211);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.next_below(1u << 18));
+  BitPackedArray by_set(values.size(), 18);
+  BitPackedArray by_bulk(values.size(), 18);
+  for (std::size_t i = 0; i < values.size(); ++i) by_set.set(i, values[i]);
+  by_bulk.encode_into(0, std::span<const std::uint32_t>(values));
+  EXPECT_EQ(by_bulk.decode_all(), by_set.decode_all());
+}
+
+TEST(BitPackedArray, EncodeFactoriesUseBulkPathAndRoundTrip) {
+  support::RandomStream rng(905, 1);
+  std::vector<std::uint64_t> values(1000);
+  for (auto& v : values) v = rng.next_below(1u << 19);
+  const BitPackedArray packed = BitPackedArray::encode(values);
+  EXPECT_EQ(packed.decode_all(), values);
+}
+
+TEST(BitPackedArray, AssignPrefixCopiesWordsExactly) {
+  for (const std::uint32_t bits : {1u, 7u, 13u, 32u, 33u, 47u, 64u}) {
+    support::RandomStream rng(906, bits);
+    BitPackedArray src(300, bits);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      src.set(i, rng.next_u64() & support::low_mask64(bits));
+    }
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                                    std::size_t{300}}) {
+      BitPackedArray dst(400, bits);  // larger capacity, like a regrow
+      dst.assign_prefix(src, count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(dst.get(i), src.get(i)) << "bits " << bits << " count " << count;
+      }
+      // Slots past the copied prefix must still be zero (the tail word is
+      // OR-merged under a mask, not blindly copied).
+      for (std::size_t i = count; i < std::min<std::size_t>(count + 40, dst.size());
+           ++i) {
+        ASSERT_EQ(dst.get(i), 0u) << "bits " << bits << " count " << count;
+      }
+    }
+  }
+}
+
+TEST(BitPackedArray, BulkRangesAreBoundsSafe) {
+  // The streaming decoder reads a 64-bit window; the two pad words make the
+  // final value's window in-bounds. Decoding exactly the last slot of a
+  // tight array must not crash under ASan and must produce get()'s answer.
+  BitPackedArray packed(3, 31);
+  packed.set(2, 0x7FFFFFFFu);
+  std::vector<std::uint64_t> out(1);
+  packed.decode_into(2, out);
+  EXPECT_EQ(out[0], 0x7FFFFFFFu);
+  EXPECT_EQ(packed.decode_range(3, 0).size(), 0u);
+}
+
 TEST(BitPackedArray, StoreReleasePublishesFromThreadPool) {
   // The sampler publishes committed sets via store_release from the host
   // pool that backs launch_blocks; mirror that here. Width 33 guarantees

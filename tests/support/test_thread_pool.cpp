@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace eim::support {
@@ -68,6 +72,65 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   std::atomic<int> x{0};
   ThreadPool::global().parallel_for(0, 8, [&](std::size_t) { ++x; });
   EXPECT_EQ(x.load(), 8);
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
+  ThreadPool pool(2);
+  auto payload = std::make_unique<int>(41);
+  std::atomic<int> result{0};
+  auto f = pool.submit([p = std::move(payload), &result] { result = *p + 1; });
+  f.wait();
+  EXPECT_EQ(result.load(), 42);
+}
+
+TEST(MoveOnlyTask, HeapCallablesSurviveMoves) {
+  // A capture bigger than the inline buffer forces the heap vtable; moving
+  // the task around (as the queue does) must preserve the payload.
+  std::array<std::uint64_t, 32> big{};
+  big.fill(7);
+  std::uint64_t out = 0;
+  MoveOnlyTask task([big, &out] {
+    for (const auto v : big) out += v;
+  });
+  MoveOnlyTask moved(std::move(task));
+  MoveOnlyTask assigned;
+  assigned = std::move(moved);
+  EXPECT_TRUE(static_cast<bool>(assigned));
+  assigned();
+  EXPECT_EQ(out, 7u * 32);
+}
+
+TEST(ThreadPool, AdaptiveGrainCoversLargeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100'000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; },
+                    /*grain=*/0);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerParallelForRunsOnCallerInOrder) {
+  // The serial fast path: with one worker, parallel_for runs entirely on
+  // the calling thread in ascending index order — the property that keeps
+  // single-core modeled output bit-reproducible (no scheduler-dependent
+  // interleaving of racy-claim protocols).
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 200, [&](std::size_t i) {
+    ASSERT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // no synchronization needed: single thread
+  });
+  ASSERT_EQ(order.size(), 200u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SerialFastPathStillPropagatesExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 // bench_diff — regression diffing for eim.metrics.v2 bench reports.
 //
 // Compares two EIM_BENCH_JSON files cell by cell on *modeled* time (the
-// deterministic quantity the simulator computes; wall time never appears in
-// the envelope's timing fields) and prints a per-metric delta table:
+// deterministic quantity the simulator computes) and prints a per-metric
+// delta table. Measured host `wall_seconds` — when both envelopes carry it —
+// is diffed warn-only: it tracks the real-time trajectory but never flips
+// the verdict, because wall clocks are machine noise.
 //
 //   bench_diff old/BENCH_fig7.json new/BENCH_fig7.json
 //   bench_diff --threshold 10 old.json new.json   # tolerate <10% growth
@@ -50,6 +52,7 @@ struct CellTiming {
   std::optional<double> seconds;
   std::optional<double> kernel_seconds;
   std::optional<double> transfer_seconds;
+  std::optional<double> wall_seconds;  ///< measured host time — warn-only
 };
 
 std::optional<double> number_field(const JsonValue& obj, std::string_view key) {
@@ -79,6 +82,7 @@ std::vector<CellTiming> load_envelope(const std::string& path) {
     t.seconds = number_field(cell, "seconds");
     t.kernel_seconds = number_field(cell, "kernel_seconds");
     t.transfer_seconds = number_field(cell, "transfer_seconds");
+    t.wall_seconds = number_field(cell, "wall_seconds");
     out.push_back(std::move(t));
   }
   return out;
@@ -132,7 +136,9 @@ void print_usage() {
       "  Diffs two EIM_BENCH_JSON (eim.metrics.v2) envelopes on modeled time\n"
       "  and exits 1 when any cell's seconds / kernel_seconds /\n"
       "  transfer_seconds grew more than <pct> percent (default 5), or when\n"
-      "  a cell that used to complete is now missing or OOM.\n"
+      "  a cell that used to complete is now missing or OOM. Measured\n"
+      "  wall_seconds is diffed too but only warns — it is machine noise,\n"
+      "  never part of the modeled-cost contract.\n"
       "  --validate parses each file and checks it is a well-formed bench\n"
       "  envelope, run report, or Chrome trace; exits 3 on the first bad one.");
 }
@@ -140,12 +146,17 @@ void print_usage() {
 struct MetricRow {
   const char* name;
   std::optional<double> CellTiming::* field;
+  /// Warn-only metrics report their delta but never flip the verdict:
+  /// wall-clock is machine noise, not a modeled quantity. A side that lacks
+  /// the field (older envelopes) is skipped silently.
+  bool warn_only;
 };
 
 constexpr MetricRow kMetrics[] = {
-    {"seconds", &CellTiming::seconds},
-    {"kernel_seconds", &CellTiming::kernel_seconds},
-    {"transfer_seconds", &CellTiming::transfer_seconds},
+    {"seconds", &CellTiming::seconds, false},
+    {"kernel_seconds", &CellTiming::kernel_seconds, false},
+    {"transfer_seconds", &CellTiming::transfer_seconds, false},
+    {"wall_seconds", &CellTiming::wall_seconds, true},
 };
 
 int run_diff(const std::string& old_path, const std::string& new_path,
@@ -168,6 +179,9 @@ int run_diff(const std::string& old_path, const std::string& new_path,
       const std::optional<double> ov = oldc.*m.field;
       const std::optional<double> nv = (*newc).*m.field;
       if (!ov.has_value() && !nv.has_value()) continue;  // OOM both sides
+      if (m.warn_only && (!ov.has_value() || !nv.has_value())) {
+        continue;  // one side predates the wall column — nothing to compare
+      }
       if (ov.has_value() && !nv.has_value()) {
         table.add_row({oldc.id, m.name, eim::support::TextTable::num(*ov, 6), "OOM",
                        "-", "REGRESSED"});
@@ -184,11 +198,11 @@ int run_diff(const std::string& old_path, const std::string& new_path,
       const double delta_pct =
           *ov > 0.0 ? (*nv - *ov) / *ov * 100.0 : (*nv > 1e-12 ? 1e9 : 0.0);
       const bool bad = delta_pct > threshold_pct;
-      regressed = regressed || bad;
+      if (!m.warn_only) regressed = regressed || bad;
+      const char* status = bad ? (m.warn_only ? "warn" : "REGRESSED") : "ok";
       table.add_row({oldc.id, m.name, eim::support::TextTable::num(*ov, 6),
                      eim::support::TextTable::num(*nv, 6),
-                     eim::support::TextTable::num(delta_pct, 2),
-                     bad ? "REGRESSED" : "ok"});
+                     eim::support::TextTable::num(delta_pct, 2), status});
     }
   }
   for (const CellTiming& newc : new_cells) {
@@ -198,8 +212,10 @@ int run_diff(const std::string& old_path, const std::string& new_path,
   }
 
   table.print(std::cout);
-  std::printf("# threshold: +%.2f%% on modeled seconds/kernel/transfer\n",
-              threshold_pct);
+  std::printf(
+      "# threshold: +%.2f%% on modeled seconds/kernel/transfer"
+      " (wall_seconds warn-only)\n",
+      threshold_pct);
   std::printf("# verdict: %s\n", regressed ? "REGRESSED" : "ok");
   return regressed ? eim::support::kExitError : eim::support::kExitOk;
 }
