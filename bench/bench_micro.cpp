@@ -12,7 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <span>
 
 #include "eim/diffusion/forward.hpp"
 #include "eim/diffusion/reverse.hpp"
@@ -49,6 +51,32 @@ void BM_PhiloxDouble(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PhiloxDouble);
+
+// Scalar float draws vs the lane-parallel bulk fill the samplers now use
+// (fill_floats generates the identical sequence in SIMD-friendly blocks).
+void BM_PhiloxFloatScalar(benchmark::State& state) {
+  support::RandomStream rng(1, 3);
+  std::vector<float> out(1 << 12);
+  for (auto _ : state) {
+    for (auto& v : out) v = rng.next_float();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_PhiloxFloatScalar);
+
+void BM_PhiloxFillFloats(benchmark::State& state) {
+  support::RandomStream rng(1, 3);
+  std::vector<float> out(1 << 12);
+  for (auto _ : state) {
+    rng.fill_floats(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_PhiloxFillFloats);
 
 void BM_BitPackedEncode(benchmark::State& state) {
   const auto bits = static_cast<std::uint32_t>(state.range(0));
@@ -156,6 +184,63 @@ void BM_BitPackedStoreReleaseBulk(benchmark::State& state) {
                           static_cast<std::int64_t>(packed.size()));
 }
 BENCHMARK(BM_BitPackedStoreReleaseBulk);
+
+// The RRR commit tail: publish each 64-slot slice into R and bump the
+// per-vertex frequency counts C. Staged = publish pass + separate counts
+// walk (the old try_commit); fused = counts ride the publish accumulator
+// via the store_release_range callback (the current try_commit).
+void BM_RrrCommitStaged(benchmark::State& state) {
+  encoding::BitPackedArray packed(1 << 16, 14);
+  std::vector<std::uint32_t> values(1 << 16);
+  std::vector<std::uint32_t> counts(1 << 14, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<std::uint32_t>(i) & 0x3FFFu;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    packed.clear();
+    state.ResumeTiming();
+    for (std::size_t first = 0; first < values.size(); first += 64) {
+      const std::span<const std::uint32_t> slice(values.data() + first, 64);
+      packed.store_release_range(first, slice);
+      for (const std::uint32_t v : slice) {
+        std::atomic_ref<std::uint32_t>(counts[v]).fetch_add(1,
+                                                            std::memory_order_relaxed);
+      }
+    }
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_RrrCommitStaged);
+
+void BM_RrrCommitFused(benchmark::State& state) {
+  encoding::BitPackedArray packed(1 << 16, 14);
+  std::vector<std::uint32_t> values(1 << 16);
+  std::vector<std::uint32_t> counts(1 << 14, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<std::uint32_t>(i) & 0x3FFFu;
+  }
+  std::uint32_t* const cp = counts.data();
+  for (auto _ : state) {
+    state.PauseTiming();
+    packed.clear();
+    state.ResumeTiming();
+    for (std::size_t first = 0; first < values.size(); first += 64) {
+      packed.store_release_range(
+          first, std::span<const std::uint32_t>(values.data() + first, 64),
+          [cp](std::uint32_t v) {
+            std::atomic_ref<std::uint32_t>(cp[v]).fetch_add(1,
+                                                            std::memory_order_relaxed);
+          });
+    }
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_RrrCommitFused);
 
 void BM_VarintRoundTrip(benchmark::State& state) {
   support::RandomStream rng(5, 5);

@@ -132,6 +132,7 @@ class GimSampler {
   struct BlockScratch {
     std::vector<VertexId> queue;
     std::vector<std::uint32_t> stamp;
+    support::FloatDrawBuffer draws;  ///< bulk activation draws (IC BFS)
     std::uint32_t epoch = 0;
     std::vector<std::uint64_t> failed;
     std::uint64_t max_failed_len = 0;  ///< largest set that failed to fit
@@ -215,6 +216,13 @@ class GimSampler {
     // stamp/epoch as locals spares a per-edge member reload in this hot loop.
     std::uint32_t* const stamp = scratch.stamp.data();
     const std::uint32_t epoch = scratch.epoch;
+    // Bulk-filled draw buffer, same consumption order as a next_float()
+    // per unvisited neighbor (see EimSampler::bfs_ic).
+    support::FloatDrawBuffer& draws = scratch.draws;
+    auto c = draws.begin_sample(rng);
+    // Frontier draw demand: in-degree sum of queued-but-unswept vertices
+    // (see EimSampler::bfs_ic) — refills are sized to it.
+    std::size_t pending = g.in().neighbors(scratch.queue.front()).size();
     for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
       const VertexId u = scratch.queue[head];
       if (scratch.spilled) {
@@ -226,16 +234,25 @@ class GimSampler {
       const auto ws = g.in_weights(u);
       ctx.charge_global(3 * warp_chunks(ins.size(), warp));
       ctx.charge_alu(warp_chunks(ins.size(), warp));
+      c = draws.ensure(c, rng, ins.size(), pending);
+      std::size_t t = 0;
       for (std::size_t j = 0; j < ins.size(); ++j) {
         const VertexId v = ins[j];
         if (stamp[v] == epoch) continue;
-        if (rng.next_float() <= ws[j]) {
+        // Strict <, matching the eIM sampler: zero-weight edges never
+        // activate.
+        if (c.p[t++] < ws[j]) {
           stamp[v] = epoch;
           scratch.queue.push_back(v);
+          pending += g.in().neighbors(v).size();
           charge_enqueue(ctx, scratch, scratch.queue.size());
         }
       }
+      c.p += t;
+      c.avail -= t;
+      pending -= ins.size();
     }
+    draws.finish_sample(rng, c);
   }
 
   void walk_lt(BlockContext& ctx, BlockScratch& scratch, RandomStream& rng) {

@@ -50,6 +50,7 @@ class RrrSampler {
   bool eliminate_source_;
   std::vector<std::uint32_t> stamp_;  ///< visited iff stamp_[v] == epoch_
   std::uint32_t epoch_ = 0;
+  support::FloatDrawBuffer draws_;    ///< bulk activation draws (IC BFS)
 };
 
 /// IC reverse sampler: probabilistic reverse BFS from `source`; each in-edge

@@ -32,24 +32,41 @@ std::uint32_t simulate_ic(const graph::Graph& g, std::span<const VertexId> seeds
     }
   }
 
+  // Bulk-filled draws, one per inactive out-neighbor in stream order (the
+  // same sequence next_float() would produce; see RrrSampler::sample_ic).
+  // `pending` tracks the out-degree sum of not-yet-swept frontier vertices
+  // so each refill is sized to the frontier's actual draw demand.
+  support::FloatDrawBuffer draws;
+  auto c = draws.begin_sample(rng);
+  std::size_t pending = 0;
+  for (const VertexId s : frontier) pending += g.out().neighbors(s).size();
   std::vector<VertexId> next;
   while (!frontier.empty()) {
     next.clear();
     for (const VertexId u : frontier) {
       const auto vs = g.out().neighbors(u);
       const auto ws = g.out_weights(u);
+      c = draws.ensure(c, rng, vs.size(), pending);
+      std::size_t t = 0;
       for (std::size_t j = 0; j < vs.size(); ++j) {
         const VertexId v = vs[j];
         if (active[v]) continue;
-        if (rng.next_float() <= ws[j]) {
+        // Strict <, matching the reverse samplers: zero-weight edges never
+        // activate, and P(draw < w) = w on the 2^-24 draw grid.
+        if (c.p[t++] < ws[j]) {
           active[v] = true;
           next.push_back(v);
           ++activated;
+          pending += g.out().neighbors(v).size();
         }
       }
+      c.p += t;
+      c.avail -= t;
+      pending -= vs.size();
     }
     frontier.swap(next);
   }
+  draws.finish_sample(rng, c);
   return activated;
 }
 
@@ -58,9 +75,10 @@ std::uint32_t simulate_lt(const graph::Graph& g, std::span<const VertexId> seeds
   RandomStream rng(seed, support::derive_stream(kLtForwardTag, trial));
   const VertexId n = g.num_vertices();
 
-  // Per-vertex thresholds drawn up front (the model's definition).
+  // Per-vertex thresholds drawn up front (the model's definition), as one
+  // bulk fill — bit-identical to a next_float() per vertex.
   std::vector<float> threshold(n);
-  for (VertexId v = 0; v < n; ++v) threshold[v] = rng.next_float();
+  rng.fill_floats(threshold);
 
   std::vector<bool> active(n, false);
   std::vector<float> influence_in(n, 0.0f);  ///< weight-sum of active in-nbrs

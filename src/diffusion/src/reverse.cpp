@@ -56,20 +56,42 @@ void RrrSampler::sample_ic(VertexId source, RandomStream& rng,
   std::uint32_t* const stamp = stamp_.data();
   const std::uint32_t epoch = epoch_;
 
+  // Activation draws come from a bulk-filled buffer, one per unvisited
+  // neighbor in stream order — the same sequence as a next_float() call per
+  // edge. finish_sample rewinds `rng` to the draws actually consumed, so a
+  // caller that keeps drawing from the stream afterwards sees the scalar
+  // sequence (this sampler is the library's draw-order reference).
+  auto c = draws_.begin_sample(rng);
+  // In-degree sum of every queued-but-unswept vertex: the exact number of
+  // draws the current frontier can still consume. Sizing refills to it
+  // keeps fills demand-driven — a cascade that dies young never generates
+  // more Philox blocks than the scalar loop would.
+  std::size_t pending = g.in().neighbors(source).size();
+
   // Queue-as-set BFS, mirroring Algorithm 2's "the queue is the RRR set".
   for (std::size_t head = 0; head < out.size(); ++head) {
     const VertexId u = out[head];
     const auto ins = g.in().neighbors(u);
     const auto ws = g.in_weights(u);
+    c = draws_.ensure(c, rng, ins.size(), pending);
+    std::size_t t = 0;
     for (std::size_t j = 0; j < ins.size(); ++j) {
       const VertexId v = ins[j];
       if (stamp[v] == epoch) continue;
-      if (rng.next_float() <= ws[j]) {
+      // Strict <: next_float() lands exactly on a representable weight with
+      // probability 2^-24 per draw, and `<=` let a weight-0.0 edge activate
+      // on a zero draw. P(draw < w) = w exactly for the 2^-24-grid draws.
+      if (c.p[t++] < ws[j]) {
         stamp[v] = epoch;
         out.push_back(v);
+        pending += g.in().neighbors(v).size();
       }
     }
+    c.p += t;
+    c.avail -= t;
+    pending -= ins.size();
   }
+  draws_.finish_sample(rng, c);
 }
 
 void RrrSampler::sample_lt(VertexId source, RandomStream& rng,

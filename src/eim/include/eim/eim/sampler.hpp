@@ -65,6 +65,7 @@ class EimSampler {
   struct BlockScratch {
     std::vector<graph::VertexId> queue;   ///< this block's global-pool slice
     std::vector<std::uint32_t> stamp;     ///< M as an epoch-stamped array
+    support::FloatDrawBuffer draws;       ///< bulk activation draws (IC BFS)
     std::uint32_t epoch = 0;
     std::vector<std::uint64_t> failed;    ///< commits deferred to next wave
     std::uint64_t max_failed_len = 0;     ///< largest set that failed to fit

@@ -92,6 +92,15 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   EimResult result;
   result.network_raw_bytes = g.csc_bytes();
 
+  // An empty network has nothing to sample and no seeds to pick; bail out
+  // before the sampler touches its (empty) per-block scratch. Without this
+  // guard, generate() would draw source 0 from next_below(0) and stamp an
+  // empty epoch array out of bounds.
+  if (g.num_vertices() == 0) {
+    result.network_bytes = result.network_raw_bytes;
+    return result;
+  }
+
   // Stage the network on the device: packed (§3.1) or verbatim.
   std::uint64_t network_bytes = result.network_raw_bytes;
   if (options.log_encode) {

@@ -137,16 +137,24 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
   lengths_[set_index] = static_cast<std::uint32_t>(sorted_set.size());
   if (set_size_hist_ != nullptr) set_size_hist_->observe(sorted_set.size());
 
+  // Fused publish: the C frequency update rides the same pass that encodes
+  // the slice into R, so each committed vertex is touched once instead of
+  // being re-walked after the store (Alg. 2 lines 26-28 as one sweep).
+  std::uint32_t* const counts = counts_.data();
+  const auto bump_count = [counts](VertexId v) {
+    std::atomic_ref<std::uint32_t>(counts[v]).fetch_add(1, std::memory_order_relaxed);
+  };
   if (log_encode_) {
     // Bulk word-streaming publish of the claimed slice: only the boundary
     // containers shared with neighboring slices pay an atomic op.
-    packed_.store_release_range(static_cast<std::size_t>(offset), sorted_set);
+    packed_.store_release_range(static_cast<std::size_t>(offset), sorted_set,
+                                bump_count);
   } else {
-    std::copy(sorted_set.begin(), sorted_set.end(),
-              raw_.begin() + static_cast<std::ptrdiff_t>(offset));
-  }
-  for (const VertexId v : sorted_set) {
-    std::atomic_ref<std::uint32_t>(counts_[v]).fetch_add(1, std::memory_order_relaxed);
+    VertexId* const dst = raw_.data() + offset;
+    for (std::size_t k = 0; k < sorted_set.size(); ++k) {
+      dst[k] = sorted_set[k];
+      bump_count(sorted_set[k]);
+    }
   }
   return true;
 }

@@ -65,6 +65,10 @@ void EimSampler::sample_to(DeviceRrrCollection& collection, std::uint64_t target
 void EimSampler::sample_assigned(DeviceRrrCollection& collection,
                                  std::span<const std::uint64_t> global_indices) {
   if (global_indices.empty()) return;
+  // next_below(0) returns 0, so an empty graph would read stamp[0] of an
+  // empty epoch array — reject the request cleanly instead (the pipeline
+  // already short-circuits this case to a zero-set result).
+  EIM_CHECK_MSG(graph_->num_vertices() > 0, "cannot sample an empty graph");
   const std::uint64_t base = collection.num_sets();
   const std::uint64_t target = base + global_indices.size();
 
@@ -165,13 +169,15 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
             const PendingSample sample = pending[slot];
             const std::uint32_t regenerated =
                 generate(ctx, scratch, sample.global_id);
-            // Final queue length = the RRR set this sample produced (post
-            // source elimination); lock-free, safe from pool threads.
-            if (queue_depth_h != nullptr) queue_depth_h->observe(scratch.queue.size());
 
             // Sort + commit (Fig. 2). Source elimination already happened
             // inside generate(); queue holds the final sorted set.
             if (collection.try_commit(sample.local_slot, scratch.queue)) {
+              // Final queue length = the RRR set this sample produced (post
+              // source elimination); lock-free, safe from pool threads.
+              // Observed only here: a capacity-failed sample re-runs next
+              // wave and would otherwise be counted once per attempt.
+              if (queue_depth_h != nullptr) queue_depth_h->observe(scratch.queue.size());
               charge_commit(ctx, static_cast<std::uint32_t>(scratch.queue.size()));
               scratch.discarded += regenerated;
             } else {
@@ -259,7 +265,7 @@ std::uint32_t EimSampler::generate(BlockContext& ctx, BlockScratch& scratch,
   return regenerated;
 }
 
-void EimSampler::bfs_ic(BlockContext& ctx, BlockScratch& scratch, VertexId /*source*/,
+void EimSampler::bfs_ic(BlockContext& ctx, BlockScratch& scratch, VertexId source,
                         RandomStream& rng) {
   const graph::Graph& g = *graph_;
   const std::uint32_t warp = ctx.warp_size();
@@ -269,6 +275,19 @@ void EimSampler::bfs_ic(BlockContext& ctx, BlockScratch& scratch, VertexId /*sou
   // that ran before the BFS started.
   std::uint32_t* const stamp = scratch.stamp.data();
   const std::uint32_t epoch = scratch.epoch;
+
+  // Per-level draw buffer: activation draws are generated in bulk
+  // (fill_floats) ahead of each edge sweep, so the per-edge work is a flat
+  // scan of precomputed draws against weights instead of a Philox call per
+  // edge. One draw is consumed per *unvisited* neighbor, in stream order —
+  // the exact consumption contract of the serial reference — and
+  // finish_sample rewinds the stream to what was actually taken.
+  support::FloatDrawBuffer& draws = scratch.draws;
+  auto c = draws.begin_sample(rng);
+  // In-degree sum of queued-but-unswept vertices — the frontier's exact
+  // remaining draw demand. Refills are sized to it, so a cascade that dies
+  // young costs no more Philox blocks than the scalar loop would.
+  std::size_t pending = g.in().neighbors(source).size();
 
   // Warp-wide probabilistic BFS (Alg. 2 lines 11-20). The queue IS the
   // visited set; head walks forward, tail grows as lanes activate
@@ -284,20 +303,27 @@ void EimSampler::bfs_ic(BlockContext& ctx, BlockScratch& scratch, VertexId /*sou
     ctx.charge_global(3 * warp_chunks(ins.size(), warp));
     ctx.charge_alu(warp_chunks(ins.size(), warp));  // rng + compare per lane
 
+    c = draws.ensure(c, rng, ins.size(), pending);
+    std::size_t t = 0;
     for (std::size_t j = 0; j < ins.size(); ++j) {
       const VertexId v = ins[j];
       const bool visited = stamp[v] == epoch;
-      // The serial reference consumes one draw per *unvisited* neighbor;
-      // keep the identical consumption order for bit-parity.
       if (visited) continue;
-      if (rng.next_float() <= ws[j]) {
+      // Strict < (not <=): a zero-weight edge must never activate, and the
+      // serial reference uses the same comparison for bit-parity.
+      if (c.p[t++] < ws[j]) {
         stamp[v] = epoch;  // mark BEFORE enqueue (Alg. 2 l.18)
         scratch.queue.push_back(v);
+        pending += g.in().neighbors(v).size();
         ctx.charge_global(1);         // M store + Q store (write-combined)
         ctx.charge_atomic_global(1);  // atomicAdd on q_tail (Alg. 2 l.20)
       }
     }
+    c.p += t;
+    c.avail -= t;
+    pending -= ins.size();
   }
+  draws.finish_sample(rng, c);
 }
 
 void EimSampler::walk_lt(BlockContext& ctx, BlockScratch& scratch, VertexId source,

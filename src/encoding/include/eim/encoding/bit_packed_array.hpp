@@ -56,7 +56,56 @@ class BitPackedArray {
   /// streaming accumulator. This is the RRR commit fast path: a claimed
   /// slice publishes per word instead of per element.
   void store_release_range(std::size_t first,
-                           std::span<const std::uint32_t> values) noexcept;
+                           std::span<const std::uint32_t> values) noexcept {
+    store_release_range(first, values, [](std::uint32_t) {});
+  }
+
+  /// As above, but additionally invokes `on_value(values[k])` exactly once
+  /// per value, in slot order, as it is folded into the streaming
+  /// accumulator. Lets a caller fuse a per-element side effect — eIM's
+  /// frequency-count update of C — into the single publish pass instead of
+  /// re-walking the set after encoding (Alg. 2 lines 26-28 as one sweep).
+  template <typename OnValue>
+  void store_release_range(std::size_t first, std::span<const std::uint32_t> values,
+                           OnValue&& on_value) noexcept {
+    if (values.empty()) return;
+    const std::uint64_t mask = support::low_mask64(bits_);
+    const std::uint64_t bit = static_cast<std::uint64_t>(first) * bits_;
+    std::size_t w = static_cast<std::size_t>(bit >> 5);
+    const std::uint32_t head_bits = static_cast<std::uint32_t>(bit & 31);
+    // The accumulator starts with head_bits of zeros so our first value
+    // lands at the right in-word shift; the head word itself may hold a
+    // neighboring range's bits, so it (and the partial tail word) publish
+    // via fetch_or while fully-owned interior words are plain stores.
+    // __extension__ keeps -Wpedantic quiet in including TUs (the .cpp's
+    // encode path uses the same 128-bit accumulator).
+    __extension__ using Acc = unsigned __int128;
+    Acc acc = 0;
+    std::uint32_t acc_bits = head_bits;
+    bool shared_head = head_bits != 0;
+    for (const std::uint32_t value : values) {
+      on_value(value);
+      acc |= static_cast<Acc>(static_cast<std::uint64_t>(value) & mask) << acc_bits;
+      acc_bits += bits_;
+      while (acc_bits >= 32) {
+        const auto word = static_cast<std::uint32_t>(acc);
+        if (shared_head) {
+          std::atomic_ref<std::uint32_t>(containers_[w]).fetch_or(
+              word, std::memory_order_release);
+          shared_head = false;
+        } else {
+          containers_[w] = word;
+        }
+        ++w;
+        acc >>= 32;
+        acc_bits -= 32;
+      }
+    }
+    if (acc_bits > 0) {
+      std::atomic_ref<std::uint32_t>(containers_[w])
+          .fetch_or(static_cast<std::uint32_t>(acc), std::memory_order_release);
+    }
+  }
 
   /// Bulk decode: out[j] = get(first + j). Word-streaming — each value is
   /// gathered from a 64-bit window over the containers instead of the

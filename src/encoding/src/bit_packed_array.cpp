@@ -94,44 +94,6 @@ void BitPackedArray::store_release(std::size_t i, std::uint64_t value) noexcept 
   }
 }
 
-void BitPackedArray::store_release_range(
-    std::size_t first, std::span<const std::uint32_t> values) noexcept {
-  if (values.empty()) return;
-  const std::uint64_t mask = low_mask64(bits_);
-  const std::uint64_t bit = static_cast<std::uint64_t>(first) * bits_;
-  std::size_t w = static_cast<std::size_t>(bit >> 5);
-  const std::uint32_t head_bits = static_cast<std::uint32_t>(bit & 31);
-  // The accumulator starts with head_bits of zeros so our first value lands
-  // at the right in-word shift; the head word itself may hold a neighboring
-  // range's bits, so it (and the partial tail word) publish via fetch_or
-  // while fully-owned interior words are plain stores.
-  using Acc = unsigned __int128;
-  Acc acc = 0;
-  std::uint32_t acc_bits = head_bits;
-  bool shared_head = head_bits != 0;
-  for (const std::uint32_t value : values) {
-    acc |= static_cast<Acc>(static_cast<std::uint64_t>(value) & mask) << acc_bits;
-    acc_bits += bits_;
-    while (acc_bits >= 32) {
-      const auto word = static_cast<std::uint32_t>(acc);
-      if (shared_head) {
-        std::atomic_ref<std::uint32_t>(containers_[w]).fetch_or(
-            word, std::memory_order_release);
-        shared_head = false;
-      } else {
-        containers_[w] = word;
-      }
-      ++w;
-      acc >>= 32;
-      acc_bits -= 32;
-    }
-  }
-  if (acc_bits > 0) {
-    std::atomic_ref<std::uint32_t>(containers_[w])
-        .fetch_or(static_cast<std::uint32_t>(acc), std::memory_order_release);
-  }
-}
-
 namespace {
 
 /// Word-streaming gather shared by the decode_into overloads. Every value

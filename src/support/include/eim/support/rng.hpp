@@ -12,8 +12,12 @@
 //    by mixing ids into the key; no shared state, no locks.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 namespace eim::support {
 
@@ -123,6 +127,22 @@ class RandomStream {
     return static_cast<std::uint32_t>(m >> 32);
   }
 
+  /// Bulk generation: exactly the next `out.size()` values of the scalar
+  /// next_u32() sequence, leaving the stream in the same state as that many
+  /// scalar calls. The whole-block middle runs the Philox rounds over a
+  /// batch of independent counters laid out lane-wise, so the compiler can
+  /// vectorize the 32x32->64 multiplies across blocks.
+  void fill_u32(std::span<std::uint32_t> out) noexcept {
+    fill_impl(out.data(), out.size(), [](std::uint32_t v) { return v; });
+  }
+
+  /// Bulk next_float(): bit-identical to out.size() scalar calls.
+  void fill_floats(std::span<float> out) noexcept {
+    fill_impl(out.data(), out.size(), [](std::uint32_t v) {
+      return static_cast<float>(v >> 8) * 0x1.0p-24f;
+    });
+  }
+
   /// Reposition the stream at draw-block `counter` (each block is 4 u32s).
   void seek(std::uint64_t counter) noexcept {
     counter_ = counter;
@@ -131,7 +151,48 @@ class RandomStream {
 
   [[nodiscard]] std::uint64_t block_counter() const noexcept { return counter_; }
 
+  /// u32 draws consumed since construction (or the last seek target). The
+  /// pair u32_position()/seek_u32() brackets speculative bulk generation:
+  /// a consumer may over-generate draws and then rewind to the exact
+  /// mid-block position of what it actually used.
+  [[nodiscard]] std::uint64_t u32_position() const noexcept {
+    return counter_ * 4 - cached_;
+  }
+
+  /// Reposition so the next next_u32() is draw number `pos` of the stream.
+  void seek_u32(std::uint64_t pos) noexcept {
+    seek(pos >> 2);
+    for (std::uint64_t i = 0; i < (pos & 3); ++i) (void)next_u32();
+  }
+
  private:
+  // Whole-block middle of a bulk fill: writes 4 * num_blocks draws in scalar
+  // consumption order and advances counter_. Out of line (rng.cpp) and
+  // compiled as runtime-dispatched ISA clones — the Philox lane loop
+  // vectorizes to whatever width the host CPU has, while this header (and
+  // the committed baselines) stay arch-portable.
+  void fill_blocks(std::uint32_t* out, std::size_t num_blocks) noexcept;
+  void fill_blocks(float* out, std::size_t num_blocks) noexcept;
+
+  template <typename Out, typename Map>
+  void fill_impl(Out* out, std::size_t n, Map map) noexcept {
+    std::size_t i = 0;
+    // Drain the cached partial block first — scalar consumption order.
+    while (cached_ != 0 && i < n) out[i++] = map(block_[--cached_]);
+
+    const std::size_t blocks = (n - i) / 4;
+    if (blocks != 0) {
+      fill_blocks(out + i, blocks);
+      i += 4 * blocks;
+    }
+    // Tail: refill the cache like the scalar path would and take a prefix,
+    // leaving cached_ mid-block exactly as n scalar calls would have.
+    if (i < n) {
+      refill();
+      while (i < n) out[i++] = map(block_[--cached_]);
+    }
+  }
+
   void refill() noexcept {
     const Philox4x32::Counter ctr{static_cast<std::uint32_t>(counter_),
                                   static_cast<std::uint32_t>(counter_ >> 32), base_[0],
@@ -146,6 +207,92 @@ class RandomStream {
   std::uint64_t counter_;
   Philox4x32::Counter block_{};
   unsigned cached_;
+};
+
+/// FIFO over a RandomStream's next_float() sequence, refilled with
+/// fill_floats so the hot consumers (the Monte Carlo BFS edge sweeps) read
+/// activation draws from a flat array instead of paying a function call and
+/// a refill branch per draw. Draws are handed out in exact stream order, so
+/// a loop that takes one draw per unvisited neighbor consumes the identical
+/// sequence the scalar code did — bit-parity by construction.
+///
+/// The consumption state lives in a by-value Cursor the caller keeps in
+/// locals: the edge sweep reads `c.p[t]` and bumps `c.p`/`c.avail` itself,
+/// so the hot loop touches no buffer members at all (member traffic per
+/// vertex was measurably slower across deep cascades). Only a refill — rare
+/// by construction — goes through the buffer object.
+///
+/// Usage per sample:
+///   auto c = buf.begin_sample(rng);
+///   ... per frontier vertex: c = buf.ensure(c, rng, degree, pending);
+///       ... c.p[t++] ... then c.p += t; c.avail -= t;
+///   buf.finish_sample(rng, c);  // rewinds rng to exactly what was consumed
+///
+/// finish_sample repositions the stream at the draws actually taken, so
+/// over-generated draws (visited neighbors skip theirs) are observationally
+/// free: callers that keep using `rng` afterwards see the scalar sequence.
+class FloatDrawBuffer {
+ public:
+  /// Register-resident view of the unconsumed draws: `p` is the next draw,
+  /// `avail` how many are valid at `p`. Invalidated by ensure() — always
+  /// reassign from its return value.
+  struct Cursor {
+    const float* p;
+    std::size_t avail;
+  };
+
+  [[nodiscard]] Cursor begin_sample(const RandomStream& rng) noexcept {
+    generated_ = 0;
+    start_ = rng.u32_position();
+    return Cursor{buf_.data(), 0};
+  }
+
+  /// Make at least `n` draws available at the returned cursor. When a
+  /// refill is needed it is sized to `lookahead` (>= n): the caller's
+  /// estimate of total outstanding demand — for a BFS, the in-degree sum of
+  /// every queued vertex. Demand-sized fills are what make batching win: a
+  /// cascade that dies young generates no more Philox blocks than the
+  /// scalar loop would, while a wide frontier turns into one lane-parallel
+  /// fill instead of a block every four draws. Surplus carries over to
+  /// later ensure() calls, and finish_sample() rewinds the stream past only
+  /// what was consumed, so over-generation is observationally invisible.
+  [[nodiscard]] Cursor ensure(Cursor c, RandomStream& rng, std::size_t n,
+                              std::size_t lookahead) {
+    if (c.avail >= n) return c;
+    return refill(c, rng, lookahead > n ? lookahead : n);
+  }
+  [[nodiscard]] Cursor ensure(Cursor c, RandomStream& rng, std::size_t n) {
+    return ensure(c, rng, n, n);
+  }
+
+  /// Rewind `rng` to the position of the draws actually consumed, as if
+  /// they had been taken one next_float() at a time. Free when every
+  /// generated draw was consumed (the common case for shallow cascades,
+  /// whose first refill is sized exactly to the request).
+  void finish_sample(RandomStream& rng, Cursor c) const noexcept {
+    const std::uint64_t pos = start_ + (generated_ - c.avail);
+    if (rng.u32_position() != pos) rng.seek_u32(pos);
+  }
+
+ private:
+  // Out of line on purpose: keeping the cold path off the sweep's inlined
+  // footprint is what lets the Cursor fast path stay branch + array read.
+  [[gnu::noinline]] Cursor refill(Cursor c, RandomStream& rng, std::size_t target) {
+    if (c.avail != 0) {  // compact the unconsumed suffix to the front
+      std::copy(c.p, c.p + c.avail, buf_.begin());
+    }
+    if (buf_.size() < target) {
+      // The surplus was already copied to the front; resize preserves it.
+      buf_.resize(target);
+    }
+    rng.fill_floats(std::span<float>(buf_.data() + c.avail, target - c.avail));
+    generated_ += target - c.avail;
+    return Cursor{buf_.data(), target};
+  }
+
+  std::vector<float> buf_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t start_ = 0;
 };
 
 }  // namespace eim::support

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "eim/eim/pipeline.hpp"
 #include "eim/graph/generators.hpp"
 #include "eim/imm/imm.hpp"
@@ -25,6 +27,20 @@ imm::ImmParams make_params(std::uint32_t k = 8, double eps = 0.3) {
   p.k = k;
   p.epsilon = eps;
   return p;
+}
+
+TEST(RunGim, ZeroWeightEdgesNeverActivate) {
+  // Regression for the `<=` comparison bug in gIM's BFS: with every weight
+  // forced to 0.0 each RRR set stays the singleton {source}, so the flat
+  // array holds exactly one element per set.
+  Graph g = Graph::from_edge_list(graph::complete_graph(32));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  std::fill(g.mutable_in_weights().begin(), g.mutable_in_weights().end(), 0.0f);
+  g.sync_out_weights_from_in();
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const auto r = run_gim(device, g, DiffusionModel::IndependentCascade, make_params(4));
+  EXPECT_GT(r.num_sets, 0u);
+  EXPECT_EQ(r.total_elements, r.num_sets);
 }
 
 TEST(RunGim, MatchesSerialReferenceExactly) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "eim/graph/generators.hpp"
@@ -74,6 +75,37 @@ TEST(SimulateIc, DeterministicPerTrial) {
     any_different = simulate_ic(g, seeds, 7, t) != first;
   }
   EXPECT_TRUE(any_different);
+}
+
+TEST(SimulateIc, ZeroWeightEdgesNeverSpread) {
+  // Regression for the `<=` comparison bug: with every weight forced to 0.0
+  // the cascade must never leave the seed set, whatever the trial draws.
+  Graph g = Graph::from_edge_list(graph::complete_graph(12));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  std::fill(g.mutable_in_weights().begin(), g.mutable_in_weights().end(), 0.0f);
+  g.sync_out_weights_from_in();
+  const std::vector<VertexId> seeds{0, 3, 7};
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    for (std::uint64_t t = 0; t < 200; ++t) {
+      EXPECT_EQ(simulate_ic(g, seeds, seed, t), seeds.size());
+    }
+  }
+}
+
+TEST(SimulateIc, ZeroWeightEdgeSurvivesAnExactZeroDraw) {
+  // The sweep only trips the old `<=` bug when a draw is exactly 0.0
+  // (probability 2^-24 per draw). Trial 13896210 of seed 0 opens its
+  // forward-IC stream with a zero draw (exhaustive scan over the "ICFW"
+  // stream tag), so a single-edge zero-weight graph exercises the boundary
+  // deterministically: with `<=` the spread would be 2, not 1.
+  graph::EdgeList el(2);
+  el.add_edge(0, 1);
+  Graph g = Graph::from_edge_list(el);
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  g.mutable_in_weights()[0] = 0.0f;
+  g.sync_out_weights_from_in();
+  const std::vector<VertexId> seeds{0};
+  EXPECT_EQ(simulate_ic(g, seeds, 0, 13896210), 1u);
 }
 
 TEST(SimulateLt, PathActivatesFully) {

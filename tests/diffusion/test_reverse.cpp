@@ -65,6 +65,43 @@ TEST(RrrIc, ZeroInDegreeSourceIsSingleton) {
   EXPECT_EQ(sample_rrr_ic(g, 0, rng), (std::vector<VertexId>{0}));
 }
 
+TEST(RrrIc, ZeroWeightEdgesNeverActivate) {
+  // Regression for the `<=` comparison bug: every edge weight is 0.0, so no
+  // matter the draws, every RRR set must stay the singleton {source}.
+  Graph g = weighted(graph::complete_graph(16), DiffusionModel::IndependentCascade);
+  std::fill(g.mutable_in_weights().begin(), g.mutable_in_weights().end(), 0.0f);
+  g.sync_out_weights_from_in();
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    RandomStream rng(seed, 1);
+    for (int i = 0; i < 256; ++i) {
+      const VertexId source = rng.next_below(16);
+      EXPECT_EQ(sample_rrr_ic(g, source, rng), (std::vector<VertexId>{source}));
+    }
+  }
+}
+
+TEST(RrrIc, ZeroWeightEdgeSurvivesAnExactZeroDraw) {
+  // The sweep above only catches the `<=` bug when a draw is *exactly* 0.0
+  // (probability 2^-24 per draw), so position the stream right before a
+  // known zero draw and sample across it. Stream (0,0) draws 0.0f at u32
+  // position 59535983 (found by exhaustive scan; re-verified here so an RNG
+  // change fails loudly instead of silently degrading the test).
+  constexpr std::uint64_t kZeroDrawPos = 59535983;
+  RandomStream rng(0, 0);
+  rng.seek_u32(kZeroDrawPos);
+  RandomStream probe = rng;
+  ASSERT_EQ(probe.next_float(), 0.0f) << "zero-draw position stale";
+
+  graph::EdgeList el(2);
+  el.add_edge(0, 1);
+  Graph g = weighted(el, DiffusionModel::IndependentCascade);
+  std::fill(g.mutable_in_weights().begin(), g.mutable_in_weights().end(), 0.0f);
+  g.sync_out_weights_from_in();
+  // Sampling from vertex 1 consumes exactly the zero draw for edge 0->1;
+  // with `<=` instead of `<` the set would come back {0, 1}.
+  EXPECT_EQ(sample_rrr_ic(g, 1, rng), (std::vector<VertexId>{1}));
+}
+
 TEST(RrrIc, SourceEliminationDropsExactlyTheSource) {
   const Graph g = weighted(graph::path_graph(5), DiffusionModel::IndependentCascade);
   RandomStream rng(9, 9);

@@ -35,6 +35,19 @@ EimOptions fast_options() {
   return o;
 }
 
+TEST(RunEim, EmptyGraphYieldsEmptyResult) {
+  // Regression: sampling an empty graph drew source 0 from next_below(0)
+  // and wrote stamp[0] of an empty array. The pipeline must short-circuit
+  // to a zero-set, zero-seed result instead.
+  gpusim::Device device(gpusim::make_benchmark_device(256));
+  const Graph g = Graph::from_edge_list(graph::EdgeList(0));
+  const EimResult r = run_eim(device, g, DiffusionModel::IndependentCascade,
+                              make_params(), fast_options());
+  EXPECT_TRUE(r.seeds.empty());
+  EXPECT_EQ(r.num_sets, 0u);
+  EXPECT_EQ(r.total_elements, 0u);
+}
+
 TEST(RunEim, ProducesKSeedsAndMetrics) {
   gpusim::Device device(gpusim::make_benchmark_device(256));
   const Graph g = make_graph();

@@ -8,6 +8,8 @@
 #include "eim/graph/generators.hpp"
 #include "eim/imm/imm.hpp"
 #include "eim/imm/rrr_store.hpp"
+#include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
 
 namespace eim::eim_impl {
 namespace {
@@ -108,6 +110,103 @@ INSTANTIATE_TEST_SUITE_P(
                       ParityCase{DiffusionModel::IndependentCascade, true},
                       ParityCase{DiffusionModel::LinearThreshold, false},
                       ParityCase{DiffusionModel::LinearThreshold, true}));
+
+TEST(EimSampler, ZeroWeightEdgesNeverActivate) {
+  // Regression for the `<=` comparison bug: all weights 0.0, so every RRR
+  // set is the singleton {source} and total elements == committed sets.
+  Graph g = Graph::from_edge_list(graph::complete_graph(16));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  std::fill(g.mutable_in_weights().begin(), g.mutable_in_weights().end(), 0.0f);
+  g.sync_out_weights_from_in();
+
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(),
+                     make_options());
+  sampler.sample_to(col, 2000);
+  EXPECT_EQ(col.num_sets(), 2000u);
+  EXPECT_EQ(col.total_elements(), col.num_sets());
+}
+
+TEST(EimSampler, ZeroWeightEdgeSurvivesAnExactZeroDraw) {
+  // The sweep only trips the old `<=` bug on a draw of exactly 0.0
+  // (probability 2^-24). Global sample 31329045 of rng_seed 0 picks source
+  // 1 and then draws 0.0f (exhaustive scan over the RRRS streams); verify
+  // that precondition so an RNG change fails loudly, then sample across it.
+  constexpr std::uint64_t kZeroDrawSample = 31329045;
+  support::RandomStream probe(
+      0, support::derive_stream(imm::kSampleStreamTag, kZeroDrawSample, 0));
+  ASSERT_EQ(probe.next_below(2), 1u) << "zero-draw sample stale";
+  ASSERT_EQ(probe.next_float(), 0.0f) << "zero-draw sample stale";
+
+  graph::EdgeList el(2);
+  el.add_edge(0, 1);
+  Graph g = Graph::from_edge_list(el);
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  g.mutable_in_weights()[0] = 0.0f;
+  g.sync_out_weights_from_in();
+
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  imm::ImmParams params = make_params();
+  params.rng_seed = 0;
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, params,
+                     make_options());
+  sampler.sample_assigned(col, std::vector<std::uint64_t>{kZeroDrawSample});
+  ASSERT_EQ(col.num_sets(), 1u);
+  // With `<=` the zero draw would activate the 0->1 edge and the set would
+  // be {0, 1}.
+  ASSERT_EQ(col.set_length(0), 1u);
+  EXPECT_EQ(col.element(0, 0), 1u);
+}
+
+TEST(EimSampler, EmptyGraphIsRejected) {
+  // next_below(0) returns 0, so sampling an empty graph used to read
+  // stamp[0] of an empty array; it must throw cleanly instead.
+  const Graph g = Graph::from_edge_list(graph::EdgeList(0));
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  DeviceRrrCollection col(device, 0, true);
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(),
+                     make_options());
+  EXPECT_THROW(sampler.sample_to(col, 1), support::Error);
+  EXPECT_THROW(
+      sampler.sample_assigned(col, std::vector<std::uint64_t>{0}),
+      support::Error);
+  // The empty-list entry points stay no-ops.
+  sampler.sample_assigned(col, {});
+  EXPECT_EQ(col.num_sets(), 0u);
+}
+
+TEST(EimSampler, QueueDepthObservedOncePerCommittedSample) {
+  // Force capacity-retried samples: every cascade covers all 256 vertices,
+  // so the first wave's average-based reserve is far too small and most
+  // samples re-run in later waves. The queue-depth histogram must still
+  // count each *committed* sample exactly once (it used to be observed per
+  // wave attempt, double-counting retries).
+  Graph g = Graph::from_edge_list(graph::complete_graph(256));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  std::fill(g.mutable_in_weights().begin(), g.mutable_in_weights().end(), 1.0f);
+  g.sync_out_weights_from_in();
+
+  gpusim::Device device(gpusim::make_benchmark_device(128));
+  support::metrics::MetricsRegistry registry;
+  DeviceRrrCollection col(device, g.num_vertices(), true);
+  col.attach_metrics(&registry);
+  EimOptions options = make_options();
+  options.metrics = &registry;
+  EimSampler sampler(device, g, DiffusionModel::IndependentCascade, make_params(),
+                     options);
+  constexpr std::uint64_t kSamples = 64;
+  sampler.sample_to(col, kSamples);
+
+  ASSERT_GT(registry.counter("sampler.waves").value(), 1u)
+      << "test graph no longer forces capacity retries";
+  ASSERT_GT(registry.counter("sampler.commit_retries").value(), 0u);
+  const auto& depth = registry.histogram("sampler.queue_depth");
+  EXPECT_EQ(depth.count(), kSamples);
+  // Every set spans the whole graph, so the recorded depths do too.
+  EXPECT_EQ(depth.sum(), kSamples * 256u);
+}
 
 TEST(EimSampler, EliminationRemovesSourcesAndCountsDiscards) {
   // Skewed R-MAT: plenty of zero-in-degree sources -> singleton discards.

@@ -98,6 +98,140 @@ TEST(RandomStream, NextBelowIsRoughlyUniform) {
   EXPECT_LT(chi2, 27.9);
 }
 
+// --- Bulk fill: bit parity with the scalar draw sequence -------------------
+//
+// fill_u32/fill_floats must reproduce the exact next_u32()/next_float()
+// sequence AND leave the stream in the exact state the scalar walk would —
+// the samplers rely on both halves of that contract to stay draw-order
+// deterministic while vectorizing.
+
+TEST(RandomStreamFill, U32MatchesScalarAcrossLengths) {
+  // Lengths straddle every alignment case: empty, sub-block, exact blocks,
+  // the lane-parallel fast path (>= 32), and non-multiples of 4.
+  for (const std::size_t len : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 31u, 32u, 33u,
+                                63u, 64u, 100u, 257u, 1000u, 1023u}) {
+    RandomStream scalar(42, 7);
+    RandomStream bulk(42, 7);
+    std::vector<std::uint32_t> expected(len);
+    for (auto& v : expected) v = scalar.next_u32();
+    std::vector<std::uint32_t> got(len);
+    bulk.fill_u32(got);
+    EXPECT_EQ(expected, got) << "len=" << len;
+    // State parity: both streams continue identically.
+    for (int i = 0; i < 9; ++i) EXPECT_EQ(scalar.next_u32(), bulk.next_u32());
+  }
+}
+
+TEST(RandomStreamFill, FloatsMatchScalarAcrossSeedsAndStreams) {
+  for (const std::uint64_t seed : {0ull, 1ull, 0xDEADBEEFull}) {
+    for (const std::uint64_t stream :
+         {std::uint64_t{0}, std::uint64_t{3}, derive_stream(9, 11)}) {
+      RandomStream scalar(seed, stream);
+      RandomStream bulk(seed, stream);
+      std::vector<float> expected(517);
+      for (auto& v : expected) v = scalar.next_float();
+      std::vector<float> got(517);
+      bulk.fill_floats(got);
+      EXPECT_EQ(expected, got) << "seed=" << seed << " stream=" << stream;
+    }
+  }
+}
+
+TEST(RandomStreamFill, MatchesScalarFromMidBlockStarts) {
+  // Start the fill with 0..4 draws already consumed so cached_ holds every
+  // possible partial-block residue, and from a seek()ed position.
+  for (const int pre : {0, 1, 2, 3, 4, 5}) {
+    RandomStream scalar(13, 29);
+    RandomStream bulk(13, 29);
+    scalar.seek(6);
+    bulk.seek(6);
+    for (int i = 0; i < pre; ++i) {
+      ASSERT_EQ(scalar.next_u32(), bulk.next_u32());
+    }
+    std::vector<std::uint32_t> expected(130);
+    for (auto& v : expected) v = scalar.next_u32();
+    std::vector<std::uint32_t> got(130);
+    bulk.fill_u32(got);
+    EXPECT_EQ(expected, got) << "pre=" << pre;
+    EXPECT_EQ(scalar.next_u32(), bulk.next_u32());
+  }
+}
+
+TEST(RandomStreamFill, InterleavedFillsAndScalarDrawsStayInSync) {
+  RandomStream scalar(77, 5);
+  RandomStream bulk(77, 5);
+  std::vector<std::uint32_t> chunk;
+  for (const std::size_t len : {3u, 1u, 8u, 2u, 13u, 4u, 0u, 29u}) {
+    chunk.resize(len);
+    bulk.fill_u32(chunk);
+    for (std::size_t i = 0; i < len; ++i) EXPECT_EQ(scalar.next_u32(), chunk[i]);
+    EXPECT_EQ(scalar.next_u32(), bulk.next_u32());  // one scalar draw between fills
+  }
+}
+
+TEST(RandomStreamPosition, TracksEveryDraw) {
+  RandomStream rng(3, 3);
+  for (std::uint64_t i = 0; i < 23; ++i) {
+    EXPECT_EQ(rng.u32_position(), i);
+    (void)rng.next_u32();
+  }
+  std::vector<std::uint32_t> buf(9);
+  rng.fill_u32(buf);
+  EXPECT_EQ(rng.u32_position(), 32u);
+}
+
+TEST(RandomStreamPosition, SeekU32RestoresExactState) {
+  for (const std::uint64_t pos : {0ull, 1ull, 3ull, 4ull, 5ull, 17ull, 100ull}) {
+    RandomStream reference(21, 8);
+    for (std::uint64_t i = 0; i < pos; ++i) (void)reference.next_u32();
+
+    RandomStream seeked(21, 8);
+    // Scramble its state first so the seek has to do real work.
+    for (int i = 0; i < 250; ++i) (void)seeked.next_u32();
+    seeked.seek_u32(pos);
+    EXPECT_EQ(seeked.u32_position(), pos);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(reference.next_u32(), seeked.next_u32());
+  }
+}
+
+TEST(FloatDrawBuffer, ConsumedPrefixMatchesScalarAndRewindIsInvisible) {
+  // Simulate a BFS: per "vertex" ensure a degree's worth of draws but
+  // consume only some of them. The consumed draws must be the scalar
+  // sequence, and after finish_sample the stream must sit exactly past the
+  // consumed prefix — over-generation is observationally invisible.
+  RandomStream scalar(101, 55);
+  RandomStream rng(101, 55);
+  FloatDrawBuffer draws;
+  auto c = draws.begin_sample(rng);
+  const std::size_t degrees[] = {5, 0, 12, 3, 64, 1, 7};
+  const std::size_t consumed[] = {2, 0, 12, 1, 40, 0, 7};
+  for (std::size_t i = 0; i < std::size(degrees); ++i) {
+    c = draws.ensure(c, rng, degrees[i]);
+    for (std::size_t t = 0; t < consumed[i]; ++t) {
+      EXPECT_EQ(scalar.next_float(), c.p[t]);
+    }
+    c.p += consumed[i];
+    c.avail -= consumed[i];
+  }
+  draws.finish_sample(rng, c);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(scalar.next_float(), rng.next_float());
+}
+
+TEST(FloatDrawBuffer, ReusableAcrossSamples) {
+  RandomStream scalar(6, 6);
+  RandomStream rng(6, 6);
+  FloatDrawBuffer draws;
+  for (int sample = 0; sample < 4; ++sample) {
+    auto c = draws.begin_sample(rng);
+    c = draws.ensure(c, rng, 10);
+    for (int t = 0; t < 6; ++t) EXPECT_EQ(scalar.next_float(), c.p[t]);
+    c.p += 6;
+    c.avail -= 6;
+    draws.finish_sample(rng, c);
+  }
+  EXPECT_EQ(scalar.next_float(), rng.next_float());
+}
+
 TEST(DeriveStream, OrderMatters) {
   EXPECT_NE(derive_stream(1, 2), derive_stream(2, 1));
 }
