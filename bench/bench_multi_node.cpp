@@ -1,0 +1,81 @@
+// Multi-node cluster scaling — the tier above bench_multi_gpu.
+//
+// Sweeps the modeled node count on a fixed workload: seeds are bit-identical
+// at every width (sampling is sharded by global sample id), kernel time
+// shrinks near-linearly, and the allreduce/broadcast collectives appear as a
+// growing communication term on the cluster network. The last row replays
+// the 4-node cell with a scripted node kill to price elastic failover.
+//
+// Parallel efficiency = speedup(N) / N; docs/PERFORMANCE.md tracks the
+// 8-node figure (target >= 0.8 on this envelope).
+#include <iostream>
+
+#include "common.hpp"
+#include "eim/eim/multi_node.hpp"
+
+int main() {
+  using namespace eim;
+  const bench::BenchEnv env = bench::load_env();
+
+  const auto spec = *graph::find_dataset("WV");
+  const graph::Graph g =
+      graph::build_dataset(spec, graph::DiffusionModel::IndependentCascade);
+  imm::ImmParams params;
+  params.k = env.clamp_k(50);
+  params.epsilon = env.clamp_eps(0.02);
+
+  std::cout << "Multi-node cluster scaling on " << spec.name << "-like (k="
+            << params.k << ", eps=" << params.epsilon << ")\n\n";
+
+  const auto run_on = [&](std::uint32_t nodes,
+                          const gpusim::ClusterFaultPlan& faults,
+                          const std::string& cell_id) {
+    gpusim::ClusterSpec cluster_spec;
+    cluster_spec.num_nodes = nodes;
+    cluster_spec.node.device = gpusim::make_benchmark_device(env.memory_mb);
+    gpusim::Cluster cluster(cluster_spec);
+    cluster.set_fault_plan(faults);
+    support::metrics::MetricsRegistry registry;
+    eim_impl::EimOptions options;
+    options.metrics = &registry;
+    const auto r = eim_impl::run_eim_cluster(
+        cluster, g, graph::DiffusionModel::IndependentCascade, params, options);
+    bench::Cell cell;
+    cell.seconds = r.device_seconds;
+    cell.last = r;
+    bench::record_cell(cell_id, registry, cell);
+    return r;
+  };
+
+  support::TextTable table({"nodes", "total s", "kernel s", "comm s", "speedup",
+                            "efficiency", "seeds identical"});
+  double base = 0.0;
+  std::vector<graph::VertexId> reference_seeds;
+  for (const std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    const auto r = run_on(n, {}, "cluster/WV/nodes=" + std::to_string(n));
+    if (n == 1) {
+      base = r.device_seconds;
+      reference_seeds = r.seeds;
+    }
+    const double speedup = base / r.device_seconds;
+    table.add_row({std::to_string(n), support::TextTable::num(r.device_seconds, 4),
+                   support::TextTable::num(r.kernel_seconds, 4),
+                   support::TextTable::num(r.communication_seconds, 4),
+                   support::TextTable::num(speedup, 2),
+                   support::TextTable::num(speedup / n, 2),
+                   r.seeds == reference_seeds ? "yes" : "NO"});
+  }
+
+  // Failover pricing: node 2 of 4 dies at its fourth collective; survivors
+  // reshard and regenerate its residual range. Same seeds, some overhead.
+  gpusim::ClusterFaultPlan kill;
+  kill.node_losses.push_back({2, 3, -1.0});
+  const auto failed = run_on(4, kill, "cluster/WV/nodes=4+kill");
+  table.add_row({"4 (1 killed)", support::TextTable::num(failed.device_seconds, 4),
+                 support::TextTable::num(failed.kernel_seconds, 4),
+                 support::TextTable::num(failed.communication_seconds, 4),
+                 support::TextTable::num(base / failed.device_seconds, 2), "-",
+                 failed.seeds == reference_seeds ? "yes" : "NO"});
+  table.print(std::cout);
+  return 0;
+}

@@ -234,6 +234,12 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
   return cell;
 }
 
+void record_cell(std::string cell_id,
+                 const support::metrics::MetricsRegistry& registry,
+                 const Cell& cell) {
+  BenchReporter::instance().record(std::move(cell_id), registry, cell);
+}
+
 Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,
                   eim_impl::EimOptions options) {
   return [model, params, options](gpusim::Device& device, const graph::Graph& g,

@@ -82,6 +82,14 @@ using Runner = std::function<eim_impl::EimResult(
 [[nodiscard]] Cell run_cell(const BenchEnv& env, const graph::Graph& g,
                             const Runner& runner, std::string cell_id = {});
 
+/// Record an externally-built cell into the EIM_BENCH_JSON report. For
+/// benches whose topology run_cell cannot host (e.g. the multi-node cluster
+/// tier builds its own fleet): fill a Cell, pass the registry the run wrote
+/// into, and the cell rides the same eim.metrics.v2 envelope.
+void record_cell(std::string cell_id,
+                 const support::metrics::MetricsRegistry& registry,
+                 const Cell& cell);
+
 /// Canonical runners for the three systems (run index perturbs the seed).
 [[nodiscard]] Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,
                                 eim_impl::EimOptions options = {});

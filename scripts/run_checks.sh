@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Pre-merge gate: build everything under AddressSanitizer + UBSan and run
-# the default test suite plus the stress- and checkpoint-labeled tests (see
-# README.md), exercise CLI-level checkpoint/resume including corrupt-
-# snapshot rejection, then run one small traced benchmark, validate the
-# JSON artifacts it emits, and diff its timings against the committed
-# baseline. Finishes with a Release-build perf smoke: bench_micro plus a
-# wall-clock diff against bench/baselines (wall rows are warn-only; see
-# docs/PERFORMANCE.md).
+# the default test suite plus the stress-, checkpoint-, and cluster-labeled
+# tests (see README.md), exercise CLI-level checkpoint/resume including
+# corrupt-snapshot rejection and a node-kill cluster failover smoke, then
+# run one small traced benchmark, validate the JSON artifacts it emits, and
+# diff its timings against the committed baseline. Finishes with a
+# Release-build perf smoke: bench_micro plus the fig7 and multi-node
+# scaling curves diffed bit-identically against bench/baselines (wall rows
+# are warn-only; see docs/PERFORMANCE.md).
 #
 # Usage: scripts/run_checks.sh [build-dir]
 #   build-dir defaults to build-asan (kept separate from the regular build).
@@ -42,6 +43,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -C stress -L st
 
 echo "== checkpoint-labeled tests (kill-at-every-ordinal resume sweep) =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L checkpoint
+
+echo "== cluster-labeled tests (multi-node failover + elastic resume) =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L cluster
 
 echo "== CLI checkpoint/resume round-trip + corrupt-snapshot rejection =="
 ckpt_tmp="$(mktemp -d)"
@@ -80,6 +84,31 @@ if [[ "${status}" -ne 3 ]]; then
 fi
 rm -rf "${ckpt_tmp}"
 
+echo "== CLI node-kill failover smoke =="
+clu_tmp="$(mktemp -d)"
+clu_args=(--dataset WV --k 10 --eps 0.3 --json --nodes 3)
+"${cli}" "${clu_args[@]}" > "${clu_tmp}/clean.json"
+"${cli}" "${clu_args[@]}" --kill-node 1@2 > "${clu_tmp}/killed.json"
+# Elastic failover contract: losing a node mid-run may only change the
+# modeled clock, the failover bookkeeping, and memory-layout figures
+# (rrr_bytes reflects per-device capacity, which resharding repacks) — the
+# seeds and every other algorithmic field must be bit-identical to the
+# clean cluster run.
+for f in clean killed; do
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); [d.pop(k) for k in ("device_seconds","peak_device_bytes","rrr_bytes","communication_seconds","reshard_samples","collective_retries","failed_nodes")]; print(json.dumps(d,sort_keys=True))' \
+    "${clu_tmp}/${f}.json" > "${clu_tmp}/${f}.norm.json"
+done
+diff "${clu_tmp}/clean.norm.json" "${clu_tmp}/killed.norm.json"
+# Dropping below quorum without --node-degrade is unrecoverable: exit 6.
+status=0
+"${cli}" "${clu_args[@]}" --quorum 3 --kill-node 1@2 > /dev/null 2>&1 || status=$?
+if [[ "${status}" -ne 6 ]]; then
+  echo "ERROR: quorum loss: expected exit 6, got ${status}" >&2; exit 1
+fi
+# With --node-degrade the same loss publishes best-effort seeds (exit 0).
+"${cli}" "${clu_args[@]}" --quorum 3 --kill-node 1@2 --node-degrade > /dev/null
+rm -rf "${clu_tmp}"
+
 echo "== traced benchmark + artifact validation =="
 bench_tmp="$(mktemp -d)"
 trap 'rm -rf "${bench_tmp}"' EXIT
@@ -112,7 +141,7 @@ echo "== Release perf smoke (bench_micro + wall-clock diff, warn-only) =="
 # committed baselines must stay comparable across machines.
 perf_dir="${repo_root}/build-perf"
 cmake -B "${perf_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${perf_dir}" -j "${jobs}" --target bench_micro bench_fig7_ic bench_diff
+cmake --build "${perf_dir}" -j "${jobs}" --target bench_micro bench_fig7_ic bench_multi_node bench_diff
 EIM_BENCH_JSON="${bench_tmp}/BENCH_micro.json" \
   "${perf_dir}/bench/bench_micro" --benchmark_min_time=0.2 > /dev/null
 "${perf_dir}/tools/bench_diff" --validate "${bench_tmp}/BENCH_micro.json"
@@ -137,6 +166,29 @@ else
   echo "bench_diff (Release): modeled time moved vs ${baseline} (exit ${diff_exit})."
   echo "If intentional, refresh the baseline:"
   echo "  cp ${bench_tmp}/BENCH_fig7_ic_release.json ${baseline}"
+  if [[ "${EIM_CHECKS_BENCH_GATE:-0}" == "1" ]]; then
+    echo "EIM_CHECKS_BENCH_GATE=1 — treating the regression as fatal."
+    exit "${diff_exit}"
+  fi
+  echo "Warn-only (set EIM_CHECKS_BENCH_GATE=1 to gate on this)."
+fi
+
+echo "-- multi-node scaling curve: modeled time gated bit-identical --"
+# Full-envelope run (WV, k=50, eps=0.02 — the fig7 envelope): the committed
+# baseline proves near-linear modeled scaling (>=0.8 parallel efficiency at
+# 8 nodes) plus a priced node-kill failover cell. Modeled rows are
+# deterministic, so any drift means the cluster cost model changed.
+mn_baseline="${repo_root}/bench/baselines/BENCH_multi_node.json"
+EIM_BENCH_JSON="${bench_tmp}/BENCH_multi_node.json" \
+  "${perf_dir}/bench/bench_multi_node"
+"${perf_dir}/tools/bench_diff" --validate "${bench_tmp}/BENCH_multi_node.json"
+if "${perf_dir}/tools/bench_diff" --threshold 0 "${mn_baseline}" "${bench_tmp}/BENCH_multi_node.json"; then
+  :
+else
+  diff_exit=$?
+  echo "bench_diff: cluster modeled time moved vs ${mn_baseline} (exit ${diff_exit})."
+  echo "If intentional, refresh the baseline:"
+  echo "  cp ${bench_tmp}/BENCH_multi_node.json ${mn_baseline}"
   if [[ "${EIM_CHECKS_BENCH_GATE:-0}" == "1" ]]; then
     echo "EIM_CHECKS_BENCH_GATE=1 — treating the regression as fatal."
     exit "${diff_exit}"

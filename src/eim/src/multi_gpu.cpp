@@ -103,6 +103,15 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   std::uint64_t sampled_global = 0;
   double communication = 0.0;
 
+  // Checkpoint-restored prefix. Kept at run level (not parked on a sampler)
+  // so the restored singleton total survives the death of any device, and
+  // so failover can re-commit restored sets from the snapshot instead of
+  // re-sampling them — re-sampling would count their singleton draws a
+  // second time on top of the restored total.
+  std::uint64_t num_restored = 0;
+  std::uint64_t restored_singletons = 0;
+  std::vector<std::uint64_t> restore_starts;
+
   // Resume: redistribute the restored global sets over THIS run's device
   // count (id % D striping) — the writing run may have used a different
   // number of devices; because the snapshot stores sets in global sample-id
@@ -111,10 +120,12 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
     const CheckpointState& ckpt = *options.resume;
     validate_checkpoint(ckpt, g, model, params, options);
     const std::uint64_t restored = ckpt.lengths.size();
-    std::vector<std::uint64_t> starts(restored + 1, 0);
+    restore_starts.assign(restored + 1, 0);
+    const std::vector<std::uint64_t>& starts = restore_starts;
     for (std::uint64_t i = 0; i < restored; ++i) {
-      starts[i + 1] = starts[i] + ckpt.lengths[i];
+      restore_starts[i + 1] = restore_starts[i] + ckpt.lengths[i];
     }
+    num_restored = restored;
     owner_of.resize(restored);
     slot_of.resize(restored);
     for (std::uint32_t d = 0; d < num_devices; ++d) {
@@ -141,8 +152,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
                                          shard_sets * sizeof(std::uint32_t));
     }
     sampled_global = restored;
-    // Only the total matters for the kept-fraction; park it on one sampler.
-    samplers[alive.front()]->restore_singletons(ckpt.singletons_discarded);
+    restored_singletons = ckpt.singletons_discarded;
     // Carried modeled clock lands on the primary, matching how the result's
     // device_seconds aggregates over the fleet.
     primary->timeline().add(gpusim::SegmentKind::Kernel, "resume carry-over",
@@ -256,11 +266,44 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
       for (const std::uint32_t d : round) {
         if (batch[d].empty()) continue;
         try {
-          samplers[d]->sample_assigned(*shards[d], batch[d]);
+          // Ids inside the restored prefix re-commit straight from the
+          // snapshot (their singleton draws already sit in the restored
+          // total); only fresh ids re-sample from index-keyed streams.
+          std::vector<std::uint64_t> recommit;
+          std::vector<std::uint64_t> fresh;
           for (const std::uint64_t id : batch[d]) {
-            owner_of[id] = d;
-            slot_of[id] = assigned[d].size();
-            assigned[d].push_back(id);
+            (id < num_restored ? recommit : fresh).push_back(id);
+          }
+          if (!recommit.empty()) {
+            const CheckpointState& ckpt = *options.resume;
+            std::uint64_t recommit_elems = 0;
+            for (const std::uint64_t id : recommit) {
+              recommit_elems += ckpt.lengths[id];
+            }
+            shards[d]->reserve(assigned[d].size() + recommit.size(),
+                               shards[d]->total_elements() + recommit_elems);
+            for (const std::uint64_t id : recommit) {
+              const std::span<const VertexId> set(
+                  ckpt.elements.data() + restore_starts[id], ckpt.lengths[id]);
+              EIM_CHECK_MSG(shards[d]->try_commit(assigned[d].size(), set),
+                            "failover restore: set did not fit reserved capacity");
+              owner_of[id] = d;
+              slot_of[id] = assigned[d].size();
+              assigned[d].push_back(id);
+            }
+            shards[d]->set_num_sets(assigned[d].size());
+            devices[d]->transfer_to_device(
+                "checkpoint restore",
+                recommit_elems * sizeof(VertexId) +
+                    recommit.size() * sizeof(std::uint32_t));
+          }
+          if (!fresh.empty()) {
+            samplers[d]->sample_assigned(*shards[d], fresh);
+            for (const std::uint64_t id : fresh) {
+              owner_of[id] = d;
+              slot_of[id] = assigned[d].size();
+              assigned[d].push_back(id);
+            }
           }
         } catch (const support::DeviceLostError&) {
           decommission(d, todo, batch[d]);
@@ -460,6 +503,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
             slot_of[i], std::span<VertexId>(ckpt.elements.data() + at, ckpt.lengths[i]));
         at += ckpt.lengths[i];
       }
+      ckpt.singletons_discarded = restored_singletons;
       for (const std::uint32_t d : alive) {
         ckpt.singletons_discarded += samplers[d]->singletons_discarded();
       }
@@ -513,6 +557,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
   result.num_sets = sampled_global;
   result.lower_bound = outcome.lower_bound;
   result.estimation_rounds = outcome.estimation_rounds;
+  result.singletons_discarded = restored_singletons;
   for (const std::uint32_t d : alive) {
     result.total_elements += shards[d]->total_elements();
     result.singletons_discarded += samplers[d]->singletons_discarded();

@@ -71,6 +71,70 @@ class DeviceFaultError : public Error {
 class DeviceLostError : public Error {
  public:
   explicit DeviceLostError(const std::string& what) : Error("device lost: " + what) {}
+
+ protected:
+  /// Derived classes (NodeLostError) supply their own prefix.
+  struct Raw {};
+  DeviceLostError(Raw, const std::string& what) : Error(what) {}
+};
+
+/// A transient fault on a modeled cluster interconnect link: one collective
+/// attempt failed on one node's NIC. Derives from DeviceFaultError so
+/// `support::retry` treats it as retryable; the multi-node layer escalates
+/// retry exhaustion to node-dead (docs/RESILIENCE.md, "Cluster failover").
+class LinkFaultError : public DeviceFaultError {
+ public:
+  LinkFaultError(const std::string& what, std::uint64_t link_transfer_ordinal,
+                 std::uint32_t node)
+      : DeviceFaultError("link: " + what + " (node " + std::to_string(node) + ")",
+                         link_transfer_ordinal),
+        node_(node) {}
+
+  /// Which cluster node's link faulted (deterministic escalation target).
+  [[nodiscard]] std::uint32_t node() const noexcept { return node_; }
+
+ private:
+  std::uint32_t node_;
+};
+
+/// A whole cluster node died (scripted loss at a collective ordinal or
+/// modeled time, or a link whose transient faults exhausted the retry
+/// budget). Permanent like DeviceLostError — it derives from it so generic
+/// device-loss handling still applies — but carries the node index so the
+/// multi-node layer can reshard exactly that node's residual sample range.
+class NodeLostError : public DeviceLostError {
+ public:
+  NodeLostError(const std::string& what, std::uint32_t node)
+      : DeviceLostError(Raw{}, "node lost: " + what + " (node " +
+                                   std::to_string(node) + ")"),
+        node_(node) {}
+
+  [[nodiscard]] std::uint32_t node() const noexcept { return node_; }
+
+ private:
+  std::uint32_t node_;
+};
+
+/// Unrecoverable cluster loss: the surviving node count fell below the
+/// configured quorum floor (or every node died) and the degrade policy did
+/// not permit a best-effort answer. Maps to its own exit code (6,
+/// "cluster_lost") so orchestrators can tell "re-run elsewhere" apart from
+/// a single-device fault (docs/RESILIENCE.md).
+class ClusterQuorumError : public Error {
+ public:
+  ClusterQuorumError(const std::string& what, std::uint32_t alive_nodes,
+                     std::uint32_t quorum)
+      : Error("cluster quorum lost: " + what + " (" + std::to_string(alive_nodes) +
+              " nodes alive, quorum " + std::to_string(quorum) + ")"),
+        alive_(alive_nodes),
+        quorum_(quorum) {}
+
+  [[nodiscard]] std::uint32_t alive_nodes() const noexcept { return alive_; }
+  [[nodiscard]] std::uint32_t quorum() const noexcept { return quorum_; }
+
+ private:
+  std::uint32_t alive_;
+  std::uint32_t quorum_;
 };
 
 /// Simulated process death, fired by the fault plan at a scripted kernel
@@ -98,10 +162,11 @@ inline constexpr int kExitBadArgs = 2;      ///< InvalidArgumentError / CLI misu
 inline constexpr int kExitIo = 3;           ///< IoError
 inline constexpr int kExitDeviceOom = 4;    ///< DeviceOutOfMemoryError
 inline constexpr int kExitDeviceFault = 5;  ///< DeviceFaultError / DeviceLostError
+inline constexpr int kExitClusterLost = 6;  ///< ClusterQuorumError (quorum unreachable)
 
 /// Map an error to its process exit code, plus a short machine-readable
-/// kind string ("bad_args", "io", "device_oom", "device_fault", "error")
-/// for one-line structured stderr reports.
+/// kind string ("bad_args", "io", "device_oom", "device_fault",
+/// "cluster_lost", "error") for one-line structured stderr reports.
 [[nodiscard]] int exit_code_for(const Error& e) noexcept;
 [[nodiscard]] const char* error_kind_for(const Error& e) noexcept;
 

@@ -5,6 +5,7 @@
 namespace eim::support {
 
 int exit_code_for(const Error& e) noexcept {
+  if (dynamic_cast<const ClusterQuorumError*>(&e) != nullptr) return kExitClusterLost;
   if (dynamic_cast<const InvalidArgumentError*>(&e) != nullptr) return kExitBadArgs;
   if (dynamic_cast<const IoError*>(&e) != nullptr) return kExitIo;
   if (dynamic_cast<const DeviceOutOfMemoryError*>(&e) != nullptr) return kExitDeviceOom;
@@ -19,6 +20,7 @@ const char* error_kind_for(const Error& e) noexcept {
     case kExitIo: return "io";
     case kExitDeviceOom: return "device_oom";
     case kExitDeviceFault: return "device_fault";
+    case kExitClusterLost: return "cluster_lost";
     default: return "error";
   }
 }

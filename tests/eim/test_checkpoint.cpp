@@ -270,6 +270,53 @@ TEST(Checkpoint, MultiGpuResumeOntoDifferentDeviceCount) {
   }
 }
 
+TEST(Checkpoint, ResumeThenDeviceLossDoesNotDoubleCountSingletons) {
+  // Regression: a device dying after resume respills its restored sets.
+  // Those sets must be re-committed from the snapshot, not re-sampled —
+  // re-sampling would recount singleton draws already included in the
+  // restored total (and killing the device parking the restored count
+  // would lose it outright).
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  DevicePool ref_pool(3);
+  const MultiGpuResult reference =
+      run_eim_multi(ref_pool.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  TempDir dir("eim_ckpt_loss_after_resume");
+  {
+    DevicePool doomed(3);
+    gpusim::FaultPlan plan;
+    plan.process_abort_kernel_ordinal = ref_pool.ptrs[0]->kernel_launch_ordinal() / 2;
+    doomed.ptrs[0]->set_fault_plan(plan);
+    EimOptions options;
+    options.checkpoint_dir = dir.path;
+    try {
+      (void)run_eim_multi(doomed.ptrs, g, DiffusionModel::IndependentCascade, params,
+                          options);
+    } catch (const support::ProcessAbortError&) {
+    }
+  }
+
+  CheckpointState ckpt = load_checkpoint(dir.path);
+  // Kill the resumed primary (device 0, which holds restored state) and a
+  // non-primary in separate runs; both must match the clean answer exactly,
+  // singleton totals included.
+  for (const std::uint32_t victim : {0u, 2u}) {
+    DevicePool pool(3);
+    gpusim::FaultPlan plan;
+    plan.device_loss_kernel_ordinal = 1;
+    pool.ptrs[victim]->set_fault_plan(plan);
+    EimOptions options;
+    options.resume = &ckpt;
+    const MultiGpuResult resumed = run_eim_multi(
+        pool.ptrs, g, DiffusionModel::IndependentCascade, params, options);
+    expect_same_answer(reference, resumed);
+    ASSERT_EQ(resumed.failed_devices.size(), 1u);
+    EXPECT_EQ(resumed.failed_devices[0], victim);
+  }
+}
+
 TEST(Checkpoint, SingleAndMultiGpuCheckpointsAreInterchangeable) {
   // Same global sample-id order on disk regardless of writer topology.
   const Graph g = make_graph();

@@ -216,6 +216,64 @@ TEST(MultiGpuFailover, RetryExhaustionRetiresTheDevice) {
   EXPECT_FALSE(pool.ptrs[1]->lost());  // retired, not dead: transient faults
 }
 
+TEST(MultiGpuFailover, DeviceLossAtOrdinalZeroKeepsSeeds) {
+  // Edge regression: ordinal 0 kills the device on its very first wave,
+  // before it commits anything — the respill is its whole batch.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  DevicePool clean(3);
+  const MultiGpuResult reference =
+      run_eim_multi(clean.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  DevicePool pool(3);
+  gpusim::FaultPlan plan;
+  plan.device_loss_kernel_ordinal = 0;
+  pool.ptrs[1]->set_fault_plan(plan);
+  const MultiGpuResult failed =
+      run_eim_multi(pool.ptrs, g, DiffusionModel::IndependentCascade, params);
+
+  EXPECT_EQ(failed.seeds, reference.seeds);
+  EXPECT_EQ(failed.num_sets, reference.num_sets);
+  ASSERT_EQ(failed.failed_devices.size(), 1u);
+  EXPECT_EQ(failed.failed_devices[0], 1u);
+}
+
+TEST(MultiGpuFailover, DeviceLossAtFinalWaveOrdinalFiresAndOneBeyondDoesNot) {
+  // Edge regression: a clean run leaves the victim at kernel ordinal K. A
+  // loss keyed at K-1 must still fail over (the last wave dies); keyed at
+  // K the plan never fires and no failover may be reported.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  DevicePool clean(3);
+  const MultiGpuResult reference =
+      run_eim_multi(clean.ptrs, g, DiffusionModel::IndependentCascade, params);
+  const std::uint64_t launches = clean.ptrs[1]->kernel_launch_ordinal();
+  ASSERT_GT(launches, 0u);
+
+  DevicePool at_last(3);
+  gpusim::FaultPlan last_plan;
+  last_plan.device_loss_kernel_ordinal = launches - 1;
+  at_last.ptrs[1]->set_fault_plan(last_plan);
+  const MultiGpuResult last =
+      run_eim_multi(at_last.ptrs, g, DiffusionModel::IndependentCascade, params);
+  EXPECT_EQ(last.seeds, reference.seeds);
+  EXPECT_EQ(last.num_sets, reference.num_sets);
+  ASSERT_EQ(last.failed_devices.size(), 1u);
+  EXPECT_EQ(last.failed_devices[0], 1u);
+
+  DevicePool beyond(3);
+  gpusim::FaultPlan beyond_plan;
+  beyond_plan.device_loss_kernel_ordinal = launches;
+  beyond.ptrs[1]->set_fault_plan(beyond_plan);
+  const MultiGpuResult never =
+      run_eim_multi(beyond.ptrs, g, DiffusionModel::IndependentCascade, params);
+  EXPECT_EQ(never.seeds, reference.seeds);
+  EXPECT_TRUE(never.failed_devices.empty());
+  EXPECT_FALSE(beyond.ptrs[1]->lost());
+}
+
 TEST(MultiGpuFailover, LosingEveryDeviceThrows) {
   const Graph g = make_graph();
   DevicePool pool(2);

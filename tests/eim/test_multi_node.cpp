@@ -1,0 +1,538 @@
+// Multi-node cluster tier (eim/multi_node.hpp, docs/RESILIENCE.md "Cluster
+// failover"). The ClusterFailover suite proves the three contract points:
+// (a) killing any single node at any collective ordinal yields bit-identical
+// final seeds, (b) a mid-run checkpoint resumes bit-identically on a
+// different node count, (c) quorum loss degrades gracefully under
+// --node-degrade semantics instead of aborting.
+#include "eim/eim/multi_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include "eim/eim/checkpoint.hpp"
+#include "eim/eim/multi_gpu.hpp"
+#include "eim/eim/pipeline.hpp"
+#include "eim/graph/generators.hpp"
+#include "eim/graph/weights.hpp"
+#include "eim/support/error.hpp"
+#include "eim/support/metrics.hpp"
+#include "eim/support/trace.hpp"
+
+namespace eim::eim_impl {
+namespace {
+
+using graph::DiffusionModel;
+using graph::Graph;
+
+Graph make_graph() {
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(400, 3, 0.3, 7));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  return g;
+}
+
+imm::ImmParams make_params() {
+  imm::ImmParams p;
+  p.k = 6;
+  p.epsilon = 0.3;
+  return p;
+}
+
+gpusim::Cluster make_cluster(std::uint32_t nodes, std::uint32_t devices = 1,
+                             std::uint64_t mb = 256) {
+  gpusim::ClusterSpec spec;
+  spec.num_nodes = nodes;
+  spec.node.num_devices = devices;
+  spec.node.device = gpusim::make_benchmark_device(mb);
+  return gpusim::Cluster(spec);
+}
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& stem)
+      : path(::testing::TempDir() + stem + "_" + std::to_string(::getpid())) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+void expect_same_answer(const EimResult& a, const EimResult& b) {
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.num_sets, b.num_sets);
+  EXPECT_EQ(a.total_elements, b.total_elements);
+  EXPECT_EQ(a.singletons_discarded, b.singletons_discarded);
+  EXPECT_DOUBLE_EQ(a.lower_bound, b.lower_bound);
+  EXPECT_DOUBLE_EQ(a.estimated_spread, b.estimated_spread);
+}
+
+TEST(MultiNode, SingleNodeMatchesSingleDevicePipeline) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Device solo(gpusim::make_benchmark_device(256));
+  const EimResult single = run_eim(solo, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster cluster = make_cluster(1);
+  const MultiNodeResult clustered =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params);
+
+  expect_same_answer(single, clustered);
+  EXPECT_EQ(clustered.num_nodes, 1u);
+  EXPECT_TRUE(clustered.failed_nodes.empty());
+  EXPECT_FALSE(clustered.degraded);
+}
+
+class MultiNodeCounts : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MultiNodeCounts, SeedsIdenticalAcrossNodeCounts) {
+  // The headline property carried up a tier: any node count yields the
+  // bit-identical result, because global sample ids key the streams.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster one = make_cluster(1);
+  const auto reference =
+      run_eim_cluster(one, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster cluster = make_cluster(GetParam());
+  const auto sharded =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params);
+  expect_same_answer(reference, sharded);
+  EXPECT_EQ(sharded.num_nodes, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, MultiNodeCounts,
+                         ::testing::Values(2u, 3u, 4u, 8u));
+
+TEST(MultiNode, MultiDeviceNodesMatchAndMatchMultiGpu) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster one = make_cluster(1);
+  const auto reference =
+      run_eim_cluster(one, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster grid = make_cluster(2, 2);
+  const auto sharded =
+      run_eim_cluster(grid, g, DiffusionModel::IndependentCascade, params);
+  expect_same_answer(reference, sharded);
+  EXPECT_EQ(sharded.devices_per_node, 2u);
+
+  // Cross-tier parity: the single-host multi-GPU path agrees too.
+  std::vector<std::unique_ptr<gpusim::Device>> owned;
+  std::vector<gpusim::Device*> ptrs;
+  for (int i = 0; i < 4; ++i) {
+    owned.push_back(
+        std::make_unique<gpusim::Device>(gpusim::make_benchmark_device(256)));
+    ptrs.push_back(owned.back().get());
+  }
+  const auto multi = run_eim_multi(ptrs, g, DiffusionModel::IndependentCascade, params);
+  EXPECT_EQ(multi.seeds, sharded.seeds);
+}
+
+TEST(MultiNode, ScalingReducesKernelTimeAtCommunicationCost) {
+  const Graph g = make_graph();
+  imm::ImmParams params = make_params();
+  params.epsilon = 0.2;  // enough theta for the split to matter
+
+  gpusim::Cluster one = make_cluster(1);
+  gpusim::Cluster four = make_cluster(4);
+  const auto solo = run_eim_cluster(one, g, DiffusionModel::IndependentCascade, params);
+  const auto quad = run_eim_cluster(four, g, DiffusionModel::IndependentCascade, params);
+  EXPECT_EQ(solo.seeds, quad.seeds);
+  EXPECT_LT(quad.kernel_seconds, solo.kernel_seconds);
+  EXPECT_GT(quad.communication_seconds, solo.communication_seconds);
+}
+
+TEST(ClusterFailover, KillingAnyNodeAtAnyCollectiveOrdinalKeepsSeeds) {
+  // Acceptance point (a): sweep the scripted node loss over EVERY collective
+  // ordinal the clean run executes; each variant reshards and finishes with
+  // bit-identical seeds. Also covers the ordinal-0 edge (death at the very
+  // first collective, before any sampling).
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+  const std::uint64_t total_collectives = clean.collective_ordinal();
+  ASSERT_GT(total_collectives, 2u);
+
+  for (std::uint64_t ordinal = 0; ordinal < total_collectives; ++ordinal) {
+    gpusim::Cluster cluster = make_cluster(3);
+    gpusim::ClusterFaultPlan plan;
+    plan.node_losses.push_back({1, ordinal, -1.0});
+    cluster.set_fault_plan(plan);
+    const MultiNodeResult failed =
+        run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params);
+    ASSERT_EQ(failed.seeds, reference.seeds) << "loss at ordinal " << ordinal;
+    ASSERT_EQ(failed.num_sets, reference.num_sets) << "loss at ordinal " << ordinal;
+    ASSERT_EQ(failed.failed_nodes, std::vector<std::uint32_t>{1u})
+        << "loss at ordinal " << ordinal;
+    ASSERT_TRUE(cluster.node(1).lost());
+  }
+}
+
+TEST(ClusterFailover, PrimaryNodeLossPromotesASurvivor) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster cluster = make_cluster(3);
+  gpusim::ClusterFaultPlan plan;
+  plan.node_losses.push_back({0, 2, -1.0});  // kill the primary's node
+  cluster.set_fault_plan(plan);
+  const MultiNodeResult failed =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params);
+  expect_same_answer(reference, failed);
+  EXPECT_EQ(failed.failed_nodes, std::vector<std::uint32_t>{0u});
+}
+
+TEST(ClusterFailover, LossAtFinalOrdinalFiresAndOneBeyondDoesNot) {
+  // Final-ordinal edge regression (node tier): a loss keyed exactly at the
+  // clean run's last collective still triggers failover; keyed one past it,
+  // the plan never fires and the run must report no failover at all.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+  const std::uint64_t total = clean.collective_ordinal();
+
+  gpusim::Cluster at_last = make_cluster(3);
+  gpusim::ClusterFaultPlan last_plan;
+  last_plan.node_losses.push_back({2, total - 1, -1.0});
+  at_last.set_fault_plan(last_plan);
+  const MultiNodeResult last =
+      run_eim_cluster(at_last, g, DiffusionModel::IndependentCascade, params);
+  expect_same_answer(reference, last);
+  EXPECT_EQ(last.failed_nodes, std::vector<std::uint32_t>{2u});
+
+  gpusim::Cluster beyond = make_cluster(3);
+  gpusim::ClusterFaultPlan beyond_plan;
+  beyond_plan.node_losses.push_back({2, total, -1.0});
+  beyond.set_fault_plan(beyond_plan);
+  const MultiNodeResult never =
+      run_eim_cluster(beyond, g, DiffusionModel::IndependentCascade, params);
+  expect_same_answer(reference, never);
+  EXPECT_TRUE(never.failed_nodes.empty());
+  EXPECT_FALSE(beyond.node(2).lost());
+}
+
+TEST(ClusterFailover, NodeLossByModeledTimeAlsoRecovers) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+  const double mid = clean.timeline().total_seconds() / 2.0;
+  ASSERT_GT(mid, 0.0);
+
+  gpusim::Cluster cluster = make_cluster(3);
+  gpusim::ClusterFaultPlan plan;
+  plan.node_losses.push_back({1, gpusim::kNeverOrdinal, mid});
+  cluster.set_fault_plan(plan);
+  const MultiNodeResult failed =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params);
+  expect_same_answer(reference, failed);
+  EXPECT_EQ(failed.failed_nodes, std::vector<std::uint32_t>{1u});
+}
+
+TEST(ClusterFailover, TransientLinkFaultRetriesWithBackoff) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster cluster = make_cluster(3);
+  gpusim::ClusterFaultPlan plan;
+  plan.link_faults.push_back({1, 2});  // one blip on node 1's third attempt
+  cluster.set_fault_plan(plan);
+  support::metrics::MetricsRegistry registry;
+  support::trace::TraceRecorder trace;
+  EimOptions options;
+  options.metrics = &registry;
+  options.trace = &trace;
+  const MultiNodeResult retried = run_eim_cluster(
+      cluster, g, DiffusionModel::IndependentCascade, params, options);
+
+  // Transparent: the retry recovers, no node dies, seeds stay identical.
+  EXPECT_EQ(retried.seeds, reference.seeds);
+  EXPECT_TRUE(retried.failed_nodes.empty());
+  EXPECT_EQ(retried.collective_retries, 1u);
+  EXPECT_EQ(registry.counter("collective.retries").value(), 1u);
+  EXPECT_EQ(registry.histogram("collective.backoff_seconds").count(), 1u);
+  EXPECT_GT(cluster.timeline().backoff_seconds(), 0.0);
+  const auto instants = trace.instants();
+  EXPECT_TRUE(std::any_of(instants.begin(), instants.end(), [](const auto& i) {
+    return i.name == "collective.retry";
+  }));
+}
+
+TEST(ClusterFailover, LinkRetryExhaustionEscalatesToNodeDead) {
+  // Timeout => node-dead: consecutive link faults defeat the default
+  // 3-attempt budget, the node is escalated to lost, its shard reshards,
+  // and the run still lands on the fault-free answer.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster cluster = make_cluster(3);
+  gpusim::ClusterFaultPlan plan;
+  plan.link_faults.push_back({1, 0});
+  plan.link_faults.push_back({1, 1});
+  plan.link_faults.push_back({1, 2});
+  cluster.set_fault_plan(plan);
+  support::metrics::MetricsRegistry registry;
+  support::trace::TraceRecorder trace;
+  EimOptions options;
+  options.metrics = &registry;
+  options.trace = &trace;
+  const MultiNodeResult failed = run_eim_cluster(
+      cluster, g, DiffusionModel::IndependentCascade, params, options);
+
+  expect_same_answer(reference, failed);
+  EXPECT_EQ(failed.failed_nodes, std::vector<std::uint32_t>{1u});
+  EXPECT_TRUE(cluster.node(1).lost());
+  EXPECT_EQ(failed.collective_retries, 2u);  // two backoffs, then escalation
+  EXPECT_EQ(registry.counter("cluster.node_lost").value(), 1u);
+  const auto instants = trace.instants();
+  EXPECT_TRUE(std::any_of(instants.begin(), instants.end(),
+                          [](const auto& i) { return i.name == "node.lost"; }));
+}
+
+TEST(ClusterFailover, StragglerChangesOnlyModeledTime) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(4);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster cluster = make_cluster(4);
+  gpusim::ClusterFaultPlan plan;
+  plan.slowdowns.push_back({2, 8.0, 0});  // node 2's NIC runs at 1/8 speed
+  cluster.set_fault_plan(plan);
+  const MultiNodeResult dragged =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params);
+
+  expect_same_answer(reference, dragged);
+  EXPECT_TRUE(dragged.failed_nodes.empty());
+  EXPECT_GT(dragged.communication_seconds, reference.communication_seconds);
+}
+
+TEST(ClusterFailover, DeviceLossDrainsTheWholeNode) {
+  // A node whose GPU dies is drained, not limped: the whole node retires
+  // and its shard reshards, exactly like a scripted node loss.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(2, 2);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+
+  gpusim::Cluster cluster = make_cluster(2, 2);
+  gpusim::FaultPlan device_plan;
+  device_plan.device_loss_kernel_ordinal = 2;
+  cluster.node(1).device(0).set_fault_plan(device_plan);
+  const MultiNodeResult failed =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params);
+
+  expect_same_answer(reference, failed);
+  EXPECT_EQ(failed.failed_nodes, std::vector<std::uint32_t>{1u});
+  EXPECT_GT(failed.reshard_samples, 0u);
+}
+
+TEST(ClusterFailover, QuorumLossThrowsWithExitCodeSix) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster cluster = make_cluster(3);
+  gpusim::ClusterFaultPlan plan;
+  plan.node_losses.push_back({2, 1, -1.0});
+  cluster.set_fault_plan(plan);
+  MultiNodeOptions node_options;
+  node_options.quorum = 3;  // any loss is fatal
+  try {
+    (void)run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params, {},
+                          node_options);
+    FAIL() << "expected ClusterQuorumError";
+  } catch (const support::ClusterQuorumError& e) {
+    EXPECT_EQ(e.alive_nodes(), 2u);
+    EXPECT_EQ(e.quorum(), 3u);
+    EXPECT_EQ(support::exit_code_for(e), support::kExitClusterLost);
+  }
+}
+
+TEST(ClusterFailover, QuorumLossDegradesGracefullyWhenOptedIn) {
+  // Acceptance point (c): with node_degrade, quorum loss freezes the
+  // committed prefix, publishes best-effort seeds, and reports the sample
+  // shortfall — mirroring OomPolicy::Degrade.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster cluster = make_cluster(3);
+  gpusim::ClusterFaultPlan plan;
+  plan.node_losses.push_back({2, 1, -1.0});  // dies at the first count allreduce
+  cluster.set_fault_plan(plan);
+  support::metrics::MetricsRegistry registry;
+  EimOptions options;
+  options.metrics = &registry;
+  MultiNodeOptions node_options;
+  node_options.quorum = 3;
+  node_options.node_degrade = true;
+  const MultiNodeResult result = run_eim_cluster(
+      cluster, g, DiffusionModel::IndependentCascade, params, options, node_options);
+
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GT(result.degrade_shortfall_samples, 0u);
+  EXPECT_EQ(result.seeds.size(), params.k);
+  EXPECT_GT(result.num_sets, 0u);
+  EXPECT_EQ(result.failed_nodes, std::vector<std::uint32_t>{2u});
+  EXPECT_EQ(registry.counter("cluster.degraded").value(), 1u);
+  EXPECT_EQ(registry.counter("cluster.node_lost").value(), 1u);
+  EXPECT_GT(registry.counter("cluster.reshard_samples").value(), 0u);
+}
+
+TEST(ClusterFailover, LosingEveryNodeThrowsEvenWithDegrade) {
+  const Graph g = make_graph();
+  gpusim::Cluster cluster = make_cluster(2);
+  gpusim::ClusterFaultPlan plan;
+  plan.node_losses.push_back({0, 1, -1.0});
+  plan.node_losses.push_back({1, 2, -1.0});
+  cluster.set_fault_plan(plan);
+  MultiNodeOptions node_options;
+  node_options.node_degrade = true;  // degrade cannot save an empty cluster
+  EXPECT_THROW((void)run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade,
+                                     make_params(), {}, node_options),
+               support::ClusterQuorumError);
+}
+
+TEST(ClusterCheckpoint, MidRunSnapshotResumesAcrossNodeCounts) {
+  // Acceptance point (b): a snapshot written by a 3-node cluster killed
+  // mid-run resumes bit-identically on 2 nodes, on 4 nodes, and on a plain
+  // single device — the checkpoint is topology-free (global sample-id
+  // order), so the restored sets restripe over whatever fleet resumes.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+  const std::uint64_t clean_launches =
+      clean.node(0).device(0).kernel_launch_ordinal();
+  ASSERT_GT(clean_launches, 1u);
+
+  TempDir dir("eim_cluster_ckpt");
+  {
+    gpusim::Cluster doomed = make_cluster(3);
+    gpusim::FaultPlan abort_plan;
+    abort_plan.process_abort_kernel_ordinal = clean_launches / 2;
+    doomed.node(0).device(0).set_fault_plan(abort_plan);
+    EimOptions options;
+    options.checkpoint_dir = dir.path;
+    try {
+      const MultiNodeResult full = run_eim_cluster(
+          doomed, g, DiffusionModel::IndependentCascade, params, options);
+      expect_same_answer(reference, full);  // abort landed past the last wave
+    } catch (const support::ProcessAbortError&) {
+      // The expected path: killed mid-sampling, snapshot left on disk.
+    }
+  }
+
+  CheckpointState ckpt = load_checkpoint(dir.path);
+  for (const std::uint32_t nodes : {2u, 4u}) {
+    gpusim::Cluster resumed_cluster = make_cluster(nodes);
+    EimOptions options;
+    options.resume = &ckpt;
+    const MultiNodeResult resumed = run_eim_cluster(
+        resumed_cluster, g, DiffusionModel::IndependentCascade, params, options);
+    expect_same_answer(reference, resumed);
+    EXPECT_EQ(resumed.num_nodes, nodes);
+  }
+
+  // Cross-tier: the same snapshot resumes on the single-device pipeline.
+  gpusim::Device solo(gpusim::make_benchmark_device(256));
+  EimOptions solo_options;
+  solo_options.resume = &ckpt;
+  const EimResult solo_resumed =
+      run_eim(solo, g, DiffusionModel::IndependentCascade, params, solo_options);
+  expect_same_answer(reference, solo_resumed);
+}
+
+TEST(ClusterCheckpoint, ClusterResumesASingleDeviceSnapshot) {
+  // The reverse direction: a snapshot written by the single-device pipeline
+  // restripes onto a cluster and lands on the identical answer.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  TempDir dir("eim_single_to_cluster");
+  gpusim::Device solo(gpusim::make_benchmark_device(256));
+  EimOptions write_options;
+  write_options.checkpoint_dir = dir.path;
+  const EimResult reference =
+      run_eim(solo, g, DiffusionModel::IndependentCascade, params, write_options);
+
+  CheckpointState ckpt = load_checkpoint(dir.path);
+  gpusim::Cluster cluster = make_cluster(3);
+  EimOptions options;
+  options.resume = &ckpt;
+  const MultiNodeResult resumed =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params, options);
+  expect_same_answer(reference, resumed);
+}
+
+TEST(ClusterCheckpoint, ResumeAfterNodeLossStillMatches) {
+  // Belt and braces: resume on a different node count AND kill a node
+  // during the resumed segment — both recovery paths compose.
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster clean = make_cluster(3);
+  const MultiNodeResult reference =
+      run_eim_cluster(clean, g, DiffusionModel::IndependentCascade, params);
+  const std::uint64_t clean_launches =
+      clean.node(0).device(0).kernel_launch_ordinal();
+
+  TempDir dir("eim_cluster_ckpt_loss");
+  {
+    gpusim::Cluster doomed = make_cluster(3);
+    gpusim::FaultPlan abort_plan;
+    abort_plan.process_abort_kernel_ordinal = clean_launches / 2;
+    doomed.node(0).device(0).set_fault_plan(abort_plan);
+    EimOptions options;
+    options.checkpoint_dir = dir.path;
+    try {
+      (void)run_eim_cluster(doomed, g, DiffusionModel::IndependentCascade, params,
+                            options);
+    } catch (const support::ProcessAbortError&) {
+    }
+  }
+
+  CheckpointState ckpt = load_checkpoint(dir.path);
+  gpusim::Cluster cluster = make_cluster(4);
+  gpusim::ClusterFaultPlan plan;
+  plan.node_losses.push_back({3, 2, -1.0});
+  cluster.set_fault_plan(plan);
+  EimOptions options;
+  options.resume = &ckpt;
+  const MultiNodeResult resumed =
+      run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params, options);
+  expect_same_answer(reference, resumed);
+  EXPECT_EQ(resumed.failed_nodes, std::vector<std::uint32_t>{3u});
+}
+
+}  // namespace
+}  // namespace eim::eim_impl

@@ -216,6 +216,44 @@ TEST(FaultPlan, DeallocationPermittedAfterLoss) {
   EXPECT_EQ(device.memory().allocated_bytes(), held - 1024);
 }
 
+TEST(FaultPlan, DeviceLossAtKernelOrdinalZeroFiresOnFirstLaunch) {
+  // Edge regression: ordinal 0 means the device never completes a single
+  // launch — the very first one must already throw, and stay sticky.
+  Device device;
+  FaultPlan plan;
+  plan.device_loss_kernel_ordinal = 0;
+  device.set_fault_plan(plan);
+  EXPECT_THROW(device.launch_blocks("k0", 1, noop_block), support::DeviceLostError);
+  EXPECT_TRUE(device.lost());
+  EXPECT_THROW(device.launch_blocks("k1", 1, noop_block), support::DeviceLostError);
+  EXPECT_EQ(device.fault_stats().device_losses, 1u);
+  // The dying launch consumed its ordinal (like every other fault kind);
+  // launches on an already-lost device throw before consuming one.
+  EXPECT_EQ(device.kernel_launch_ordinal(), 1u);
+}
+
+TEST(FaultPlan, DeviceLossKeyedBeyondLastLaunchNeverFires) {
+  // Edge regression: a clean run issues N launches (ordinals 0..N-1); a
+  // loss keyed at exactly N must never trigger.
+  Device clean;
+  for (int i = 0; i < 5; ++i) clean.launch_blocks("k", 1, noop_block);
+  const std::uint64_t launches = clean.kernel_launch_ordinal();
+
+  Device device;
+  FaultPlan plan;
+  plan.device_loss_kernel_ordinal = launches;
+  device.set_fault_plan(plan);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW(device.launch_blocks("k", 1, noop_block));
+  }
+  EXPECT_FALSE(device.lost());
+  EXPECT_EQ(device.fault_stats().device_losses, 0u);
+
+  // One more launch crosses the threshold — the sticky `>=` kicks in.
+  EXPECT_THROW(device.launch_blocks("k", 1, noop_block), support::DeviceLostError);
+  EXPECT_TRUE(device.lost());
+}
+
 TEST(FaultPlan, EmptyPlanLeavesDeviceUntouched) {
   Device device;
   device.set_fault_plan(FaultPlan{});

@@ -23,6 +23,7 @@
 #include "eim/diffusion/forward.hpp"
 #include "eim/eim/checkpoint.hpp"
 #include "eim/eim/multi_gpu.hpp"
+#include "eim/eim/multi_node.hpp"
 #include "eim/eim/pipeline.hpp"
 #include "eim/graph/io.hpp"
 #include "eim/graph/registry.hpp"
@@ -42,7 +43,7 @@ using namespace eim;
 /// Print a one-line machine-parseable error record to stderr and return the
 /// exit code mapped from the exception class (docs/RESILIENCE.md):
 ///   2 = bad arguments, 3 = I/O, 4 = device OOM, 5 = device fault/loss,
-///   1 = anything else.
+///   6 = unrecoverable cluster loss, 1 = anything else.
 int report_error(const support::Error& e) {
   support::JsonWriter w(std::cerr);
   w.begin_object()
@@ -53,6 +54,10 @@ int report_error(const support::Error& e) {
   if (const auto* oom = dynamic_cast<const support::DeviceOutOfMemoryError*>(&e)) {
     w.field("requested_bytes", oom->requested_bytes())
         .field("available_bytes", oom->available_bytes());
+  }
+  if (const auto* quorum = dynamic_cast<const support::ClusterQuorumError*>(&e)) {
+    w.field("alive_nodes", static_cast<std::uint64_t>(quorum->alive_nodes()))
+        .field("quorum", static_cast<std::uint64_t>(quorum->quorum()));
   }
   w.end_object();
   std::cerr << "\n";
@@ -66,6 +71,11 @@ struct CliOptions {
   graph::DiffusionModel model = graph::DiffusionModel::IndependentCascade;
   imm::ImmParams params;
   std::uint32_t devices = 1;
+  std::uint32_t nodes = 0;  ///< >0 selects the modeled cluster tier
+  std::uint32_t devices_per_node = 1;
+  std::uint32_t quorum = 1;
+  bool node_degrade = false;
+  gpusim::ClusterFaultPlan cluster_faults;  ///< --kill-node/--link-fault/--straggler
   std::uint64_t memory_mb = 512;
   std::uint32_t verify_trials = 0;
   bool no_log_encoding = false;
@@ -89,6 +99,21 @@ void print_usage() {
       "  --eps <x>            approximation parameter (default 0.13)\n"
       "  --seed <n>           RNG seed (default 42)\n"
       "  --devices <n>        simulated GPUs for eIM (default 1)\n"
+      "  --nodes <n>          modeled cluster: shard eIM over n nodes (eim\n"
+      "                       only; see docs/RESILIENCE.md, Cluster failover)\n"
+      "  --devices-per-node <n>  simulated GPUs inside each node (default 1)\n"
+      "  --quorum <n>         minimum alive nodes; dropping below exits with\n"
+      "                       code 6 (cluster_lost) unless --node-degrade\n"
+      "  --node-degrade       below quorum, publish best-effort seeds from\n"
+      "                       the committed samples plus the shortfall\n"
+      "                       instead of failing (cluster analogue of\n"
+      "                       --oom-degrade)\n"
+      "  --kill-node <i@o>    fault script: node i dies at collective\n"
+      "                       ordinal o (repeatable)\n"
+      "  --link-fault <i@o>   fault script: node i's link drops its o-th\n"
+      "                       per-link transfer once (repeatable)\n"
+      "  --straggler <i@f>    fault script: node i's link runs f x slower\n"
+      "                       (repeatable)\n"
       "  --memory-mb <n>      simulated device memory (default 512)\n"
       "  --verify <trials>    score the seeds with forward Monte-Carlo\n"
       "  --no-log-encoding    disable the Section 3.1 compression\n"
@@ -112,6 +137,19 @@ void print_usage() {
       "                       keeps checkpointing into <dir> unless\n"
       "                       --checkpoint overrides (eim only)\n"
       "  --list-datasets      print the registry and exit");
+}
+
+/// Split a fault-script operand of the form "<node>@<value>" — e.g.
+/// `--kill-node 1@4`. `rest` points at the text after the '@'.
+bool parse_indexed(const char* s, std::uint32_t& node, const char*& rest) {
+  const char* at = std::strchr(s, '@');
+  if (at == nullptr || at == s || *(at + 1) == '\0') {
+    std::fprintf(stderr, "error: expected <node>@<value>, got '%s'\n", s);
+    return false;
+  }
+  node = static_cast<std::uint32_t>(std::atoi(s));
+  rest = at + 1;
+  return true;
 }
 
 /// Parse argv. On nullopt, `exit_code` says why: kExitOk for --help /
@@ -168,6 +206,31 @@ std::optional<CliOptions> parse(int argc, char** argv, int& exit_code) {
       opt.params.rng_seed = static_cast<std::uint64_t>(std::atoll(value));
     } else if (arg == "--devices" && (value = next())) {
       opt.devices = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--nodes" && (value = next())) {
+      opt.nodes = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--devices-per-node" && (value = next())) {
+      opt.devices_per_node = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--quorum" && (value = next())) {
+      opt.quorum = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--node-degrade") {
+      opt.node_degrade = true;
+    } else if (arg == "--kill-node" && (value = next())) {
+      std::uint32_t node = 0;
+      const char* at = nullptr;
+      if (!parse_indexed(value, node, at)) return std::nullopt;
+      opt.cluster_faults.node_losses.push_back(
+          {node, static_cast<std::uint64_t>(std::atoll(at)), -1.0});
+    } else if (arg == "--link-fault" && (value = next())) {
+      std::uint32_t node = 0;
+      const char* at = nullptr;
+      if (!parse_indexed(value, node, at)) return std::nullopt;
+      opt.cluster_faults.link_faults.push_back(
+          {node, static_cast<std::uint64_t>(std::atoll(at))});
+    } else if (arg == "--straggler" && (value = next())) {
+      std::uint32_t node = 0;
+      const char* at = nullptr;
+      if (!parse_indexed(value, node, at)) return std::nullopt;
+      opt.cluster_faults.slowdowns.push_back({node, std::atof(at), 0});
     } else if (arg == "--memory-mb" && (value = next())) {
       opt.memory_mb = static_cast<std::uint64_t>(std::atoll(value));
     } else if (arg == "--verify" && (value = next())) {
@@ -209,6 +272,16 @@ int main(int argc, char** argv) {
   if ((!opt.checkpoint_dir.empty() || !opt.resume_dir.empty()) && opt.algo != "eim") {
     return report_error(support::InvalidArgumentError(
         "--checkpoint/--resume require --algo eim (got '" + opt.algo + "')"));
+  }
+  if (opt.nodes > 0 && opt.algo != "eim") {
+    return report_error(support::InvalidArgumentError(
+        "--nodes requires --algo eim (got '" + opt.algo + "')"));
+  }
+  if (opt.nodes == 0 && (!opt.cluster_faults.empty() || opt.node_degrade ||
+                         opt.quorum != 1 || opt.devices_per_node != 1)) {
+    return report_error(support::InvalidArgumentError(
+        "cluster options (--quorum/--node-degrade/--devices-per-node/"
+        "--kill-node/--link-fault/--straggler) require --nodes"));
   }
   // --resume keeps checkpointing into the same directory unless --checkpoint
   // points elsewhere.
@@ -257,6 +330,7 @@ int main(int argc, char** argv) {
   support::trace::TraceRecorder* trace =
       opt.trace_out.empty() ? nullptr : &recorder;
   eim_impl::EimResult result;
+  std::optional<eim_impl::MultiNodeResult> cluster_result;
   int run_exit = support::kExitOk;
   try {
     // Load the snapshot before touching any device. A damaged checkpoint —
@@ -280,6 +354,40 @@ int main(int argc, char** argv) {
       if (!machine_stdout) {
         std::printf("TIM KPT* estimate: %.1f (%llu estimation samples)\n", tim.kpt,
                     static_cast<unsigned long long>(tim.estimation_samples));
+      }
+    } else if (opt.algo == "eim" && opt.nodes > 0) {
+      gpusim::ClusterSpec spec;
+      spec.num_nodes = opt.nodes;
+      spec.node.num_devices = opt.devices_per_node;
+      spec.node.device = gpusim::make_benchmark_device(opt.memory_mb);
+      gpusim::Cluster cluster(spec);
+      cluster.set_fault_plan(opt.cluster_faults);
+      eim_impl::EimOptions options;
+      options.log_encode = !opt.no_log_encoding;
+      options.eliminate_sources = !opt.no_source_elim;
+      if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
+      options.metrics = &registry;
+      options.trace = trace;
+      options.checkpoint_dir = checkpoint_dir;
+      options.resume = ckpt.has_value() ? &*ckpt : nullptr;
+      eim_impl::MultiNodeOptions node_options;
+      node_options.quorum = opt.quorum;
+      node_options.node_degrade = opt.node_degrade;
+      const auto clustered = eim_impl::run_eim_cluster(cluster, g, opt.model,
+                                                       opt.params, options,
+                                                       node_options);
+      result = clustered;
+      cluster_result = clustered;
+      if (!machine_stdout) {
+        std::printf("cluster: %u nodes x %u devices (communication %.3f ms",
+                    clustered.num_nodes, clustered.devices_per_node,
+                    clustered.communication_seconds * 1e3);
+        if (!clustered.failed_nodes.empty()) {
+          std::printf(", %zu node(s) failed over, %llu samples resharded",
+                      clustered.failed_nodes.size(),
+                      static_cast<unsigned long long>(clustered.reshard_samples));
+        }
+        std::printf(")\n");
       }
     } else if (opt.algo == "eim" && opt.devices > 1) {
       std::vector<std::unique_ptr<gpusim::Device>> owned;
@@ -396,6 +504,23 @@ int main(int argc, char** argv) {
     if (result.degraded) {
       w.field("degrade_shortfall_bytes", result.degrade_shortfall_bytes);
     }
+    if (cluster_result.has_value()) {
+      w.field("nodes", static_cast<std::uint64_t>(cluster_result->num_nodes))
+          .field("devices_per_node",
+                 static_cast<std::uint64_t>(cluster_result->devices_per_node))
+          .field("communication_seconds", cluster_result->communication_seconds)
+          .field("reshard_samples", cluster_result->reshard_samples)
+          .field("collective_retries", cluster_result->collective_retries);
+      w.begin_array("failed_nodes");
+      for (const auto n : cluster_result->failed_nodes) {
+        w.value(static_cast<std::uint64_t>(n));
+      }
+      w.end_array();
+      if (cluster_result->degraded) {
+        w.field("degrade_shortfall_samples",
+                cluster_result->degrade_shortfall_samples);
+      }
+    }
     if (opt.verify_trials > 0) {
       const auto spread = diffusion::estimate_spread(g, opt.model, result.seeds,
                                                      opt.verify_trials, 1234);
@@ -423,10 +548,19 @@ int main(int argc, char** argv) {
                 static_cast<double>(result.rrr_raw_bytes) / 1e6);
   }
   if (result.degraded) {
-    std::printf(
-        "DEGRADED: device memory ran out %llu bytes short; seeds are "
-        "best-effort over the sets that fit\n",
-        static_cast<unsigned long long>(result.degrade_shortfall_bytes));
+    if (cluster_result.has_value() &&
+        cluster_result->degrade_shortfall_samples > 0) {
+      std::printf(
+          "DEGRADED: cluster fell below quorum %llu samples short of the "
+          "full run; seeds are best-effort over the committed prefix\n",
+          static_cast<unsigned long long>(
+              cluster_result->degrade_shortfall_samples));
+    } else {
+      std::printf(
+          "DEGRADED: device memory ran out %llu bytes short; seeds are "
+          "best-effort over the sets that fit\n",
+          static_cast<unsigned long long>(result.degrade_shortfall_bytes));
+    }
   }
   std::printf("coverage-based spread estimate: %.1f of %u vertices\n",
               result.estimated_spread, g.num_vertices());
