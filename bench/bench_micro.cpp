@@ -6,7 +6,7 @@
 // host-side costs; the modeled GPU numbers come from the per-figure
 // binaries.
 //
-// When EIM_BENCH_JSON is set, writes an eim.metrics.v2 envelope with one
+// When EIM_BENCH_JSON is set, writes an eim.metrics.v3 envelope with one
 // cell per benchmark carrying `wall_seconds` (seconds per iteration) so
 // tools/bench_diff can track the host-time trajectory (warn-only).
 #include <benchmark/benchmark.h>
@@ -419,7 +419,7 @@ class EnvelopeReporter : public benchmark::ConsoleReporter {
     support::atomic_write_text(path, [&](std::ostream& out) {
       support::JsonWriter w(out);
       w.begin_object();
-      w.field("schema", "eim.metrics.v2");
+      w.field("schema", "eim.metrics.v3");
       w.field("tool", "bench_micro");
       w.begin_array("cells");
       for (const auto& [id, wall] : cells_) {

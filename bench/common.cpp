@@ -20,7 +20,7 @@ namespace eim::bench {
 
 namespace {
 
-/// Accumulates one eim.metrics.v2 snapshot per finished benchmark cell and
+/// Accumulates one eim.metrics.v3 snapshot per finished benchmark cell and
 /// writes $EIM_BENCH_JSON when the process exits (destructor of the Meyer
 /// singleton). Snapshots are serialized eagerly at record time so the cell's
 /// registry may die with its run_cell frame. Cell-level modeled timing
@@ -35,13 +35,24 @@ class BenchReporter {
   }
 
   void record(std::string id, const support::metrics::MetricsRegistry& registry,
-              const Cell& cell) {
+              const Cell& cell,
+              const support::profiler::WallProfile* wall = nullptr) {
     std::ostringstream metrics;
     support::JsonWriter w(metrics);
     registry.write_json(w);
+    // The wall profile (EIM_BENCH_PROFILE, first cell only) is serialized
+    // eagerly for the same lifetime reason as the registry snapshot.
+    std::string wall_json;
+    if (wall != nullptr) {
+      std::ostringstream wall_out;
+      support::JsonWriter ww(wall_out);
+      wall->write_json(ww);
+      wall_json = wall_out.str();
+    }
     const std::lock_guard<std::mutex> lock(mu_);
-    cells_.push_back(CellRecord{std::move(id), metrics.str(), cell.seconds,
-                                cell.wall_seconds, cell.last.kernel_seconds,
+    cells_.push_back(CellRecord{std::move(id), metrics.str(), std::move(wall_json),
+                                cell.seconds, cell.wall_seconds,
+                                cell.last.kernel_seconds,
                                 cell.last.transfer_seconds});
   }
 
@@ -67,7 +78,7 @@ class BenchReporter {
       support::atomic_write_text(path, [&](std::ostream& out) {
         support::JsonWriter w(out);
         w.begin_object();
-        w.field("schema", "eim.metrics.v2");
+        w.field("schema", "eim.metrics.v3");
         w.field("tool", tool_name());
         w.begin_array("cells");
         for (const auto& cell : cells_) {
@@ -80,7 +91,9 @@ class BenchReporter {
           if (cell.wall_seconds.has_value()) {
             w.field("wall_seconds", *cell.wall_seconds);
           }
-          w.key("metrics").raw_value(cell.metrics_json).end_object();
+          w.key("metrics").raw_value(cell.metrics_json);
+          if (!cell.wall_json.empty()) w.key("wall").raw_value(cell.wall_json);
+          w.end_object();
         }
         w.end_array();
         w.end_object();
@@ -95,6 +108,7 @@ class BenchReporter {
   struct CellRecord {
     std::string id;
     std::string metrics_json;  ///< pre-serialized registry snapshot
+    std::string wall_json;     ///< pre-serialized wall profile ("" = none)
     std::optional<double> seconds;  ///< mean modeled seconds; nullopt = OOM
     std::optional<double> wall_seconds;  ///< mean host wall clock (noisy)
     double kernel_seconds = 0.0;    ///< last successful run's kernel time
@@ -181,6 +195,26 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
     }
   }
 
+  // EIM_BENCH_PROFILE mirrors the trace claim: the first cell to get here
+  // owns the process-wide SIGPROF profiler (one ITIMER_PROF per process)
+  // and the wall-timer profile for all of its runs.
+  std::optional<support::profiler::WallProfile> wall_profile;
+  std::optional<support::profiler::SamplingProfiler> stack_sampler;
+  const char* profile_path = std::getenv("EIM_BENCH_PROFILE");
+  if (profile_path != nullptr && *profile_path != '\0') {
+    static std::mutex profile_mu;
+    static bool profile_claimed = false;
+    const std::lock_guard<std::mutex> lock(profile_mu);
+    if (!profile_claimed) {
+      profile_claimed = true;
+      wall_profile.emplace();
+      if (support::profiler::SamplingProfiler::supported()) {
+        stack_sampler.emplace(support::profiler::SamplingProfiler::Options{});
+        stack_sampler->start();
+      }
+    }
+  }
+
   Cell cell;
   support::metrics::MetricsRegistry registry;
   support::RunningStat stat;
@@ -197,7 +231,8 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
     if (trace != nullptr) trace->register_process(cell_id, &device);
     const auto wall_begin = std::chrono::steady_clock::now();
     try {
-      cell.last = runner(device, g, registry, trace, run);
+      cell.last = runner(device, g, registry, trace,
+                         wall_profile.has_value() ? &*wall_profile : nullptr, run);
     } catch (const support::DeviceOutOfMemoryError& e) {
       registry.counter("bench.oom_runs").add();
       // Record how far over budget the cell was, so the EIM_BENCH_JSON
@@ -230,7 +265,24 @@ Cell run_cell(const BenchEnv& env, const graph::Graph& g, const Runner& runner,
                    e.what());
     }
   }
-  BenchReporter::instance().record(std::move(cell_id), registry, cell);
+  if (wall_profile.has_value()) {
+    if (stack_sampler.has_value()) stack_sampler->stop();
+    try {
+      support::atomic_write_text(profile_path, [&](std::ostream& out) {
+        if (stack_sampler.has_value()) {
+          stack_sampler->write_folded(out);
+        } else {
+          out << "# profiler-unsupported\n";
+        }
+      });
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "warning: cannot write EIM_BENCH_PROFILE=%s: %s\n",
+                   profile_path, e.what());
+    }
+  }
+  BenchReporter::instance().record(std::move(cell_id), registry, cell,
+                                   wall_profile.has_value() ? &*wall_profile
+                                                            : nullptr);
   return cell;
 }
 
@@ -245,12 +297,14 @@ Runner eim_runner(graph::DiffusionModel model, imm::ImmParams params,
   return [model, params, options](gpusim::Device& device, const graph::Graph& g,
                                   support::metrics::MetricsRegistry& registry,
                                   support::trace::TraceRecorder* trace,
+                                  support::profiler::WallProfile* profile,
                                   std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;
     eim_impl::EimOptions o = options;
     o.metrics = &registry;
     o.trace = trace;
+    o.profile = profile;
     return eim_impl::run_eim(device, g, model, p, o);
   };
 }
@@ -259,6 +313,7 @@ Runner gim_runner(graph::DiffusionModel model, imm::ImmParams params) {
   return [model, params](gpusim::Device& device, const graph::Graph& g,
                          support::metrics::MetricsRegistry& /*registry*/,
                          support::trace::TraceRecorder* /*trace*/,
+                         support::profiler::WallProfile* /*profile*/,
                          std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;
@@ -270,6 +325,7 @@ Runner curipples_runner(graph::DiffusionModel model, imm::ImmParams params) {
   return [model, params](gpusim::Device& device, const graph::Graph& g,
                          support::metrics::MetricsRegistry& /*registry*/,
                          support::trace::TraceRecorder* /*trace*/,
+                         support::profiler::WallProfile* /*profile*/,
                          std::uint32_t run) {
     imm::ImmParams p = params;
     p.rng_seed += run;

@@ -12,14 +12,22 @@
 //                       suite smoke-runs in a couple of minutes;
 //   EIM_BENCH_MEMORY_MB simulated device memory (default 512 — the 48 GB
 //                       A6000 scaled by roughly the dataset scale factor);
-//   EIM_BENCH_JSON      path to write an eim.metrics.v2 report with one
+//   EIM_BENCH_JSON      path to write an eim.metrics.v3 report with one
 //                       metrics snapshot (plus modeled seconds / kernel /
 //                       transfer timing) per benchmark cell at process exit
-//                       — the input format of tools/bench_diff
-//                       (see docs/OBSERVABILITY.md);
+//                       — the input format of tools/bench_diff and
+//                       tools/bench_history (see docs/OBSERVABILITY.md);
 //   EIM_BENCH_TRACE     path to write a Chrome trace-event file of the first
 //                       benchmark cell's first run (a bounded, deterministic
-//                       representative trace; open in ui.perfetto.dev).
+//                       representative trace; open in ui.perfetto.dev);
+//   EIM_BENCH_PROFILE   path to write a folded-stack sampling profile of the
+//                       first benchmark cell (same first-cell claim as
+//                       EIM_BENCH_TRACE; feed to tools/prof_report). Also
+//                       attaches the hot-path wall timers for that cell,
+//                       which land in its envelope entry under "wall".
+//                       Writes a '# profiler-unsupported' marker on
+//                       platforms without backtrace(). Wall-only: modeled
+//                       results are bit-identical with or without it.
 #pragma once
 
 #include <functional>
@@ -32,6 +40,7 @@
 #include "eim/eim/pipeline.hpp"
 #include "eim/graph/registry.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/profiler.hpp"
 #include "eim/support/stats.hpp"
 #include "eim/support/table.hpp"
 #include "eim/support/trace.hpp"
@@ -69,10 +78,12 @@ struct Cell {
 /// eIM wires it through EimOptions::metrics; every backend gets the device
 /// pool's high-water mark and allocation events recorded into it. `trace`
 /// is non-null only for the run EIM_BENCH_TRACE captures (eIM wires it
-/// through EimOptions::trace; baselines ignore it).
+/// through EimOptions::trace; baselines ignore it); `profile` likewise for
+/// EIM_BENCH_PROFILE (wired through EimOptions::profile).
 using Runner = std::function<eim_impl::EimResult(
     gpusim::Device&, const graph::Graph&, support::metrics::MetricsRegistry&,
-    support::trace::TraceRecorder* trace, std::uint32_t run)>;
+    support::trace::TraceRecorder* trace, support::profiler::WallProfile* profile,
+    std::uint32_t run)>;
 
 /// Run `runner` EIM_BENCH_RUNS times on fresh devices; averages modeled
 /// time; returns nullopt seconds if any run OOMs (the paper reports OOM if
@@ -85,7 +96,7 @@ using Runner = std::function<eim_impl::EimResult(
 /// Record an externally-built cell into the EIM_BENCH_JSON report. For
 /// benches whose topology run_cell cannot host (e.g. the multi-node cluster
 /// tier builds its own fleet): fill a Cell, pass the registry the run wrote
-/// into, and the cell rides the same eim.metrics.v2 envelope.
+/// into, and the cell rides the same eim.metrics.v3 envelope.
 void record_cell(std::string cell_id,
                  const support::metrics::MetricsRegistry& registry,
                  const Cell& cell);

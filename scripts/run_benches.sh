@@ -2,9 +2,11 @@
 # Run every benchmark binary sequentially, teeing the combined output to
 # bench_output.txt. Cheap benches run first so partial results are useful.
 # Each bench also writes a machine-readable BENCH_<name>.json metrics report
-# (eim.metrics.v2, one snapshot per cell — diff two runs with
-# build/tools/bench_diff) and a TRACE_<name>.json Chrome trace of its first
-# cell (open in ui.perfetto.dev — see docs/OBSERVABILITY.md).
+# (eim.metrics.v3, one snapshot per cell — diff two runs with
+# build/tools/bench_diff, trend several with build/tools/bench_history), a
+# TRACE_<name>.json Chrome trace of its first cell (open in
+# ui.perfetto.dev), and a PROF_<name>.folded wall profile of that cell
+# (attribute with build/tools/prof_report — see docs/OBSERVABILITY.md).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -33,6 +35,7 @@ BENCHES=(
 for b in "${BENCHES[@]}"; do
   echo "===== build/bench/$b =====" >> "$OUT"
   EIM_BENCH_JSON="BENCH_${b}.json" EIM_BENCH_TRACE="TRACE_${b}.json" \
+    EIM_BENCH_PROFILE="PROF_${b}.folded" \
     ./build/bench/"$b" >> "$OUT" 2>&1
   echo >> "$OUT"
 done

@@ -7,7 +7,9 @@
 # diff its timings against the committed baseline. Finishes with a
 # Release-build perf smoke: bench_micro plus the fig7 and multi-node
 # scaling curves diffed bit-identically against bench/baselines (wall rows
-# are warn-only; see docs/PERFORMANCE.md).
+# are warn-only; see docs/PERFORMANCE.md), with the sampling profiler
+# attached to the fig7 run — its folded stacks must symbolize (prof_report
+# gate) and the profiled modeled rows must stay bit-identical.
 #
 # Usage: scripts/run_checks.sh [build-dir]
 #   build-dir defaults to build-asan (kept separate from the regular build).
@@ -109,6 +111,21 @@ fi
 "${cli}" "${clu_args[@]}" --quorum 3 --kill-node 1@2 --node-degrade > /dev/null
 rm -rf "${clu_tmp}"
 
+echo "== CLI stdout-conflict rejection (at most one '-' artifact) =="
+# --metrics-json - / --trace-out - / --profile-out - all write to stdout;
+# any two at once would interleave artifacts, so the CLI must refuse with
+# the bad-arguments exit code (2) before running anything.
+for pair in "--metrics-json - --trace-out -" \
+            "--metrics-json - --profile-out -" \
+            "--trace-out - --profile-out -"; do
+  status=0
+  # shellcheck disable=SC2086
+  "${cli}" --dataset WV --k 5 --eps 0.5 ${pair} > /dev/null 2>&1 || status=$?
+  if [[ "${status}" -ne 2 ]]; then
+    echo "ERROR: '${pair}': expected exit 2, got ${status}" >&2; exit 1
+  fi
+done
+
 echo "== traced benchmark + artifact validation =="
 bench_tmp="$(mktemp -d)"
 trap 'rm -rf "${bench_tmp}"' EXIT
@@ -141,7 +158,7 @@ echo "== Release perf smoke (bench_micro + wall-clock diff, warn-only) =="
 # committed baselines must stay comparable across machines.
 perf_dir="${repo_root}/build-perf"
 cmake -B "${perf_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${perf_dir}" -j "${jobs}" --target bench_micro bench_fig7_ic bench_multi_node bench_diff
+cmake --build "${perf_dir}" -j "${jobs}" --target bench_micro bench_fig7_ic bench_multi_node bench_diff prof_report
 EIM_BENCH_JSON="${bench_tmp}/BENCH_micro.json" \
   "${perf_dir}/bench/bench_micro" --benchmark_min_time=0.2 > /dev/null
 "${perf_dir}/tools/bench_diff" --validate "${bench_tmp}/BENCH_micro.json"
@@ -151,13 +168,33 @@ if [[ -f "${micro_baseline}" ]]; then
   # the diff prints the host-time trajectory but cannot fail the gate.
   "${perf_dir}/tools/bench_diff" "${micro_baseline}" "${bench_tmp}/BENCH_micro.json" || true
 fi
+# EIM_BENCH_PROFILE attaches the sampling profiler and the wall timers to
+# the first cell; the --threshold 0 diff below then doubles as the proof
+# that profiling leaves every modeled row bit-identical.
 EIM_BENCH_DATASETS=WV EIM_BENCH_FAST=1 \
   EIM_BENCH_JSON="${bench_tmp}/BENCH_fig7_ic_release.json" \
+  EIM_BENCH_PROFILE="${bench_tmp}/PROF_fig7_ic.folded" \
   "${perf_dir}/bench/bench_fig7_ic" > /dev/null
+
+echo "-- profiler smoke: folded stacks symbolize and bucket --"
+prof_file="${bench_tmp}/PROF_fig7_ic.folded"
+if [[ ! -s "${prof_file}" ]]; then
+  echo "ERROR: ${prof_file} is missing or empty" >&2; exit 1
+fi
+if head -n 1 "${prof_file}" | grep -q '^# profiler-unsupported'; then
+  echo "SKIP: sampling profiler unsupported on this platform (wall timers still recorded)"
+else
+  # At least 60% of samples must carry a symbolized frame — the tripwire
+  # for a build that lost -rdynamic (CMAKE_ENABLE_EXPORTS) and would
+  # otherwise emit all-hex stacks that no one can attribute.
+  "${perf_dir}/tools/prof_report" --min-symbolized 0.6 "${prof_file}"
+fi
+
 # --threshold 0: host-side restructuring (bulk RNG, draw buffers, fused
 # commits) must leave the modeled rows bit-identical to the committed
 # baseline — any modeled drift at all means the cost model changed, which
-# deserves an intentional baseline refresh, not a tolerance window.
+# deserves an intentional baseline refresh, not a tolerance window. The
+# profiled run feeding this diff also proves observation changes nothing.
 echo "-- fig7 WV fast: modeled time gated bit-identical, wall warn-only --"
 if "${perf_dir}/tools/bench_diff" --threshold 0 "${baseline}" "${bench_tmp}/BENCH_fig7_ic_release.json"; then
   :

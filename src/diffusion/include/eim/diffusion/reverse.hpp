@@ -39,6 +39,13 @@ class RrrSampler {
 
   [[nodiscard]] bool eliminates_source() const noexcept { return eliminate_source_; }
 
+  /// Wire the bulk-draw refill wall timer (nullptr detaches); forwarded to
+  /// the internal FloatDrawBuffer, which only times fills of at least
+  /// FloatDrawBuffer::kTimedRefillDraws draws.
+  void attach_refill_timer(support::profiler::WallTimer* timer) noexcept {
+    draws_.attach_refill_timer(timer);
+  }
+
  private:
   void sample_ic(graph::VertexId source, support::RandomStream& rng,
                  std::vector<graph::VertexId>& out);

@@ -15,6 +15,10 @@ namespace eim::support::trace {
 class TraceRecorder;
 }  // namespace eim::support::trace
 
+namespace eim::support::profiler {
+class WallProfile;
+}  // namespace eim::support::profiler
+
 namespace eim::eim_impl {
 
 struct CheckpointState;
@@ -65,6 +69,15 @@ struct EimOptions {
   /// Chrome trace-event file — see docs/OBSERVABILITY.md. Null skips every
   /// site, like `metrics`.
   support::trace::TraceRecorder* trace = nullptr;
+  /// Optional host wall-clock attribution sink (not owned; must outlive the
+  /// run). When set, the pipeline wraps the real hot scopes — sampler
+  /// waves, RNG refills, bulk codec decode/encode, commit publish, selector
+  /// preprocessing, lazy-greedy picks, pool dispatch — in wall-only scoped
+  /// timers; the aggregate lands in the "wall" section of the
+  /// eim.metrics.v3 report. Null (the default) skips every site without
+  /// even a clock read. Wall timers never touch the modeled clock, so
+  /// modeled output stays bit-identical — see docs/OBSERVABILITY.md.
+  support::profiler::WallProfile* profile = nullptr;
   /// Behavior when device memory runs out mid-collection-growth.
   OomPolicy oom_policy = OomPolicy::Throw;
   /// Bounded retry for transient device faults around sampler launches and

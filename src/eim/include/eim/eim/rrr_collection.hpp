@@ -34,6 +34,11 @@ class Histogram;
 class MetricsRegistry;
 }  // namespace eim::support::metrics
 
+namespace eim::support::profiler {
+class WallProfile;
+class WallTimer;
+}  // namespace eim::support::profiler
+
 namespace eim::eim_impl {
 
 class DeviceRrrCollection {
@@ -97,6 +102,13 @@ class DeviceRrrCollection {
   /// registry must outlive the collection or the next attach call.
   void attach_metrics(support::metrics::MetricsRegistry* registry);
 
+  /// Wire the commit-publish wall timer into `profile` (nullptr detaches).
+  /// Only publishes of at least kTimedPublishLen elements are timed — a
+  /// short set's publish is cheaper than the two clock reads it would cost,
+  /// and the sampling profiler attributes that tail statistically.
+  void attach_profile(support::profiler::WallProfile* profile);
+  static constexpr std::size_t kTimedPublishLen = 64;
+
  private:
   void charge_device(std::uint64_t bytes);
   void refund_device(std::uint64_t bytes) noexcept;
@@ -127,6 +139,7 @@ class DeviceRrrCollection {
   support::metrics::Counter* regrow_r_ = nullptr;
   support::metrics::Counter* regrow_o_ = nullptr;
   support::metrics::Histogram* set_size_hist_ = nullptr;
+  support::profiler::WallTimer* commit_publish_ = nullptr;
 };
 
 }  // namespace eim::eim_impl

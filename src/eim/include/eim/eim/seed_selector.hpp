@@ -59,11 +59,19 @@ class GpuSeedSelector {
     metrics_ = registry;
   }
 
+  /// Wire host wall-clock attribution (codec.decode, selector.preprocess,
+  /// selector.pick) into `profile` (nullptr detaches). The profile must
+  /// outlive the selector or the next attach.
+  void attach_profile(support::profiler::WallProfile* profile) noexcept {
+    profile_ = profile;
+  }
+
  private:
   gpusim::Device* device_;
   ScanStrategy strategy_;
   ArgMaxMode argmax_mode_ = ArgMaxMode::kLazyHeap;
   support::metrics::MetricsRegistry* metrics_ = nullptr;
+  support::profiler::WallProfile* profile_ = nullptr;
 };
 
 }  // namespace eim::eim_impl

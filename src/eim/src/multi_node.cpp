@@ -214,8 +214,29 @@ MultiNodeResult run_eim_cluster(gpusim::Cluster& cluster, const graph::Graph& g,
   // budget escalates the flaky link's node to dead (timeout => node-dead),
   // surfacing as the same NodeLostError a scripted loss produces.
   const auto run_collective = [&](const std::string& label, auto&& op) -> double {
+    // The collective occupies the fabric track as a Collective span (non-leaf
+    // — the cluster timeline's own segments are folded in as leaves at the
+    // end of the run, and a leaf here would double-count them). Each alive
+    // participant sends a flow arrow from its device-0 track into the span,
+    // which is how the export shows who fed the barrier. If the op unwinds
+    // (node loss), the ScopedSpan closes zero-length at the start point and
+    // the arrows stay dangling at their senders — both mark the fault site.
+    support::trace::ScopedSpan span(trace, cluster_pid,
+                                    support::trace::SpanCategory::Collective, label,
+                                    cluster.timeline().total_seconds());
+    std::vector<std::uint64_t> flow_ids;
+    if (trace != nullptr) {
+      for (const std::uint32_t n : alive) {
+        const auto pid = trace->pid_of(&cluster.node(n).device(0));
+        if (!pid.has_value()) continue;
+        const std::uint64_t flow_id = trace->new_flow_id();
+        trace->flow_start(*pid, flow_id, label,
+                          cluster.node(n).device(0).timeline().total_seconds());
+        flow_ids.push_back(flow_id);
+      }
+    }
     try {
-      return support::retry(
+      const double cost = support::retry(
           node_options.collective_retry, [&] { return op(); },
           [&](std::uint32_t retry_index, double backoff_seconds,
               const support::DeviceFaultError&) {
@@ -231,6 +252,14 @@ MultiNodeResult run_eim_cluster(gpusim::Cluster& cluster, const graph::Graph& g,
                              cluster.timeline().total_seconds());
             }
           });
+      const double end_ts = cluster.timeline().total_seconds();
+      if (trace != nullptr) {
+        for (const std::uint64_t flow_id : flow_ids) {
+          trace->flow_end(cluster_pid, flow_id, label, end_ts);
+        }
+      }
+      span.end(end_ts);
+      return cost;
     } catch (const support::LinkFaultError& e) {
       cluster.mark_node_lost(e.node());
       throw support::NodeLostError(label + ": link retry budget exhausted",

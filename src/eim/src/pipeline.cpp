@@ -12,7 +12,9 @@
 #include "eim/imm/driver.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/profiler.hpp"
 #include "eim/support/retry.hpp"
+#include "eim/support/thread_pool.hpp"
 #include "eim/support/trace.hpp"
 
 namespace eim::eim_impl {
@@ -60,6 +62,20 @@ struct PoolMetricsGuard {
   gpusim::Device* device_;
 };
 
+/// Detach the global pool's dispatch wall timer on scope exit — the pool
+/// outlives the run, and the WallProfile belongs to the caller.
+struct PoolDispatchGuard {
+  explicit PoolDispatchGuard(support::profiler::WallProfile* profile) {
+    if (profile != nullptr) {
+      support::ThreadPool::global().attach_dispatch_timer(
+          &profile->timer("pool.dispatch"));
+    }
+  }
+  ~PoolDispatchGuard() { support::ThreadPool::global().attach_dispatch_timer(nullptr); }
+  PoolDispatchGuard(const PoolDispatchGuard&) = delete;
+  PoolDispatchGuard& operator=(const PoolDispatchGuard&) = delete;
+};
+
 }  // namespace
 
 EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
@@ -80,7 +96,9 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
     trace_pid =
         existing.has_value() ? *existing : trace->register_process("device 0", &device);
   }
+  support::profiler::WallProfile* profile = options.profile;
   PoolMetricsGuard pool_guard(device);
+  PoolDispatchGuard dispatch_guard(profile);
   if (reg != nullptr) {
     device.memory().attach_metrics(&reg->gauge("device.peak_bytes"),
                                    &reg->counter("device.alloc_events"));
@@ -104,6 +122,8 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   // Stage the network on the device: packed (§3.1) or verbatim.
   std::uint64_t network_bytes = result.network_raw_bytes;
   if (options.log_encode) {
+    const support::profiler::ScopedWallTimer encode_scope(
+        profile != nullptr ? &profile->timer("codec.encode") : nullptr);
     const encoding::PackedCsc packed(g);
     network_bytes = packed.packed_bytes();
   }
@@ -116,6 +136,8 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   EimSampler sampler(device, g, model, effective, options);
   GpuSeedSelector selector(device, options.scan);
   selector.attach_metrics(reg);
+  selector.attach_profile(profile);
+  collection.attach_profile(profile);
 
   // Resume: rebuild the committed collection and the run's carried state
   // before wiring commit instrumentation, so restored commits are not

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 
+#include <chrono>
+
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/profiler.hpp"
 
 namespace eim::eim_impl {
 
@@ -52,6 +55,10 @@ void DeviceRrrCollection::attach_metrics(support::metrics::MetricsRegistry* regi
   regrow_r_ = &registry->counter("rrr.regrow_r");
   regrow_o_ = &registry->counter("rrr.regrow_o");
   set_size_hist_ = &registry->histogram("rrr.set_size");
+}
+
+void DeviceRrrCollection::attach_profile(support::profiler::WallProfile* profile) {
+  commit_publish_ = profile != nullptr ? &profile->timer("commit.publish") : nullptr;
 }
 
 void DeviceRrrCollection::charge_device(std::uint64_t bytes) {
@@ -144,6 +151,12 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
   const auto bump_count = [counts](VertexId v) {
     std::atomic_ref<std::uint32_t>(counts[v]).fetch_add(1, std::memory_order_relaxed);
   };
+  // Thresholded wall timing (kTimedPublishLen): short publishes cost less
+  // than the clock reads, so only substantial slices are measured here.
+  const bool timed =
+      commit_publish_ != nullptr && sorted_set.size() >= kTimedPublishLen;
+  const auto publish_start = timed ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
   if (log_encode_) {
     // Bulk word-streaming publish of the claimed slice: only the boundary
     // containers shared with neighboring slices pay an atomic op.
@@ -155,6 +168,12 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
       dst[k] = sorted_set[k];
       bump_count(sorted_set[k]);
     }
+  }
+  if (timed) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - publish_start)
+                        .count();
+    commit_publish_->record_ns(ns > 0 ? static_cast<std::uint64_t>(ns) : 0u);
   }
   return true;
 }

@@ -8,6 +8,7 @@
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/profiler.hpp"
 #include "eim/support/retry.hpp"
 #include "eim/support/rng.hpp"
 #include "eim/support/trace.hpp"
@@ -51,7 +52,13 @@ EimSampler::EimSampler(gpusim::Device& device, const graph::Graph& g,
   // page-touch that multi-GPU runs repeat per device, and blocks beyond the
   // pending-sample count never run at all.
   scratch_.resize(num_blocks_);
-  for (auto& s : scratch_) s.queue.reserve(64);
+  support::profiler::WallTimer* refill_timer =
+      options.profile != nullptr ? &options.profile->timer("rng.refill") : nullptr;
+  for (auto& s : scratch_) {
+    s.queue.reserve(64);
+    // All blocks share one refill timer; the histogram is lock-free.
+    s.draws.attach_refill_timer(refill_timer);
+  }
 }
 
 void EimSampler::sample_to(DeviceRrrCollection& collection, std::uint64_t target) {
@@ -83,6 +90,8 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
     pending.push_back(PendingSample{base + j, global_indices[j]});
   }
 
+  support::profiler::WallTimer* wave_w =
+      options_.profile != nullptr ? &options_.profile->timer("sampler.wave") : nullptr;
   support::metrics::Counter* waves_c = nullptr;
   support::metrics::Counter* committed_c = nullptr;
   support::metrics::Counter* retries_c = nullptr;
@@ -187,15 +196,20 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
             }
           }
         };
-    support::retry(
-        options_.retry,
-        [&] { device_->launch_blocks("eim::sample", num_blocks_, wave_body); },
-        [&](std::uint32_t /*attempt*/, double backoff,
-            const support::DeviceFaultError&) {
-          device_->charge_backoff("eim::sample retry", backoff);
-          if (fault_retries_c != nullptr) fault_retries_c->add();
-          if (backoff_h != nullptr) backoff_h->observe_duration(backoff);
-        });
+    {
+      // One wall entry per wave launch: the whole Monte Carlo BFS sweep for
+      // this wave's pending samples, including host-pool dispatch.
+      const support::profiler::ScopedWallTimer wave_wall(wave_w);
+      support::retry(
+          options_.retry,
+          [&] { device_->launch_blocks("eim::sample", num_blocks_, wave_body); },
+          [&](std::uint32_t /*attempt*/, double backoff,
+              const support::DeviceFaultError&) {
+            device_->charge_backoff("eim::sample retry", backoff);
+            if (fault_retries_c != nullptr) fault_retries_c->add();
+            if (backoff_h != nullptr) backoff_h->observe_duration(backoff);
+          });
+    }
 
     std::vector<PendingSample> retry;
     for (auto& s : scratch_) {

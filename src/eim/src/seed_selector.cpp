@@ -6,6 +6,7 @@
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/profiler.hpp"
 #include "eim/support/thread_pool.hpp"
 
 namespace eim::eim_impl {
@@ -106,15 +107,19 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
     starts[i + 1] = starts[i] + lengths[i];
   }
   std::vector<VertexId> flat(starts[num_sets]);
-  // Bulk word-streaming decode, parallel across sets (disjoint output
-  // slices, so the layout is identical to the serial per-element walk).
-  support::ThreadPool::global().parallel_for(
-      0, num_sets,
-      [&](std::size_t i) {
-        collection.decode_set(
-            i, std::span<VertexId>(flat.data() + starts[i], lengths[i]));
-      },
-      /*grain=*/0);
+  {
+    // Bulk word-streaming decode, parallel across sets (disjoint output
+    // slices, so the layout is identical to the serial per-element walk).
+    const support::profiler::ScopedWallTimer decode_scope(
+        profile_ != nullptr ? &profile_->timer("codec.decode") : nullptr);
+    support::ThreadPool::global().parallel_for(
+        0, num_sets,
+        [&](std::size_t i) {
+          collection.decode_set(
+              i, std::span<VertexId>(flat.data() + starts[i], lengths[i]));
+        },
+        /*grain=*/0);
+  }
 
   if (metrics_ != nullptr) {
     metrics_->counter("selector.select_calls").add();
@@ -132,7 +137,11 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
   // Inverted index vertex -> set ids (host-side greedy accelerator).
   std::vector<std::uint64_t> index_offsets;
   std::vector<std::uint64_t> index_sets;
-  build_inverted_index(flat, starts, num_sets, n, index_offsets, index_sets);
+  {
+    const support::profiler::ScopedWallTimer preprocess_scope(
+        profile_ != nullptr ? &profile_->timer("selector.preprocess") : nullptr);
+    build_inverted_index(flat, starts, num_sets, n, index_offsets, index_sets);
+  }
 
   std::vector<std::uint32_t> counts(collection.counts().begin(),
                                     collection.counts().end());
@@ -202,7 +211,11 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
                           ? std::span<const std::uint32_t>(counts)
                           : std::span<const std::uint32_t>()};
 
+  support::profiler::WallTimer* pick_w =
+      profile_ != nullptr ? &profile_->timer("selector.pick") : nullptr;
+
   for (std::uint32_t pick = 0; pick < k; ++pick) {
+    const support::profiler::ScopedWallTimer pick_scope(pick_w);
     charge_argmax();
 
     VertexId best = graph::kInvalidVertex;

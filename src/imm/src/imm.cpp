@@ -4,6 +4,7 @@
 #include "eim/imm/driver.hpp"
 #include "eim/imm/seed_selection.hpp"
 #include "eim/imm/theta.hpp"
+#include "eim/support/profiler.hpp"
 #include "eim/support/rng.hpp"
 
 namespace eim::imm {
@@ -13,8 +14,16 @@ using support::RandomStream;
 
 std::uint64_t sample_to_target(const graph::Graph& g, graph::DiffusionModel model,
                                const ImmParams& params, RrrStore& store,
-                               std::uint64_t target) {
+                               std::uint64_t target,
+                               support::profiler::WallProfile* profile) {
   diffusion::RrrSampler sampler(g, model, params.eliminate_sources);
+  if (profile != nullptr) {
+    sampler.attach_refill_timer(&profile->timer("rng.refill"));
+  }
+  // One wall entry per batch: per-sample timing would cost more than the
+  // shallow cascades it measures.
+  const support::profiler::ScopedWallTimer batch_scope(
+      profile != nullptr ? &profile->timer("sampler.batch") : nullptr);
   std::vector<VertexId> scratch;
   std::uint64_t discarded = 0;
 
@@ -36,14 +45,16 @@ std::uint64_t sample_to_target(const graph::Graph& g, graph::DiffusionModel mode
 }
 
 ImmResult run_imm_serial(const graph::Graph& g, graph::DiffusionModel model,
-                         const ImmParams& params) {
+                         const ImmParams& params,
+                         support::profiler::WallProfile* profile) {
   RrrStore store(g.num_vertices());
   ImmResult result;
 
   const FrameworkOutcome outcome = run_imm_framework(
       g.num_vertices(), params,
       [&](std::uint64_t target) {
-        result.singletons_discarded += sample_to_target(g, model, params, store, target);
+        result.singletons_discarded +=
+            sample_to_target(g, model, params, store, target, profile);
       },
       [&] { return select_seeds_greedy(store, params.k); });
 

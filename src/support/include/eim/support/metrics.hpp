@@ -12,7 +12,7 @@
 // reference that stays valid for the registry's lifetime — look handles up
 // once outside hot loops. write_json() snapshots under the same mutex.
 //
-// The JSON schema ("eim.metrics.v2") is documented in docs/OBSERVABILITY.md.
+// The JSON schema ("eim.metrics.v3") is documented in docs/OBSERVABILITY.md.
 #pragma once
 
 #include <atomic>
@@ -27,6 +27,10 @@
 #include <string_view>
 
 #include "eim/support/json.hpp"
+
+namespace eim::support::profiler {
+class WallProfile;
+}  // namespace eim::support::profiler
 
 namespace eim::support::metrics {
 
@@ -221,8 +225,10 @@ class ScopedPhase {
 };
 
 /// One run's identity plus a snapshot of its registry, serializable to the
-/// "eim.metrics.v2" JSON document that eim_cli --metrics-json and the bench
-/// reporter both emit.
+/// "eim.metrics.v3" JSON document that eim_cli --metrics-json and the bench
+/// reporter both emit. v3 extends v2 with a "wall" section carrying the
+/// host wall-clock attribution captured by support::profiler::WallProfile
+/// (null when the run was not profiled).
 struct RunReport {
   std::string tool;   ///< producing binary ("eim_cli", "bench_fig7_ic", ...)
   std::string graph;  ///< dataset name or file path
@@ -233,6 +239,7 @@ struct RunReport {
   std::uint32_t k = 0;
   double epsilon = 0.0;
   const MetricsRegistry* metrics = nullptr;  ///< not owned; may be null
+  const profiler::WallProfile* wall = nullptr;  ///< not owned; may be null
 
   void write_json(std::ostream& out) const;
 };

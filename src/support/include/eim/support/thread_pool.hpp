@@ -31,6 +31,10 @@
 
 namespace eim::support {
 
+namespace profiler {
+class WallTimer;
+}  // namespace profiler
+
 /// Type-erased move-only callable `void()`. Callables up to kInlineBytes
 /// with a noexcept move constructor live in the inline buffer; larger or
 /// throwing-move ones fall back to a single heap cell. This is what lets
@@ -153,6 +157,16 @@ class ThreadPool {
   /// Process-wide pool sized to hardware concurrency.
   static ThreadPool& global();
 
+  /// Attach (or, with nullptr, detach) a wall timer that records the
+  /// *dispatch* portion of each parallel_for — entry through handing the
+  /// helper tasks to the queue — not the body work, which would double-count
+  /// every scope the callback itself is timed under. The serial fast path
+  /// records nothing (there is no dispatch). Null by default: the check is
+  /// one relaxed load per call.
+  void attach_dispatch_timer(profiler::WallTimer* timer) noexcept {
+    dispatch_timer_.store(timer, std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
   /// Push `count` copies of tasks produced by `make` under one lock.
@@ -170,6 +184,8 @@ class ThreadPool {
   // access to the call state).
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
+
+  std::atomic<profiler::WallTimer*> dispatch_timer_{nullptr};
 };
 
 }  // namespace eim::support

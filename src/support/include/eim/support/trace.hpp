@@ -16,9 +16,11 @@
 // The export (`write_chrome_trace`) is the Chrome trace-event JSON format:
 // one `pid` per registered process (a simulated device), one `tid` per host
 // thread that recorded spans, `ph:"X"` complete events for spans, `ph:"i"`
-// instant events for faults/failover, and `ph:"M"` metadata naming the
-// tracks. Open the file in https://ui.perfetto.dev or chrome://tracing.
-// Schema details in docs/OBSERVABILITY.md.
+// instant events for faults/failover, `ph:"s"/"f"` flow arrows linking a
+// collective's participants to the cluster track, and `ph:"M"` metadata
+// naming and ordering the tracks (process_sort_index keeps registration
+// order in the Perfetto UI). Open the file in https://ui.perfetto.dev or
+// chrome://tracing. Schema details in docs/OBSERVABILITY.md.
 #pragma once
 
 #include <chrono>
@@ -43,6 +45,10 @@ enum class SpanCategory {
   Transfer,    ///< modeled H2D/D2H segment
   Allocation,  ///< modeled cudaMalloc-style event
   Backoff,     ///< modeled retry backoff after a transient fault
+  Collective,  ///< cluster collective (broadcast/allreduce/exchange); NOT a
+               ///< device leaf — the cluster timeline's own segments are
+               ///< recorded separately, so making this a leaf would
+               ///< double-count the per-pid duration invariant
 };
 
 [[nodiscard]] const char* to_string(SpanCategory cat) noexcept;
@@ -77,6 +83,20 @@ struct TraceInstant {
   double modeled_ts = 0.0;
 };
 
+/// One endpoint of a flow arrow (ph:"s" start / ph:"f" finish). A start and
+/// every finish sharing its flow_id draw as arrows in Perfetto — used to
+/// link a collective's send side on each node track to the receive on the
+/// cluster track, which timeline spans alone cannot express.
+struct TraceFlow {
+  std::uint64_t sequence = 0;
+  std::uint64_t flow_id = 0;    ///< shared by the arrow's endpoints
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::string name;             ///< must match on both endpoints
+  double modeled_ts = 0.0;
+  bool start = false;           ///< true = ph:"s", false = ph:"f"
+};
+
 class TraceRecorder {
  public:
   TraceRecorder() = default;
@@ -105,9 +125,19 @@ class TraceRecorder {
   void instant(std::uint32_t pid, std::string name, std::string detail,
                double modeled_ts);
 
+  /// Allocate a fresh flow id (deterministic: a plain counter under the
+  /// recorder lock). Record the arrow's endpoints with flow_start /
+  /// flow_end — both must carry this id and the same name.
+  [[nodiscard]] std::uint64_t new_flow_id();
+  void flow_start(std::uint32_t pid, std::uint64_t flow_id, std::string name,
+                  double modeled_ts);
+  void flow_end(std::uint32_t pid, std::uint64_t flow_id, std::string name,
+                double modeled_ts);
+
   /// Snapshots for tests/tools (copies under the lock).
   [[nodiscard]] std::vector<TraceSpan> spans() const;
   [[nodiscard]] std::vector<TraceInstant> instants() const;
+  [[nodiscard]] std::vector<TraceFlow> flows() const;
 
   /// Emit the Chrome trace-event JSON document. Deterministic: only modeled
   /// times and stable ids are written; wall seconds are omitted.
@@ -119,6 +149,8 @@ class TraceRecorder {
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;
   std::vector<TraceInstant> instants_;
+  std::vector<TraceFlow> flows_;
+  std::uint64_t next_flow_id_ = 0;
   std::vector<std::string> process_names_;      ///< index = pid
   std::map<const void*, std::uint32_t> pids_;   ///< key -> pid
   std::map<std::thread::id, std::uint32_t> tids_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "eim/support/profiler.hpp"
+
 namespace eim::support::metrics {
 
 namespace {
@@ -144,7 +146,7 @@ void restore_registry_json(MetricsRegistry& into, std::string_view json) {
 void RunReport::write_json(std::ostream& out) const {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "eim.metrics.v2");
+  w.field("schema", "eim.metrics.v3");
   w.field("tool", std::string_view(tool));
   w.key("run").begin_object();
   w.field("graph", std::string_view(graph))
@@ -158,6 +160,14 @@ void RunReport::write_json(std::ostream& out) const {
   w.key("metrics");
   if (metrics != nullptr) {
     metrics->write_json(w);
+  } else {
+    w.null();
+  }
+  // v3 addition: host wall-clock attribution for the instrumented hot
+  // scopes; null when the run was not profiled.
+  w.key("wall");
+  if (wall != nullptr) {
+    wall->write_json(w);
   } else {
     w.null();
   }

@@ -1,10 +1,12 @@
 #include "eim/support/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
+#include "eim/support/profiler.hpp"
 
 namespace eim::support {
 
@@ -139,6 +141,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::lock_guard lock(done_mutex_);
     state.remaining = helpers;
   }
+  // The dispatch timer covers only the fan-out (task construction + queue
+  // handoff); the drained body work belongs to whatever scope the caller is
+  // already timing.
+  profiler::WallTimer* dispatch_timer =
+      dispatch_timer_.load(std::memory_order_relaxed);
+  const auto dispatch_start = dispatch_timer != nullptr
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   enqueue_bulk(helpers, [this, &state]() -> MoveOnlyTask {
     return MoveOnlyTask([this, &state] {
       drain(state);
@@ -152,6 +162,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       done_cv_.notify_all();
     });
   });
+  if (dispatch_timer != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - dispatch_start)
+                        .count();
+    dispatch_timer->record_ns(ns > 0 ? static_cast<std::uint64_t>(ns) : 0u);
+  }
   drain(state);
   {
     std::unique_lock lock(done_mutex_);

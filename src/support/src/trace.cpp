@@ -33,6 +33,7 @@ const char* to_string(SpanCategory cat) noexcept {
     case SpanCategory::Transfer: return "transfer";
     case SpanCategory::Allocation: return "allocation";
     case SpanCategory::Backoff: return "backoff";
+    case SpanCategory::Collective: return "collective";
   }
   return "unknown";
 }
@@ -138,6 +139,27 @@ void TraceRecorder::instant(std::uint32_t pid, std::string name, std::string det
   instants_.push_back(std::move(inst));
 }
 
+std::uint64_t TraceRecorder::new_flow_id() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_flow_id_++;
+}
+
+void TraceRecorder::flow_start(std::uint32_t pid, std::uint64_t flow_id,
+                               std::string name, double modeled_ts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flows_.push_back(TraceFlow{next_sequence_++, flow_id, pid,
+                             tid_for_locked(std::this_thread::get_id()),
+                             std::move(name), modeled_ts, /*start=*/true});
+}
+
+void TraceRecorder::flow_end(std::uint32_t pid, std::uint64_t flow_id,
+                             std::string name, double modeled_ts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flows_.push_back(TraceFlow{next_sequence_++, flow_id, pid,
+                             tid_for_locked(std::this_thread::get_id()),
+                             std::move(name), modeled_ts, /*start=*/false});
+}
+
 std::vector<TraceSpan> TraceRecorder::spans() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return spans_;
@@ -146,6 +168,11 @@ std::vector<TraceSpan> TraceRecorder::spans() const {
 std::vector<TraceInstant> TraceRecorder::instants() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return instants_;
+}
+
+std::vector<TraceFlow> TraceRecorder::flows() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return flows_;
 }
 
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {
@@ -166,6 +193,18 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
         .key("args")
         .begin_object()
         .field("name", std::string_view(process_names_[pid]))
+        .end_object()
+        .end_object();
+    // Pin the UI track order to registration order (cluster, then node 0's
+    // devices, ...): Perfetto otherwise sorts tracks by name.
+    w.begin_object()
+        .field("ph", "M")
+        .field("name", "process_sort_index")
+        .field("pid", std::uint64_t{pid})
+        .field("tid", std::uint64_t{0})
+        .key("args")
+        .begin_object()
+        .field("sort_index", std::uint64_t{pid})
         .end_object()
         .end_object();
   }
@@ -220,6 +259,25 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
     w.key("args").begin_object();
     w.field("seq", inst.sequence);
     if (!inst.detail.empty()) w.field("detail", std::string_view(inst.detail));
+    w.end_object();
+    w.end_object();
+  }
+
+  // Flow arrows as ph:"s" (start) / ph:"f" (finish). The finish binds to
+  // the enclosing slice ("bp":"e"), which is what makes Perfetto attach the
+  // arrowhead to the receiving collective span rather than the next slice.
+  for (const TraceFlow& flow : flows_) {
+    w.begin_object()
+        .field("ph", flow.start ? "s" : "f");
+    if (!flow.start) w.field("bp", "e");
+    w.field("name", std::string_view(flow.name))
+        .field("cat", "flow")
+        .field("id", flow.flow_id)
+        .field("pid", std::uint64_t{flow.pid})
+        .field("tid", std::uint64_t{flow.tid});
+    w.key("ts").raw_value(exact_double(flow.modeled_ts * 1e6));
+    w.key("args").begin_object();
+    w.field("seq", flow.sequence);
     w.end_object();
     w.end_object();
   }

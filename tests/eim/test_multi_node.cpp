@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "eim/eim/checkpoint.hpp"
 #include "eim/eim/multi_gpu.hpp"
@@ -276,6 +278,68 @@ TEST(ClusterFailover, TransientLinkFaultRetriesWithBackoff) {
   EXPECT_TRUE(std::any_of(instants.begin(), instants.end(), [](const auto& i) {
     return i.name == "collective.retry";
   }));
+}
+
+TEST(ClusterTrace, CollectivesEmitSpansAndParticipantFlows) {
+  const Graph g = make_graph();
+  const imm::ImmParams params = make_params();
+
+  gpusim::Cluster cluster = make_cluster(3);
+  support::trace::TraceRecorder trace;
+  EimOptions options;
+  options.trace = &trace;
+  (void)run_eim_cluster(cluster, g, DiffusionModel::IndependentCascade, params,
+                        options);
+
+  const auto cluster_pid = trace.pid_of(&cluster);
+  ASSERT_TRUE(cluster_pid.has_value());
+
+  // Every collective lands as a Collective span on the fabric track, and
+  // the known barrier labels all appear.
+  const auto spans = trace.spans();
+  std::vector<std::string> collective_names;
+  for (const auto& s : spans) {
+    if (s.category == support::trace::SpanCategory::Collective) {
+      EXPECT_EQ(s.pid, *cluster_pid);
+      EXPECT_GE(s.modeled_seconds, 0.0);
+      collective_names.push_back(s.name);
+    }
+  }
+  for (const char* label :
+       {"network broadcast", "count allreduce", "pick exchange"}) {
+    EXPECT_TRUE(std::any_of(collective_names.begin(), collective_names.end(),
+                            [label](const auto& n) { return n == label; }))
+        << label;
+  }
+
+  // Flow arrows: in a fault-free run every id pairs exactly one start (on a
+  // node device track) with one finish (on the fabric track).
+  const auto flows = trace.flows();
+  ASSERT_FALSE(flows.empty());
+  std::map<std::uint64_t, std::pair<int, int>> endpoints;  // id -> (starts, ends)
+  for (const auto& f : flows) {
+    if (f.start) {
+      ++endpoints[f.flow_id].first;
+      EXPECT_NE(f.pid, *cluster_pid);
+    } else {
+      ++endpoints[f.flow_id].second;
+      EXPECT_EQ(f.pid, *cluster_pid);
+    }
+  }
+  for (const auto& [id, counts] : endpoints) {
+    EXPECT_EQ(counts.first, 1) << "flow " << id;
+    EXPECT_EQ(counts.second, 1) << "flow " << id;
+  }
+
+  // Collective spans are non-leaf by design: the device-leaf sum on the
+  // fabric track must still equal the cluster timeline exactly.
+  double leaf_sum = 0.0;
+  for (const auto& s : spans) {
+    if (s.pid == *cluster_pid && support::trace::is_device_leaf(s.category)) {
+      leaf_sum += s.modeled_seconds;
+    }
+  }
+  EXPECT_DOUBLE_EQ(leaf_sum, cluster.timeline().total_seconds());
 }
 
 TEST(ClusterFailover, LinkRetryExhaustionEscalatesToNodeDead) {

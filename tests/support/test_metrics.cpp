@@ -6,6 +6,7 @@
 #include <string>
 
 #include "eim/support/json.hpp"
+#include "eim/support/profiler.hpp"
 #include "eim/support/thread_pool.hpp"
 
 namespace eim::support::metrics {
@@ -124,6 +125,72 @@ TEST(Histogram, QuantilesClampToObservedMax) {
   EXPECT_EQ(h.quantile(1.0), 100u);
 }
 
+TEST(Histogram, QuantileOfSingleOccupiedBucketClampsToObservedMax) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(42);  // all land in [32,63]
+  // With one occupied bucket every rank resolves to it, and its upper bound
+  // (63) clamps to the true maximum ever observed.
+  EXPECT_EQ(h.quantile(0.001), 42u);
+  EXPECT_EQ(h.quantile(0.5), 42u);
+  EXPECT_EQ(h.quantile(0.999), 42u);
+  EXPECT_EQ(h.quantile(1.0), 42u);
+}
+
+TEST(Histogram, QuantilesAreMonotoneOnPowerLawData) {
+  Histogram h;
+  // Zipf-flavored load: value v recorded roughly 4096/v times — the shape
+  // log2 bucketing exists for (RRR set sizes, publish latencies).
+  std::uint64_t n = 0;
+  for (std::uint64_t v = 1; v <= 4096; ++v) {
+    for (std::uint64_t rep = 0; rep < 4096 / v; ++rep) {
+      h.observe(v);
+      ++n;
+    }
+  }
+  EXPECT_EQ(h.count(), n);
+  // Property: quantiles never decrease in q and never exceed the max.
+  std::uint64_t previous = 0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t value = h.quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    EXPECT_LE(value, h.max_value()) << "q=" << q;
+    previous = value;
+  }
+  EXPECT_EQ(h.quantile(1.0), 4096u);
+}
+
+TEST(Histogram, AllZeroObservationsReportZeroEverywhere) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 100u);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, U64BoundaryValuesBucketAndClampCorrectly) {
+  Histogram h;
+  h.observe((std::uint64_t{1} << 63) - 1);  // top of bucket 63
+  h.observe(std::uint64_t{1} << 63);        // bottom of bucket 64
+  h.observe(~0ull);                          // absolute top
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 63) - 1), 63u);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 63), 64u);
+  EXPECT_EQ(h.bucket_count(63), 1u);
+  EXPECT_EQ(h.bucket_count(64), 2u);
+  EXPECT_EQ(h.max_value(), ~0ull);
+  // quantile(1.0) clamps to the observed max even though bucket 64's
+  // nominal upper bound equals it anyway.
+  EXPECT_EQ(h.quantile(1.0), ~0ull);
+  // The running sum is a u64 and wraps modulo 2^64 on overflow; count stays
+  // exact, which is what the reports rely on. (2^63-1) + 2^63 + (2^64-1)
+  // = 2^65 - 2 = 2^64 - 2 (mod 2^64).
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), ~0ull - 1);
+}
+
 TEST(Histogram, ObserveDurationRecordsWholeNanoseconds) {
   Histogram h;
   h.observe_duration(1e-9);   // 1 ns
@@ -232,11 +299,13 @@ TEST(RunReport, WritesSchemaEnvelope) {
   report.write_json(out);
   const std::string json = out.str();
 
-  EXPECT_NE(json.find("\"schema\":\"eim.metrics.v2\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema\":\"eim.metrics.v3\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"tool\":\"test\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"graph\":\"wiki-Vote\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"k\":25"), std::string::npos) << json;
   EXPECT_NE(json.find("\"rrr.commit_rejects\":5"), std::string::npos) << json;
+  // v3 adds the wall section; without an attached profile it is null.
+  EXPECT_NE(json.find("\"wall\":null"), std::string::npos) << json;
 }
 
 TEST(RunReport, NullRegistrySerializesAsNull) {
@@ -245,6 +314,31 @@ TEST(RunReport, NullRegistrySerializesAsNull) {
   std::ostringstream out;
   report.write_json(out);
   EXPECT_NE(out.str().find("\"metrics\":null"), std::string::npos) << out.str();
+}
+
+TEST(RunReport, AttachedWallProfileSerializesUnderWallKey) {
+  profiler::WallProfile profile;
+  profile.timer("sampler.wave").record_ns(1000);
+  profile.timer("sampler.wave").record_ns(3000);
+  profile.timer("rng.refill").record_ns(500);
+
+  RunReport report;
+  report.tool = "test";
+  report.wall = &profile;
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"wall\":{"), std::string::npos) << json;
+  // Sorted by name: rng.refill before sampler.wave.
+  const auto rng_pos = json.find("\"rng.refill\":{");
+  const auto wave_pos = json.find("\"sampler.wave\":{");
+  ASSERT_NE(rng_pos, std::string::npos) << json;
+  ASSERT_NE(wave_pos, std::string::npos) << json;
+  EXPECT_LT(rng_pos, wave_pos);
+  EXPECT_NE(json.find("\"entries\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_seconds\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_ns\":"), std::string::npos) << json;
 }
 
 }  // namespace

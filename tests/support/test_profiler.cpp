@@ -1,0 +1,172 @@
+#include "eim/support/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eim/support/json.hpp"
+#include "eim/support/thread_pool.hpp"
+
+namespace eim::support::profiler {
+namespace {
+
+TEST(WallTimer, AggregatesEntriesAndSeconds) {
+  WallTimer t;
+  t.record_ns(1'000'000);  // 1 ms
+  t.record_ns(2'000'000);
+  EXPECT_EQ(t.entries(), 2u);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 3e-3);
+  EXPECT_EQ(t.histogram().max_value(), 2'000'000u);
+}
+
+TEST(ScopedWallTimer, NullTimerIsInert) {
+  // The disabled path must not crash — and is the permanent hot-path cost.
+  const ScopedWallTimer scope(nullptr);
+}
+
+TEST(ScopedWallTimer, RecordsOneEntryPerScope) {
+  WallTimer t;
+  {
+    const ScopedWallTimer scope(&t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(t.entries(), 1u);
+  // steady_clock across a 1 ms sleep: at least that long, finite.
+  EXPECT_GE(t.total_seconds(), 0.5e-3);
+  EXPECT_LT(t.total_seconds(), 10.0);
+}
+
+TEST(WallProfile, SameNameYieldsSameTimer) {
+  WallProfile p;
+  WallTimer& a = p.timer("sampler.wave");
+  WallTimer& b = p.timer("sampler.wave");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &p.timer("rng.refill"));
+}
+
+TEST(WallProfile, HandlesStayValidAcrossInsertionsAndConcurrentRecords) {
+  WallProfile p;
+  WallTimer& early = p.timer("early");
+  for (int i = 0; i < 100; ++i) p.timer("filler-" + std::to_string(i));
+  early.record_ns(7);
+  EXPECT_EQ(p.timer("early").entries(), 1u);
+
+  // Lookups race with records from pool workers; the histogram is atomic
+  // and the map only ever grows under its mutex.
+  ThreadPool pool(4);
+  pool.parallel_for(0, 4000, [&p](std::size_t i) {
+    p.timer(i % 2 == 0 ? "even" : "odd").record_ns(i);
+  });
+  EXPECT_EQ(p.timer("even").entries() + p.timer("odd").entries(), 4000u);
+}
+
+TEST(WallProfile, WriteJsonSortsTimersAndCarriesPercentiles) {
+  WallProfile p;
+  p.timer("zz.last").record_ns(10);
+  p.timer("aa.first").record_ns(20);
+  p.timer("aa.first").record_ns(40);
+
+  std::ostringstream out;
+  JsonWriter w(out);
+  p.write_json(w);
+  const std::string json = out.str();
+
+  const auto first = json.find("\"aa.first\":{");
+  const auto last = json.find("\"zz.last\":{");
+  ASSERT_NE(first, std::string::npos) << json;
+  ASSERT_NE(last, std::string::npos) << json;
+  EXPECT_LT(first, last);
+  EXPECT_NE(json.find("\"entries\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_ns\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95_ns\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_ns\":40"), std::string::npos) << json;
+
+  // The section must parse as standalone JSON.
+  const JsonValue doc = parse_json(json);
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("aa.first").at("total_seconds").as_double(), 60e-9);
+}
+
+#if EIM_PROFILER_SUPPORTED
+
+TEST(SamplingProfiler, ReportsSupportedOnThisPlatform) {
+  EXPECT_TRUE(SamplingProfiler::supported());
+}
+
+TEST(SamplingProfiler, CapturesStacksFromCpuBurnAndWritesFolded) {
+  SamplingProfiler prof({.hz = 997, .max_samples = 4096});
+  ASSERT_TRUE(prof.start());
+  EXPECT_TRUE(prof.running());
+
+  // Burn CPU until samples arrive (ITIMER_PROF counts consumed CPU time, so
+  // sleeping would never fire it). Bounded by wall time as a safety net.
+  volatile std::uint64_t sink = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (prof.num_samples() < 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 100000; ++i) sink = sink * 1664525u + 1013904223u;
+  }
+  prof.stop();
+  EXPECT_FALSE(prof.running());
+  ASSERT_GE(prof.num_samples(), 5u);
+
+  std::ostringstream out;
+  prof.write_folded(out);
+  const std::string folded = out.str();
+  ASSERT_FALSE(folded.empty());
+
+  // Every line is "frame;frame;... count" with a positive trailing count.
+  std::istringstream lines(folded);
+  std::string line;
+  std::uint64_t total = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::uint64_t count = std::stoull(line.substr(space + 1));
+    EXPECT_GT(count, 0u) << line;
+    total += count;
+  }
+  EXPECT_EQ(total, prof.num_samples() );
+}
+
+TEST(SamplingProfiler, SecondConcurrentStartIsRefused) {
+  SamplingProfiler first({.hz = 97, .max_samples = 64});
+  SamplingProfiler second({.hz = 97, .max_samples = 64});
+  ASSERT_TRUE(first.start());
+  EXPECT_FALSE(second.start());  // SIGPROF disposition is process-global
+  first.stop();
+  // Once the first releases the slot, a fresh start succeeds.
+  EXPECT_TRUE(second.start());
+  second.stop();
+}
+
+TEST(SamplingProfiler, StopIsIdempotent) {
+  SamplingProfiler prof({.hz = 97, .max_samples = 64});
+  ASSERT_TRUE(prof.start());
+  prof.stop();
+  prof.stop();  // second stop must be a no-op
+  EXPECT_FALSE(prof.running());
+}
+
+#else  // !EIM_PROFILER_SUPPORTED
+
+TEST(SamplingProfiler, UnsupportedPlatformRefusesToStart) {
+  EXPECT_FALSE(SamplingProfiler::supported());
+  SamplingProfiler prof({});
+  EXPECT_FALSE(prof.start());
+  EXPECT_FALSE(prof.running());
+  std::ostringstream out;
+  prof.write_folded(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+#endif  // EIM_PROFILER_SUPPORTED
+
+}  // namespace
+}  // namespace eim::support::profiler

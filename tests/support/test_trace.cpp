@@ -141,24 +141,27 @@ TEST(ChromeExport, EmitsParsableEventsWithMetadata) {
 
   EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
   const auto& events = doc.at("traceEvents").items();
-  // 2 metadata (process_name + thread_name) + 2 spans + 1 instant.
-  ASSERT_EQ(events.size(), 5u);
+  // 3 metadata (process_name + process_sort_index + thread_name) + 2 spans
+  // + 1 instant.
+  ASSERT_EQ(events.size(), 6u);
   EXPECT_EQ(events[0].at("ph").as_string(), "M");
   EXPECT_EQ(events[0].at("name").as_string(), "process_name");
   EXPECT_EQ(events[0].at("args").at("name").as_string(), "device 0");
-  EXPECT_EQ(events[1].at("args").at("name").as_string(), "host-worker-0");
+  EXPECT_EQ(events[1].at("name").as_string(), "process_sort_index");
+  EXPECT_EQ(events[1].at("args").at("sort_index").as_int(), 0);
+  EXPECT_EQ(events[2].at("args").at("name").as_string(), "host-worker-0");
 
-  const JsonValue& span = events[2];
+  const JsonValue& span = events[3];
   EXPECT_EQ(span.at("ph").as_string(), "X");
   EXPECT_EQ(span.at("cat").as_string(), "phase");
   EXPECT_EQ(span.at("pid").as_int(), 0);
   // ts/dur are microseconds on the modeled clock; args keeps raw seconds.
-  EXPECT_DOUBLE_EQ(events[3].at("dur").as_double(), 1000.0);
-  EXPECT_DOUBLE_EQ(events[3].at("args").at("seconds").as_double(), 0.001);
-  EXPECT_EQ(events[3].at("args").at("parent").as_int(),
+  EXPECT_DOUBLE_EQ(events[4].at("dur").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(events[4].at("args").at("seconds").as_double(), 0.001);
+  EXPECT_EQ(events[4].at("args").at("parent").as_int(),
             static_cast<std::int64_t>(phase));
 
-  const JsonValue& inst = events[4];
+  const JsonValue& inst = events[5];
   EXPECT_EQ(inst.at("ph").as_string(), "i");
   EXPECT_EQ(inst.at("s").as_string(), "p");
   EXPECT_EQ(inst.at("cat").as_string(), "fault");
@@ -202,8 +205,61 @@ TEST(ChromeExport, ToStringCoversEveryCategory) {
   EXPECT_STREQ(to_string(SpanCategory::Transfer), "transfer");
   EXPECT_STREQ(to_string(SpanCategory::Allocation), "allocation");
   EXPECT_STREQ(to_string(SpanCategory::Backoff), "backoff");
+  EXPECT_STREQ(to_string(SpanCategory::Collective), "collective");
   EXPECT_FALSE(is_device_leaf(SpanCategory::Phase));
   EXPECT_TRUE(is_device_leaf(SpanCategory::Backoff));
+  // Collective must stay non-leaf: the cluster timeline records its own
+  // leaf segments, and a leaf Collective would double-count the per-pid
+  // duration invariant the pipeline trace test checks.
+  EXPECT_FALSE(is_device_leaf(SpanCategory::Collective));
+}
+
+TEST(TraceRecorder, FlowEndpointsShareIdsAndSequenceCounter) {
+  TraceRecorder rec;
+  const std::uint32_t node = rec.register_process("node 0");
+  const std::uint32_t cluster = rec.register_process("cluster");
+  const std::uint64_t id = rec.new_flow_id();
+  EXPECT_EQ(rec.new_flow_id(), id + 1);  // plain deterministic counter
+  rec.flow_start(node, id, "count allreduce", 1.0);
+  rec.flow_end(cluster, id, "count allreduce", 1.5);
+
+  const std::vector<TraceFlow> flows = rec.flows();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_TRUE(flows[0].start);
+  EXPECT_FALSE(flows[1].start);
+  EXPECT_EQ(flows[0].flow_id, flows[1].flow_id);
+  EXPECT_EQ(flows[0].pid, node);
+  EXPECT_EQ(flows[1].pid, cluster);
+  // Flows share the global sequence counter with spans and instants.
+  EXPECT_EQ(flows[1].sequence, flows[0].sequence + 1);
+}
+
+TEST(ChromeExport, FlowEventsEmitStartAndBoundFinish) {
+  TraceRecorder rec;
+  const std::uint32_t pid = rec.register_process("node 0");
+  const std::uint64_t id = rec.new_flow_id();
+  rec.flow_start(pid, id, "network broadcast", 0.25);
+  rec.flow_end(pid, id, "network broadcast", 0.75);
+
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const JsonValue doc = parse_json(out.str());
+  const auto& events = doc.at("traceEvents").items();
+  // 3 metadata + 2 flow endpoints.
+  ASSERT_EQ(events.size(), 5u);
+
+  const JsonValue& start = events[3];
+  EXPECT_EQ(start.at("ph").as_string(), "s");
+  EXPECT_EQ(start.at("cat").as_string(), "flow");
+  EXPECT_EQ(start.at("id").as_int(), static_cast<std::int64_t>(id));
+  EXPECT_EQ(start.find("bp"), nullptr);
+
+  const JsonValue& finish = events[4];
+  EXPECT_EQ(finish.at("ph").as_string(), "f");
+  // "bp":"e" binds the arrowhead to the enclosing slice.
+  EXPECT_EQ(finish.at("bp").as_string(), "e");
+  EXPECT_EQ(finish.at("id").as_int(), static_cast<std::int64_t>(id));
+  EXPECT_EQ(finish.at("name").as_string(), start.at("name").as_string());
 }
 
 }  // namespace

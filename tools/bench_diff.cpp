@@ -1,4 +1,4 @@
-// bench_diff — regression diffing for eim.metrics.v2 bench reports.
+// bench_diff — regression diffing for eim.metrics.v2/v3 bench reports.
 //
 // Compares two EIM_BENCH_JSON files cell by cell on *modeled* time (the
 // deterministic quantity the simulator computes) and prints a per-metric
@@ -133,7 +133,7 @@ void print_usage() {
   std::puts(
       "usage: bench_diff [--threshold <pct>] <old.json> <new.json>\n"
       "       bench_diff --validate <file>...\n"
-      "  Diffs two EIM_BENCH_JSON (eim.metrics.v2) envelopes on modeled time\n"
+      "  Diffs two EIM_BENCH_JSON (eim.metrics.v2/v3) envelopes on modeled time\n"
       "  and exits 1 when any cell's seconds / kernel_seconds /\n"
       "  transfer_seconds grew more than <pct> percent (default 5), or when\n"
       "  a cell that used to complete is now missing or OOM. Measured\n"

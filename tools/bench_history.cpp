@@ -1,0 +1,164 @@
+// bench_history — per-cell performance trajectory across bench envelopes.
+//
+// Reads N bench envelope files (oldest first, as listed on the command
+// line) and prints one trend table per measure:
+//
+//   bench_history BENCH_a.json BENCH_b.json BENCH_c.json
+//
+//   == seconds (modeled) ==
+//   cell              BENCH_a   BENCH_b   BENCH_c
+//   fig7_ic_WV_fast   1.0421    1.0421    0.9817
+//   ...
+//
+// Rows are the union of cell ids in first-appearance order; a cell absent
+// from an envelope prints "-". The modeled `seconds` column is the paper's
+// reproducible cost model (bit-identical across hosts), `wall_seconds` is
+// the honest host wall clock — drift in one but not the other localizes a
+// change to the model or to the host implementation respectively.
+//
+// Exit codes: 0 ok, 2 bad arguments, 3 unreadable/invalid input.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eim/support/error.hpp"
+#include "eim/support/json.hpp"
+#include "eim/support/table.hpp"
+
+namespace {
+
+using eim::support::JsonValue;
+
+struct Envelope {
+  std::string label;
+  /// cell id -> (seconds, wall_seconds)
+  std::map<std::string, std::pair<double, double>> cells;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw eim::support::IoError("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string basename_no_ext(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.rfind('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base;
+}
+
+Envelope load_envelope(const std::string& path) {
+  const JsonValue root = eim::support::parse_json(read_file(path));
+  if (!root.is_object() || root.find("schema") == nullptr ||
+      !root.at("schema").is_string()) {
+    throw eim::support::IoError("'" + path + "': not a bench envelope (no schema)");
+  }
+  const JsonValue* cells = root.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    throw eim::support::IoError("'" + path + "': envelope has no cells array");
+  }
+  Envelope env;
+  env.label = basename_no_ext(path);
+  for (const JsonValue& cell : cells->items()) {
+    if (!cell.is_object() || cell.find("id") == nullptr) continue;
+    const std::string id = cell.at("id").as_string();
+    const JsonValue* seconds = cell.find("seconds");
+    const JsonValue* wall = cell.find("wall_seconds");
+    env.cells[id] = {seconds != nullptr ? seconds->as_double() : -1.0,
+                     wall != nullptr ? wall->as_double() : -1.0};
+  }
+  return env;
+}
+
+std::string format_cell(double value, int precision) {
+  return value < 0 ? "-" : eim::support::TextTable::num(value, precision);
+}
+
+void print_trend(const std::string& title, const std::vector<Envelope>& envelopes,
+                 const std::vector<std::string>& row_order, bool wall) {
+  std::vector<std::string> header{"cell"};
+  for (const Envelope& e : envelopes) header.push_back(e.label);
+  eim::support::TextTable table(header);
+  for (const std::string& id : row_order) {
+    std::vector<std::string> row{id};
+    for (const Envelope& e : envelopes) {
+      const auto it = e.cells.find(id);
+      if (it == e.cells.end()) {
+        row.emplace_back("-");
+      } else {
+        row.push_back(format_cell(wall ? it->second.second : it->second.first, 4));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "== " << title << " ==\n";
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_usage() {
+  std::puts(
+      "usage: bench_history <envelope.json> [<envelope.json> ...]\n"
+      "  Prints per-cell trend tables of modeled `seconds` and host\n"
+      "  `wall_seconds` across bench envelopes, in the order given\n"
+      "  (oldest first). Cells missing from an envelope print '-'.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return eim::support::kExitOk;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n\n", arg.c_str());
+      print_usage();
+      return eim::support::kExitBadArgs;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    print_usage();
+    return eim::support::kExitBadArgs;
+  }
+
+  try {
+    std::vector<Envelope> envelopes;
+    envelopes.reserve(paths.size());
+    for (const std::string& p : paths) envelopes.push_back(load_envelope(p));
+
+    // Row order: union of cell ids, first appearance wins.
+    std::vector<std::string> row_order;
+    for (const Envelope& e : envelopes) {
+      for (const auto& [id, values] : e.cells) {
+        bool seen = false;
+        for (const std::string& existing : row_order) {
+          if (existing == id) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) row_order.push_back(id);
+      }
+    }
+
+    print_trend("seconds (modeled)", envelopes, row_order, /*wall=*/false);
+    print_trend("wall_seconds (host)", envelopes, row_order, /*wall=*/true);
+    return eim::support::kExitOk;
+  } catch (const eim::support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return eim::support::kExitIo;
+  }
+}

@@ -34,6 +34,7 @@
 #include "eim/support/json.hpp"
 #include "eim/support/snapshot.hpp"
 #include "eim/support/metrics.hpp"
+#include "eim/support/profiler.hpp"
 #include "eim/support/trace.hpp"
 
 namespace {
@@ -82,8 +83,10 @@ struct CliOptions {
   bool no_source_elim = false;
   bool oom_degrade = false;
   bool json = false;
-  std::string metrics_json;  ///< write an eim.metrics.v2 report here ("-" = stdout)
+  std::string metrics_json;  ///< write an eim.metrics.v3 report here ("-" = stdout)
   std::string trace_out;     ///< write a Chrome trace-event file here ("-" = stdout)
+  std::string profile_out;   ///< write a folded-stack profile here ("-" = stdout)
+  std::uint32_t profile_hz = 97;  ///< sampling frequency for --profile-out
   std::string checkpoint_dir;  ///< round-boundary snapshots land here
   std::string resume_dir;      ///< continue from this directory's snapshot
 };
@@ -121,14 +124,22 @@ void print_usage() {
       "  --oom-degrade        on device OOM, return best-effort seeds from\n"
       "                       the sets that fit instead of failing (eim only)\n"
       "  --json               print the result as a JSON object\n"
-      "  --metrics-json <path|->  write an eim.metrics.v2 run report (phase\n"
+      "  --metrics-json <path|->  write an eim.metrics.v3 run report (phase\n"
       "                       timers, histograms, memory high-water mark,\n"
-      "                       commit/regrow counters; '-' = stdout; emitted\n"
-      "                       even when the run fails or degrades;\n"
-      "                       see docs/OBSERVABILITY.md)\n"
+      "                       commit/regrow counters, hot-path wall timers;\n"
+      "                       '-' = stdout; emitted even when the run fails\n"
+      "                       or degrades; see docs/OBSERVABILITY.md)\n"
       "  --trace-out <path|->  write a Chrome trace-event / Perfetto span\n"
       "                       trace of the run on the modeled device clock\n"
       "                       ('-' = stdout; open in ui.perfetto.dev)\n"
+      "  --profile-out <path|->  sample host wall-clock stacks during the\n"
+      "                       run and write a folded-stack profile ('-' =\n"
+      "                       stdout; feed to tools/prof_report or a flame\n"
+      "                       graph; also enables the metrics `wall`\n"
+      "                       section; writes a '# profiler-unsupported'\n"
+      "                       marker on platforms without backtrace())\n"
+      "  --profile-hz <n>     sampling frequency for --profile-out\n"
+      "                       (default 97; prime avoids phase lock)\n"
       "  --checkpoint <dir>   write a crash-safe snapshot at every round\n"
       "                       boundary (eim only; see docs/RESILIENCE.md)\n"
       "  --resume <dir>       continue from <dir>'s snapshot — the final\n"
@@ -247,6 +258,16 @@ std::optional<CliOptions> parse(int argc, char** argv, int& exit_code) {
       opt.metrics_json = value;
     } else if (arg == "--trace-out" && (value = next())) {
       opt.trace_out = value;
+    } else if (arg == "--profile-out" && (value = next())) {
+      opt.profile_out = value;
+    } else if (arg == "--profile-hz" && (value = next())) {
+      const int hz = std::atoi(value);
+      if (hz <= 0) {
+        std::fprintf(stderr, "error: --profile-hz must be positive, got '%s'\n",
+                     value);
+        return std::nullopt;
+      }
+      opt.profile_hz = static_cast<std::uint32_t>(hz);
     } else if (arg == "--checkpoint" && (value = next())) {
       opt.checkpoint_dir = value;
     } else if (arg == "--resume" && (value = next())) {
@@ -283,6 +304,18 @@ int main(int argc, char** argv) {
         "cluster options (--quorum/--node-degrade/--devices-per-node/"
         "--kill-node/--link-fault/--straggler) require --nodes"));
   }
+  // Each artifact stream has its own framing; interleaving any two on
+  // stdout would corrupt both, so at most one may claim '-'.
+  {
+    const int stdout_claims = (opt.metrics_json == "-" ? 1 : 0) +
+                              (opt.trace_out == "-" ? 1 : 0) +
+                              (opt.profile_out == "-" ? 1 : 0);
+    if (stdout_claims > 1) {
+      return report_error(support::InvalidArgumentError(
+          "at most one of --metrics-json/--trace-out/--profile-out may write "
+          "to stdout ('-')"));
+    }
+  }
   // --resume keeps checkpointing into the same directory unless --checkpoint
   // points elsewhere.
   const std::string checkpoint_dir =
@@ -311,8 +344,8 @@ int main(int argc, char** argv) {
   graph::assign_weights(g, opt.model);
   // Reserve stdout for machine output when any of it is routed there:
   // --json, --metrics-json -, or --trace-out - suppress the human text.
-  const bool machine_stdout =
-      opt.json || opt.metrics_json == "-" || opt.trace_out == "-";
+  const bool machine_stdout = opt.json || opt.metrics_json == "-" ||
+                              opt.trace_out == "-" || opt.profile_out == "-";
   if (!machine_stdout) {
     std::printf("graph: %s — %u vertices, %llu edges | model=%s algo=%s k=%u eps=%g\n",
                 source_name.c_str(), g.num_vertices(),
@@ -329,6 +362,18 @@ int main(int argc, char** argv) {
   support::trace::TraceRecorder recorder;
   support::trace::TraceRecorder* trace =
       opt.trace_out.empty() ? nullptr : &recorder;
+  // --profile-out arms both profiler instruments for the run: the wall
+  // profile (hot-path scoped timers, lands in the metrics `wall` section)
+  // and the SIGPROF sampling profiler (folded stacks). Both are wall-only —
+  // the modeled results are bit-identical with or without them.
+  support::profiler::WallProfile wall_profile;
+  support::profiler::WallProfile* profile =
+      opt.profile_out.empty() ? nullptr : &wall_profile;
+  support::profiler::SamplingProfiler sampler_prof(
+      {.hz = opt.profile_hz, .max_samples = std::size_t{1} << 15});
+  if (profile != nullptr && support::profiler::SamplingProfiler::supported()) {
+    sampler_prof.start();
+  }
   eim_impl::EimResult result;
   std::optional<eim_impl::MultiNodeResult> cluster_result;
   int run_exit = support::kExitOk;
@@ -346,7 +391,7 @@ int main(int argc, char** argv) {
       }
     }
     if (opt.algo == "serial") {
-      const auto serial = imm::run_imm_serial(g, opt.model, opt.params);
+      const auto serial = imm::run_imm_serial(g, opt.model, opt.params, profile);
       static_cast<imm::ImmResult&>(result) = serial;
     } else if (opt.algo == "tim") {
       const auto tim = imm::run_tim(g, opt.model, opt.params);
@@ -368,6 +413,7 @@ int main(int argc, char** argv) {
       if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
       options.metrics = &registry;
       options.trace = trace;
+      options.profile = profile;
       options.checkpoint_dir = checkpoint_dir;
       options.resume = ckpt.has_value() ? &*ckpt : nullptr;
       eim_impl::MultiNodeOptions node_options;
@@ -403,6 +449,7 @@ int main(int argc, char** argv) {
       if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
       options.metrics = &registry;
       options.trace = trace;
+      options.profile = profile;
       options.checkpoint_dir = checkpoint_dir;
       options.resume = ckpt.has_value() ? &*ckpt : nullptr;
       const auto multi = eim_impl::run_eim_multi(ptrs, g, opt.model, opt.params, options);
@@ -420,6 +467,7 @@ int main(int argc, char** argv) {
         if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
         options.metrics = &registry;
         options.trace = trace;
+        options.profile = profile;
         options.checkpoint_dir = checkpoint_dir;
         options.resume = ckpt.has_value() ? &*ckpt : nullptr;
         result = eim_impl::run_eim(device, g, opt.model, opt.params, options);
@@ -434,6 +482,9 @@ int main(int argc, char** argv) {
   } catch (const support::Error& e) {
     run_exit = report_error(e);
   }
+  // Stop sampling before serialization: artifact I/O is not part of the run
+  // and would pollute the attribution.
+  sampler_prof.stop();
 
   // Artifact emission is atomic (temp + rename) and stream-checked: a full
   // disk or failed serializer surfaces as the I/O exit code with a
@@ -468,6 +519,7 @@ int main(int argc, char** argv) {
     report.k = opt.params.k;
     report.epsilon = opt.params.epsilon;
     report.metrics = &registry;
+    report.wall = profile;
     emit_artifact(opt.metrics_json, "metrics report",
                   [&](std::ostream& out) { report.write_json(out); });
   }
@@ -475,6 +527,18 @@ int main(int argc, char** argv) {
   if (trace != nullptr) {
     emit_artifact(opt.trace_out, "trace",
                   [&](std::ostream& out) { recorder.write_chrome_trace(out); });
+  }
+
+  if (!opt.profile_out.empty()) {
+    emit_artifact(opt.profile_out, "profile", [&](std::ostream& out) {
+      if (support::profiler::SamplingProfiler::supported()) {
+        sampler_prof.write_folded(out);
+      } else {
+        // Visible marker so scripts can SKIP instead of mistaking an
+        // unsupported platform for an empty (broken) profile.
+        out << "# profiler-unsupported\n";
+      }
+    });
   }
 
   if (run_exit != support::kExitOk) return run_exit;
