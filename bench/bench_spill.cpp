@@ -1,0 +1,78 @@
+// Memory-pressure spill tax — fig7's WV/IC cell replayed under a device
+// budget a quarter of its unconstrained RRR footprint.
+//
+// The contract being priced: with SpillPolicy::Spill the budgeted run evicts
+// cold sets device -> compressed host -> disk, finishes at full θ, and
+// returns bit-identical seeds — never degraded, never truncated. The delta
+// between the two rows is the modeled spill tax (PCIe transfers for
+// evict/fetch plus the disk tier's bandwidth/latency envelope); spill.*
+// counters in the EIM_BENCH_JSON snapshot attribute it
+// (docs/PERFORMANCE.md "Spill overhead").
+#include <cstdint>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace eim;
+  const bench::BenchEnv env = bench::load_env();
+  constexpr auto kModel = graph::DiffusionModel::IndependentCascade;
+
+  imm::ImmParams params;
+  params.k = env.clamp_k(50);
+  params.epsilon = env.clamp_eps(0.05);
+
+  const auto spec = *graph::find_dataset("WV");
+  const graph::Graph g = graph::build_dataset(spec, kModel);
+  std::cout << "Spill tax on " << spec.name << "-like under IC (k=" << params.k
+            << ", eps=" << params.epsilon << ")\n\n";
+
+  const auto unconstrained = bench::run_cell(
+      env, g, bench::eim_runner(kModel, params), "spill/WV/unconstrained");
+  if (!unconstrained.seconds) {
+    std::cerr << "unconstrained baseline OOMed; cannot price the spill tax\n";
+    return 1;
+  }
+
+  // Budget = 1/4 of the run's own footprint: derived, not hard-coded, so the
+  // cell stays meaningful if θ scheduling changes the footprint.
+  eim_impl::EimOptions spill_options;
+  spill_options.spill.policy = eim_impl::SpillPolicy::Spill;
+  spill_options.spill.device_budget_bytes = unconstrained.last.rrr_bytes / 4;
+  spill_options.spill.sets_per_block = 256;
+  const auto budgeted =
+      bench::run_cell(env, g, bench::eim_runner(kModel, params, spill_options),
+                      "spill/WV/budget=quarter");
+  if (!budgeted.seconds) {
+    std::cerr << "budgeted run OOMed despite spill; the hierarchy is broken\n";
+    return 1;
+  }
+
+  const bool identical = budgeted.last.seeds == unconstrained.last.seeds;
+  const bool full_theta = !budgeted.last.degraded;
+
+  support::TextTable table({"cell", "modeled s", "rrr MB", "spilled sets",
+                            "compressed MB", "seeds identical"});
+  const auto mb = [](std::uint64_t b) {
+    return support::TextTable::num(static_cast<double>(b) / (1024.0 * 1024.0), 2);
+  };
+  table.add_row({"unconstrained", support::TextTable::num(*unconstrained.seconds, 4),
+                 mb(unconstrained.last.rrr_bytes), "0", "0.00", "-"});
+  table.add_row({"budget=rrr/4", support::TextTable::num(*budgeted.seconds, 4),
+                 mb(budgeted.last.rrr_bytes),
+                 std::to_string(budgeted.last.spilled_sets),
+                 mb(budgeted.last.spill_bytes_compressed),
+                 identical ? "yes" : "NO"});
+  table.print(std::cout);
+  std::cout << "\nspill tax: "
+            << support::TextTable::num(
+                   *budgeted.seconds / *unconstrained.seconds, 2)
+            << "x modeled time for a 4x smaller device footprint\n";
+
+  if (!identical || !full_theta) {
+    std::cerr << (identical ? "" : "budgeted seeds diverged from baseline\n")
+              << (full_theta ? "" : "budgeted run degraded below full theta\n");
+    return 1;
+  }
+  return 0;
+}

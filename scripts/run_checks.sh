@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Pre-merge gate: build everything under AddressSanitizer + UBSan and run
-# the default test suite plus the stress-, checkpoint-, and cluster-labeled
-# tests (see README.md), exercise CLI-level checkpoint/resume including
-# corrupt-snapshot rejection and a node-kill cluster failover smoke, then
+# the default test suite plus the stress-, checkpoint-, cluster-, and
+# spill-labeled tests (see README.md), exercise CLI-level checkpoint/resume
+# including corrupt-snapshot rejection, a node-kill cluster failover smoke,
+# and a quarter-budget spill smoke that must reproduce the unconstrained
+# seeds bit-identically, then
 # run one small traced benchmark, validate the JSON artifacts it emits, and
 # diff its timings against the committed baseline. Finishes with a
-# Release-build perf smoke: bench_micro plus the fig7 and multi-node
-# scaling curves diffed bit-identically against bench/baselines (wall rows
+# Release-build perf smoke: bench_micro plus the fig7, multi-node, and
+# spill-tax curves diffed bit-identically against bench/baselines (wall rows
 # are warn-only; see docs/PERFORMANCE.md), with the sampling profiler
 # attached to the fig7 run — its folded stacks must symbolize (prof_report
 # gate) and the profiled modeled rows must stay bit-identical.
@@ -48,6 +50,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L checkpoint
 
 echo "== cluster-labeled tests (multi-node failover + elastic resume) =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L cluster
+
+echo "== spill-labeled tests (tiered store, disk-fault sweeps, CRC quarantine) =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L spill
 
 echo "== CLI checkpoint/resume round-trip + corrupt-snapshot rejection =="
 ckpt_tmp="$(mktemp -d)"
@@ -111,6 +116,30 @@ fi
 "${cli}" "${clu_args[@]}" --quorum 3 --kill-node 1@2 --node-degrade > /dev/null
 rm -rf "${clu_tmp}"
 
+echo "== CLI spill smoke: quarter-budget run matches unconstrained seeds =="
+spill_tmp="$(mktemp -d)"
+spill_args=(--dataset WV --k 10 --eps 0.3 --json)
+"${cli}" "${spill_args[@]}" > "${spill_tmp}/unconstrained.json"
+budget="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["rrr_bytes"] // 4)' \
+  "${spill_tmp}/unconstrained.json")"
+"${cli}" "${spill_args[@]}" --device-mem-budget "${budget}" \
+  > "${spill_tmp}/budgeted.json"
+# Spill contract: a 4x smaller device budget may only change the modeled
+# clock, memory figures, and the spill bookkeeping — the seeds and every
+# other algorithmic field must be bit-identical, at full theta.
+for f in unconstrained budgeted; do
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); [d.pop(k, None) for k in ("device_seconds","peak_device_bytes","rrr_bytes","spilled_sets","spill_bytes_compressed")]; print(json.dumps(d,sort_keys=True))' \
+    "${spill_tmp}/${f}.json" > "${spill_tmp}/${f}.norm.json"
+done
+diff "${spill_tmp}/unconstrained.norm.json" "${spill_tmp}/budgeted.norm.json"
+python3 - "${spill_tmp}/budgeted.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["spilled_sets"] > 0, "budgeted run never spilled"
+assert not d["degraded"], "budgeted run degraded instead of spilling"
+EOF
+rm -rf "${spill_tmp}"
+
 echo "== CLI stdout-conflict rejection (at most one '-' artifact) =="
 # --metrics-json - / --trace-out - / --profile-out - all write to stdout;
 # any two at once would interleave artifacts, so the CLI must refuse with
@@ -158,7 +187,7 @@ echo "== Release perf smoke (bench_micro + wall-clock diff, warn-only) =="
 # committed baselines must stay comparable across machines.
 perf_dir="${repo_root}/build-perf"
 cmake -B "${perf_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${perf_dir}" -j "${jobs}" --target bench_micro bench_fig7_ic bench_multi_node bench_diff prof_report
+cmake --build "${perf_dir}" -j "${jobs}" --target bench_micro bench_fig7_ic bench_multi_node bench_spill bench_diff prof_report
 EIM_BENCH_JSON="${bench_tmp}/BENCH_micro.json" \
   "${perf_dir}/bench/bench_micro" --benchmark_min_time=0.2 > /dev/null
 "${perf_dir}/tools/bench_diff" --validate "${bench_tmp}/BENCH_micro.json"
@@ -226,6 +255,29 @@ else
   echo "bench_diff: cluster modeled time moved vs ${mn_baseline} (exit ${diff_exit})."
   echo "If intentional, refresh the baseline:"
   echo "  cp ${bench_tmp}/BENCH_multi_node.json ${mn_baseline}"
+  if [[ "${EIM_CHECKS_BENCH_GATE:-0}" == "1" ]]; then
+    echo "EIM_CHECKS_BENCH_GATE=1 — treating the regression as fatal."
+    exit "${diff_exit}"
+  fi
+  echo "Warn-only (set EIM_CHECKS_BENCH_GATE=1 to gate on this)."
+fi
+
+echo "-- spill tax curve: modeled time gated bit-identical --"
+# Fig7's WV cell replayed under a device budget of 1/4 its own footprint:
+# the committed baseline proves full-theta completion with bit-identical
+# seeds and prices the spill tax. Modeled rows are deterministic, so any
+# drift means the spill path or the disk-tier cost model changed.
+spill_baseline="${repo_root}/bench/baselines/BENCH_spill.json"
+EIM_BENCH_FAST=1 EIM_BENCH_JSON="${bench_tmp}/BENCH_spill.json" \
+  "${perf_dir}/bench/bench_spill"
+"${perf_dir}/tools/bench_diff" --validate "${bench_tmp}/BENCH_spill.json"
+if "${perf_dir}/tools/bench_diff" --threshold 0 "${spill_baseline}" "${bench_tmp}/BENCH_spill.json"; then
+  :
+else
+  diff_exit=$?
+  echo "bench_diff: spill modeled time moved vs ${spill_baseline} (exit ${diff_exit})."
+  echo "If intentional, refresh the baseline:"
+  echo "  cp ${bench_tmp}/BENCH_spill.json ${spill_baseline}"
   if [[ "${EIM_CHECKS_BENCH_GATE:-0}" == "1" ]]; then
     echo "EIM_CHECKS_BENCH_GATE=1 — treating the regression as fatal."
     exit "${diff_exit}"

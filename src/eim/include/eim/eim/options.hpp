@@ -50,6 +50,39 @@ enum class OomPolicy {
   Degrade,
 };
 
+/// Where memory pressure goes when the RRR collection outgrows the device
+/// (docs/RESILIENCE.md "Memory-pressure tiers"). Spilling preserves the θ
+/// target — and therefore the exact seeds — by trading modeled time for
+/// device memory; OomPolicy only ever fires after the spill tiers are
+/// exhausted too.
+enum class SpillPolicy {
+  /// No spill hierarchy: OomPolicy alone decides (the pre-spill behavior).
+  Off,
+  /// Evict cold sets device -> compressed host -> disk; OOM propagates only
+  /// when even that fails (policy-wise equivalent to OomPolicy::Throw at
+  /// the bottom of the hierarchy).
+  Spill,
+  /// As Spill, but when the hierarchy itself cannot make progress (a single
+  /// set larger than the whole device budget), degrade like
+  /// OomPolicy::Degrade instead of throwing.
+  SpillThenDegrade,
+};
+
+struct SpillOptions {
+  SpillPolicy policy = SpillPolicy::Off;
+  /// Device-byte cap on the packed R element array (per-set offset/length
+  /// metadata stays device-resident — it indexes the spilled sets too);
+  /// 0 = no cap, spill only on genuine allocation failure.
+  std::uint64_t device_budget_bytes = 0;
+  /// Compressed host-tier cap; past it blocks LRU-evict to disk (0 = none).
+  std::uint64_t host_budget_bytes = 0;
+  /// Disk-tier directory (empty = per-run temp dir, removed afterwards).
+  std::string dir;
+  /// Sets per compressed block and decoded blocks kept hot in staging.
+  std::uint32_t sets_per_block = 1024;
+  std::uint32_t staging_blocks = 4;
+};
+
 struct EimOptions {
   /// §3.1: log-encode the network CSC and the RRR array R.
   bool log_encode = true;
@@ -80,6 +113,10 @@ struct EimOptions {
   support::profiler::WallProfile* profile = nullptr;
   /// Behavior when device memory runs out mid-collection-growth.
   OomPolicy oom_policy = OomPolicy::Throw;
+  /// Tiered spill hierarchy riding below OomPolicy (device -> compressed
+  /// host -> disk); modeled seeds stay bit-identical to an unconstrained
+  /// run whenever the hierarchy absorbs the pressure.
+  SpillOptions spill;
   /// Bounded retry for transient device faults around sampler launches and
   /// transfers; backoff is deterministic modeled time on the device.
   support::RetryPolicy retry;
@@ -118,6 +155,11 @@ struct EimResult : imm::ImmResult {
   /// Bytes the collection growth was short by when degradation triggered
   /// (requested - available at the OOM).
   std::uint64_t degrade_shortfall_bytes = 0;
+  /// Sets evicted into the tiered spill store (0 when SpillPolicy::Off or
+  /// the device never came under pressure).
+  std::uint64_t spilled_sets = 0;
+  /// Compressed footprint of the spilled sets across host + disk tiers.
+  std::uint64_t spill_bytes_compressed = 0;
 };
 
 }  // namespace eim::eim_impl

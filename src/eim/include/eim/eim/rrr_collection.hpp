@@ -41,6 +41,8 @@ class WallTimer;
 
 namespace eim::eim_impl {
 
+class TieredRrrStore;
+
 class DeviceRrrCollection {
  public:
   DeviceRrrCollection(gpusim::Device& device, graph::VertexId num_vertices,
@@ -77,17 +79,20 @@ class DeviceRrrCollection {
   [[nodiscard]] std::uint32_t set_length(std::uint64_t i) const noexcept {
     return lengths_[i];
   }
-  /// Decode member j of set i.
+  /// Decode member j of set i. Device-resident sets only — a spilled set
+  /// must stream through decode_set (the store has no per-element access).
   [[nodiscard]] graph::VertexId element(std::uint64_t i, std::uint32_t j) const noexcept {
-    const std::uint64_t pos = starts_[i] + j;
+    const std::uint64_t pos = starts_[i] + j - device_base_;
     return log_encode_ ? static_cast<graph::VertexId>(packed_.get(pos)) : raw_[pos];
   }
 
   /// Bulk-decode all of set i into `out` (must hold set_length(i) values).
   /// Uses the word-streaming decoder under log encoding instead of one
   /// container walk per element — the hot path for selection, checkpoint
-  /// export, and shard redistribution.
-  void decode_set(std::uint64_t i, std::span<graph::VertexId> out) const noexcept;
+  /// export, and shard redistribution. A spilled set streams back up
+  /// through the attached store's staging pool instead (and may then throw
+  /// IoError if its disk tier fails past the retry budget).
+  void decode_set(std::uint64_t i, std::span<graph::VertexId> out) const;
 
   [[nodiscard]] std::span<const std::uint32_t> counts() const noexcept { return counts_; }
 
@@ -109,9 +114,41 @@ class DeviceRrrCollection {
   void attach_profile(support::profiler::WallProfile* profile);
   static constexpr std::size_t kTimedPublishLen = 64;
 
+  /// Attach the tiered spill hierarchy (docs/RESILIENCE.md "Memory-pressure
+  /// tiers"). `device_budget_bytes` caps the packed R element array (the
+  /// per-set offset/length metadata stays device-resident — it indexes the
+  /// spilled sets too); when a reservation would exceed it — or a genuine device
+  /// allocation fails — every committed set is evicted into `store` and the
+  /// device array restarts empty at the current cursor, so θ refinement
+  /// continues instead of degrading. 0 = no budget (spill only on real
+  /// OOM). Must be attached before any set is committed; `store` must
+  /// outlive all decode/commit traffic.
+  void attach_spill(TieredRrrStore* store, std::uint64_t device_budget_bytes);
+
+  [[nodiscard]] bool spill_active() const noexcept { return spill_ != nullptr; }
+  /// True once any set has been evicted (selector preprocessing switches to
+  /// the serial streaming path to keep staging-pool traffic deterministic).
+  [[nodiscard]] bool has_spilled() const noexcept { return spilled_any_; }
+  [[nodiscard]] bool is_spilled(std::uint64_t i) const noexcept {
+    return spilled_any_ && spilled_[i] != 0;
+  }
+  [[nodiscard]] std::uint64_t element_capacity() const noexcept {
+    return element_capacity_;
+  }
+
+  /// Evict every committed, not-yet-spilled set downward and restart the
+  /// device array empty at the current cursor. Serial contexts only (the
+  /// sampler's between-wave reserve, tests).
+  void spill_committed();
+
  private:
   void charge_device(std::uint64_t bytes);
   void refund_device(std::uint64_t bytes) noexcept;
+  void grow_r(std::uint64_t num_elements);
+  void allocate_r(std::uint64_t num_elements);
+  [[nodiscard]] std::uint64_t current_r_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t elements_for_bytes(std::uint64_t bytes) const noexcept;
+  [[nodiscard]] std::uint64_t budget_device_elements() const noexcept;
 
   gpusim::Device* device_;
   graph::VertexId n_;
@@ -132,6 +169,16 @@ class DeviceRrrCollection {
   std::atomic<std::uint64_t> element_cursor_{0};
   std::uint64_t num_sets_ = 0;
   std::uint64_t charged_bytes_ = 0;  ///< what we currently hold in the pool
+
+  // Spill hierarchy (null/0 when detached). The device arrays hold the
+  // global element range [device_base_, element_capacity_); sets below
+  // device_base_ live in the tiered store.
+  TieredRrrStore* spill_ = nullptr;
+  std::uint64_t device_budget_bytes_ = 0;
+  std::uint64_t device_base_ = 0;
+  bool spilled_any_ = false;
+  std::vector<std::uint8_t> spilled_;    ///< per O slot: evicted to the store
+  std::vector<std::uint8_t> committed_;  ///< per O slot: published (spill only)
 
   // Optional instrumentation (see attach_metrics); null when detached.
   support::metrics::Counter* commit_rejects_ = nullptr;

@@ -47,6 +47,15 @@ class EimSampler {
   void sample_assigned(DeviceRrrCollection& collection,
                        std::span<const std::uint64_t> global_indices);
 
+  /// Regenerate the decoded members of global sample `global_id` into `out`
+  /// (sorted, post source-elimination — exactly what try_commit stored).
+  /// Generation is deterministic per global id, so this is the spill
+  /// store's quarantine-repair source for torn disk blocks: the rebuilt set
+  /// is bit-identical to the evicted one. Runs as its own single-block
+  /// launch ("eim::resample") so the recovery cost lands on the modeled
+  /// timeline; does not touch singleton or discard accounting.
+  void resample_set(std::uint64_t global_id, std::vector<graph::VertexId>& out);
+
   /// Source-only samples regenerated so far (§3.4 accounting).
   [[nodiscard]] std::uint64_t singletons_discarded() const noexcept {
     return singletons_discarded_;

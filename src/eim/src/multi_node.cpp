@@ -750,6 +750,13 @@ MultiNodeResult run_eim_cluster(gpusim::Cluster& cluster, const graph::Graph& g,
   }
   if (quorum_lost) {
     result.degrade_shortfall_samples = requested_global - sampled_global;
+    // Byte-denominated view of the same shortfall, so the top-level report
+    // surfaces one uniform `degrade_shortfall_bytes` regardless of tier:
+    // the missing samples priced at the committed sets' average stored size.
+    if (result.num_sets > 0) {
+      result.degrade_shortfall_bytes =
+          result.degrade_shortfall_samples * (result.rrr_bytes / result.num_sets);
+    }
   }
   // Same conditional-coverage correction as the single-device pipeline.
   const double kept_fraction =

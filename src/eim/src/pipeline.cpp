@@ -1,5 +1,6 @@
 #include "eim/eim/pipeline.hpp"
 
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -7,6 +8,7 @@
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/sampler.hpp"
 #include "eim/eim/seed_selector.hpp"
+#include "eim/eim/tiered_store.hpp"
 #include "eim/encoding/packed_csc.hpp"
 #include "eim/gpusim/timeline_trace.hpp"
 #include "eim/imm/driver.hpp"
@@ -139,6 +141,31 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   selector.attach_profile(profile);
   collection.attach_profile(profile);
 
+  // Tiered spill hierarchy: memory pressure evicts cold sets downward
+  // (compressed host, then disk) instead of stopping θ refinement; torn
+  // disk blocks are quarantined and rebuilt through deterministic
+  // resampling, so the final seeds are bit-identical to an unconstrained
+  // run (docs/RESILIENCE.md "Memory-pressure tiers").
+  std::unique_ptr<TieredRrrStore> spill_store;
+  if (options.spill.policy != SpillPolicy::Off) {
+    TieredStoreOptions store_options;
+    store_options.host_budget_bytes = options.spill.host_budget_bytes;
+    store_options.dir = options.spill.dir;
+    store_options.sets_per_block = options.spill.sets_per_block;
+    store_options.staging_blocks = options.spill.staging_blocks;
+    store_options.retry = options.retry;
+    spill_store = std::make_unique<TieredRrrStore>(device, store_options);
+    spill_store->attach_metrics(reg);
+    if (trace != nullptr) spill_store->attach_trace(trace, trace_pid);
+    // Single-device run: local slot == global sample id, so the sampler can
+    // regenerate any spilled set directly.
+    spill_store->set_resample_hook(
+        [&sampler](std::uint64_t set_id, std::vector<graph::VertexId>& out) {
+          sampler.resample_set(set_id, out);
+        });
+    collection.attach_spill(spill_store.get(), options.spill.device_budget_bytes);
+  }
+
   // Resume: rebuild the committed collection and the run's carried state
   // before wiring commit instrumentation, so restored commits are not
   // double-counted on top of the merged metrics snapshot below.
@@ -191,12 +218,18 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   // reports best-effort seeds instead of throwing (docs/RESILIENCE.md).
   bool degraded = false;
   std::uint64_t degrade_shortfall = 0;
+  // With a spill hierarchy, OOM only reaches here after even the spill
+  // tiers failed to make progress; SpillThenDegrade converts that residue
+  // to a degrade, plain Spill keeps the configured OomPolicy.
+  const OomPolicy effective_oom_policy =
+      options.spill.policy == SpillPolicy::SpillThenDegrade ? OomPolicy::Degrade
+                                                            : options.oom_policy;
   const auto sample_to = [&](std::uint64_t target) {
     if (degraded) return;
     try {
       sampler.sample_to(collection, target);
     } catch (const support::DeviceOutOfMemoryError& oom) {
-      if (options.oom_policy != OomPolicy::Degrade) throw;
+      if (effective_oom_policy != OomPolicy::Degrade) throw;
       degraded = true;
       degrade_shortfall = oom.requested_bytes() > oom.available_bytes()
                               ? oom.requested_bytes() - oom.available_bytes()
@@ -328,6 +361,14 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
   result.device_mallocs = 0;  // eIM's design point: no in-kernel allocation
   result.degraded = degraded;
   result.degrade_shortfall_bytes = degrade_shortfall;
+  if (spill_store != nullptr) {
+    result.spilled_sets = spill_store->spilled_sets();
+    result.spill_bytes_compressed = spill_store->compressed_bytes();
+    if (reg != nullptr) {
+      reg->gauge("spill.compressed_bytes").set(spill_store->compressed_bytes());
+      reg->gauge("spill.disk_bytes").set(spill_store->disk_bytes());
+    }
+  }
 
   // Fold the device ledger into the trace as leaf spans. The run is over, so
   // every segment interval is final; the phase/round/wave spans recorded

@@ -5,6 +5,7 @@
 
 #include <chrono>
 
+#include "eim/eim/tiered_store.hpp"
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/metrics.hpp"
@@ -30,8 +31,7 @@ DeviceRrrCollection::~DeviceRrrCollection() {
 #ifndef NDEBUG
   // The running charge must equal the footprint of what we actually own —
   // a mismatch means some charge/refund pair desynced from an array resize.
-  const std::uint64_t r_bytes =
-      log_encode_ ? packed_.storage_bytes() : raw_.size() * sizeof(VertexId);
+  const std::uint64_t r_bytes = current_r_bytes();
   const std::uint64_t o_bytes =
       starts_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
   const std::uint64_t c_bytes = static_cast<std::uint64_t>(n_) * sizeof(std::uint32_t);
@@ -71,6 +71,148 @@ void DeviceRrrCollection::refund_device(std::uint64_t bytes) noexcept {
   charged_bytes_ -= bytes;
 }
 
+void DeviceRrrCollection::attach_spill(TieredRrrStore* store,
+                                       std::uint64_t device_budget_bytes) {
+  EIM_CHECK_MSG(element_cursor_.load(std::memory_order_relaxed) == 0,
+                "attach the spill store before any set is committed");
+  spill_ = store;
+  device_budget_bytes_ = device_budget_bytes;
+  spilled_.assign(starts_.size(), 0);
+  committed_.assign(starts_.size(), 0);
+}
+
+std::uint64_t DeviceRrrCollection::current_r_bytes() const noexcept {
+  return log_encode_ ? packed_.storage_bytes() : raw_.size() * sizeof(VertexId);
+}
+
+std::uint64_t DeviceRrrCollection::elements_for_bytes(
+    std::uint64_t bytes) const noexcept {
+  if (!log_encode_) return bytes / sizeof(VertexId);
+  const std::uint64_t words = bytes / sizeof(std::uint32_t);
+  return bits_per_vertex_ == 0 ? words * 32 : words * 32 / bits_per_vertex_;
+}
+
+std::uint64_t DeviceRrrCollection::budget_device_elements() const noexcept {
+  // The budget caps the R element array alone. The per-set offset/length
+  // metadata (12 B/set) cannot spill — it indexes the spilled sets too — so
+  // it stays device-resident outside the budget; a budget tighter than the
+  // metadata would otherwise allow zero elements and stall every wave.
+  return elements_for_bytes(device_budget_bytes_);
+}
+
+void DeviceRrrCollection::spill_committed() {
+  EIM_CHECK_MSG(spill_ != nullptr, "spill_committed without an attached store");
+  const std::uint64_t cursor = element_cursor_.load(std::memory_order_relaxed);
+  // The wave-boundary invariant makes this safe: between waves every claimed
+  // slice is published, so [device_base_, cursor) is exactly the union of
+  // the committed sets' slices and the device array can be dropped whole.
+  std::vector<std::uint64_t> ids;
+  std::vector<std::uint32_t> lens;
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < starts_.size(); ++i) {
+    if (committed_[i] == 0 || spilled_[i] != 0) continue;
+    ids.push_back(i);
+    lens.push_back(lengths_[i]);
+    total += lengths_[i];
+  }
+  if (!ids.empty()) {
+    std::vector<VertexId> values(total);
+    std::uint64_t at = 0;
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      decode_set(ids[j], std::span<VertexId>(values.data() + at, lens[j]));
+      at += lens[j];
+    }
+    const std::uint64_t resident = cursor - device_base_;
+    const std::uint64_t raw_bytes =
+        log_encode_ ? support::div_ceil<std::uint64_t>(resident * bits_per_vertex_,
+                                                       32) *
+                          sizeof(std::uint32_t)
+                    : resident * sizeof(VertexId);
+    spill_->spill(ids, lens, values, raw_bytes);
+    for (const std::uint64_t i : ids) spilled_[i] = 1;
+    spilled_any_ = true;
+  }
+  const std::uint64_t old_bytes = current_r_bytes();
+  if (log_encode_) {
+    packed_ = encoding::BitPackedArray();
+  } else {
+    raw_.clear();
+    raw_.shrink_to_fit();
+  }
+  refund_device(old_bytes);
+  device_base_ = cursor;
+  element_capacity_ = cursor;
+}
+
+void DeviceRrrCollection::allocate_r(std::uint64_t num_elements) {
+  // Allocate-new / copy / free-old, transiently holding both — exactly what
+  // a cudaMalloc/cudaMemcpy resize costs. Only the device-resident suffix
+  // [device_base_, cursor) is copied; spilled history stays below.
+  const std::uint64_t dev_len = num_elements - device_base_;
+  const std::uint64_t old_bytes = current_r_bytes();
+  if (log_encode_) {
+    const std::uint64_t new_bytes =
+        support::div_ceil<std::uint64_t>(dev_len * bits_per_vertex_, 32) *
+        sizeof(std::uint32_t);
+    charge_device(new_bytes);
+    encoding::BitPackedArray grown(static_cast<std::size_t>(dev_len),
+                                   bits_per_vertex_);
+    // Same bit width, so the committed prefix is a straight word copy —
+    // slots past the cursor are still zero on both sides.
+    const std::uint64_t used =
+        element_cursor_.load(std::memory_order_relaxed) - device_base_;
+    grown.assign_prefix(packed_, static_cast<std::size_t>(used));
+    packed_ = std::move(grown);
+    refund_device(old_bytes);
+  } else {
+    const std::uint64_t new_bytes = dev_len * sizeof(VertexId);
+    charge_device(new_bytes);
+    raw_.resize(dev_len, 0);
+    // std::vector already moved the payload; refund the old footprint.
+    refund_device(old_bytes);
+  }
+  element_capacity_ = num_elements;
+  device_->charge_allocation_event("grow R");
+  if (regrow_r_ != nullptr) regrow_r_->add();
+}
+
+void DeviceRrrCollection::grow_r(std::uint64_t num_elements) {
+  // Budget clamp: when the requested horizon exceeds what the device budget
+  // allows, evict everything committed and restart the device array at the
+  // cursor — spill instead of truncating θ.
+  if (spill_ != nullptr && device_budget_bytes_ > 0) {
+    const std::uint64_t max_dev = budget_device_elements();
+    if (num_elements - device_base_ > max_dev) {
+      if (element_cursor_.load(std::memory_order_relaxed) > device_base_) {
+        spill_committed();
+      }
+      num_elements = std::min(
+          num_elements, device_base_ + std::max<std::uint64_t>(max_dev, 1));
+      if (num_elements <= element_capacity_) return;
+    }
+  }
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      allocate_r(num_elements);
+      return;
+    } catch (const support::DeviceOutOfMemoryError&) {
+      // Genuine pool OOM: free the cold device-resident sets downward and
+      // retry once, sized to what the pool can still hold.
+      if (spill_ == nullptr || attempt > 0) throw;
+      spill_committed();
+      const auto& pool = device_->memory();
+      const std::uint64_t avail =
+          pool.capacity_bytes() > pool.allocated_bytes()
+              ? pool.capacity_bytes() - pool.allocated_bytes()
+              : 0;
+      const std::uint64_t max_dev = elements_for_bytes(avail);
+      num_elements = std::min(
+          num_elements, device_base_ + std::max<std::uint64_t>(max_dev, 1));
+      if (num_elements <= element_capacity_) throw;
+    }
+  }
+}
+
 void DeviceRrrCollection::reserve(std::uint64_t num_sets, std::uint64_t num_elements) {
   // O growth (start u64 + length u32 per set).
   if (num_sets > starts_.size()) {
@@ -79,38 +221,15 @@ void DeviceRrrCollection::reserve(std::uint64_t num_sets, std::uint64_t num_elem
     charge_device(extra);
     starts_.resize(num_sets, 0);
     lengths_.resize(num_sets, 0);
+    if (spill_ != nullptr) {
+      spilled_.resize(num_sets, 0);
+      committed_.resize(num_sets, 0);
+    }
     device_->charge_allocation_event("grow O");
     if (regrow_o_ != nullptr) regrow_o_->add();
   }
 
-  // R growth: allocate-new / copy / free-old, transiently holding both.
-  if (num_elements > element_capacity_) {
-    const std::uint64_t old_bytes =
-        log_encode_ ? packed_.storage_bytes()
-                    : raw_.size() * sizeof(VertexId);
-    if (log_encode_) {
-      const std::uint64_t new_bytes = support::div_ceil<std::uint64_t>(
-                                          num_elements * bits_per_vertex_, 32) *
-                                      sizeof(std::uint32_t);
-      charge_device(new_bytes);
-      encoding::BitPackedArray grown(num_elements, bits_per_vertex_);
-      // Same bit width, so the committed prefix is a straight word copy —
-      // slots past the cursor are still zero on both sides.
-      const std::uint64_t used = element_cursor_.load(std::memory_order_relaxed);
-      grown.assign_prefix(packed_, static_cast<std::size_t>(used));
-      packed_ = std::move(grown);
-      refund_device(old_bytes);
-    } else {
-      const std::uint64_t new_bytes = num_elements * sizeof(VertexId);
-      charge_device(new_bytes);
-      raw_.resize(num_elements, 0);
-      // std::vector already moved the payload; refund the old footprint.
-      refund_device(old_bytes);
-    }
-    element_capacity_ = num_elements;
-    device_->charge_allocation_event("grow R");
-    if (regrow_r_ != nullptr) regrow_r_->add();
-  }
+  if (num_elements > element_capacity_) grow_r(num_elements);
 }
 
 bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
@@ -142,6 +261,8 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
 
   starts_[set_index] = offset;
   lengths_[set_index] = static_cast<std::uint32_t>(sorted_set.size());
+  // Distinct indices from concurrent blocks; bytes are separate objects.
+  if (spill_ != nullptr) committed_[set_index] = 1;
   if (set_size_hist_ != nullptr) set_size_hist_->observe(sorted_set.size());
 
   // Fused publish: the C frequency update rides the same pass that encodes
@@ -157,13 +278,14 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
       commit_publish_ != nullptr && sorted_set.size() >= kTimedPublishLen;
   const auto publish_start = timed ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
+  const std::uint64_t local = offset - device_base_;
   if (log_encode_) {
     // Bulk word-streaming publish of the claimed slice: only the boundary
     // containers shared with neighboring slices pay an atomic op.
-    packed_.store_release_range(static_cast<std::size_t>(offset), sorted_set,
+    packed_.store_release_range(static_cast<std::size_t>(local), sorted_set,
                                 bump_count);
   } else {
-    VertexId* const dst = raw_.data() + offset;
+    VertexId* const dst = raw_.data() + local;
     for (std::size_t k = 0; k < sorted_set.size(); ++k) {
       dst[k] = sorted_set[k];
       bump_count(sorted_set[k]);
@@ -178,10 +300,13 @@ bool DeviceRrrCollection::try_commit(std::uint64_t set_index,
   return true;
 }
 
-void DeviceRrrCollection::decode_set(std::uint64_t i,
-                                     std::span<VertexId> out) const noexcept {
+void DeviceRrrCollection::decode_set(std::uint64_t i, std::span<VertexId> out) const {
   assert(out.size() == lengths_[i]);
-  const std::uint64_t start = starts_[i];
+  if (is_spilled(i)) {
+    spill_->fetch(i, out);
+    return;
+  }
+  const std::uint64_t start = starts_[i] - device_base_;
   if (log_encode_) {
     packed_.decode_into(static_cast<std::size_t>(start), out);
   } else {
@@ -191,11 +316,14 @@ void DeviceRrrCollection::decode_set(std::uint64_t i,
 }
 
 std::uint64_t DeviceRrrCollection::stored_bytes() const noexcept {
+  // Only the device-resident suffix counts — spilled history lives in the
+  // store, whose compressed footprint is reported separately.
+  const std::uint64_t resident = total_elements() - device_base_;
   const std::uint64_t r_bytes = log_encode_
                                     ? support::div_ceil<std::uint64_t>(
-                                          total_elements() * bits_per_vertex_, 32) *
+                                          resident * bits_per_vertex_, 32) *
                                           sizeof(std::uint32_t)
-                                    : total_elements() * sizeof(VertexId);
+                                    : resident * sizeof(VertexId);
   // O is charged per reserved slot (reserve() sizes starts_), so report the
   // same footprint here; num_sets_ lags the reservation mid-run and would
   // under-report what the pool actually holds.

@@ -124,8 +124,12 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
 
   int wave = 0;
   std::uint64_t max_failed_len = 0;
+  // Under an active spill budget the device array intentionally stays small
+  // and refills every few waves, so convergence legitimately takes many more
+  // waves than the unconstrained heuristic ever needs.
+  const int max_waves = collection.spill_active() ? 4096 : 64;
   while (!pending.empty()) {
-    EIM_CHECK_MSG(++wave <= 64, "sampler failed to converge on capacity");
+    EIM_CHECK_MSG(++wave <= max_waves, "sampler failed to converge on capacity");
     support::trace::ScopedSpan wave_span(trace, trace_pid,
                                          support::trace::SpanCategory::Wave,
                                          "wave " + std::to_string(wave),
@@ -151,6 +155,18 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
                            max_failed_len * giant_slots + 4096;
     try {
       collection.reserve(target, estimated);
+      // Spill-budget progress guard: if the largest set that failed last
+      // wave cannot fit even in the freshly spilled-empty device array, no
+      // number of waves will ever commit it — surface that as OOM (which
+      // SpillThenDegrade converts to a degrade) instead of spinning.
+      if (collection.spill_active() && max_failed_len > 0 &&
+          collection.element_capacity() - collection.total_elements() <
+              max_failed_len) {
+        throw support::DeviceOutOfMemoryError(
+            max_failed_len * sizeof(VertexId),
+            (collection.element_capacity() - collection.total_elements()) *
+                sizeof(VertexId));
+      }
     } catch (const support::DeviceOutOfMemoryError&) {
       // Publish the contiguous committed prefix before propagating so
       // OomPolicy::Degrade selects over every set that fully committed
@@ -232,6 +248,27 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
   }
 
   collection.set_num_sets(target);
+}
+
+void EimSampler::resample_set(std::uint64_t global_id,
+                              std::vector<graph::VertexId>& out) {
+  // One single-block launch re-runs the generation path for this global
+  // sample id; the draws are a pure function of (rng_seed, global id), so
+  // the regenerated set is bit-identical to the one originally committed.
+  out.clear();
+  support::retry(
+      options_.retry,
+      [&] {
+        device_->launch_blocks("eim::resample", 1, [&](gpusim::BlockContext& ctx) {
+          BlockScratch& scratch = scratch_[ctx.block_id()];
+          generate(ctx, scratch, global_id);
+          out.assign(scratch.queue.begin(), scratch.queue.end());
+        });
+      },
+      [&](std::uint32_t /*attempt*/, double backoff,
+          const support::DeviceFaultError&) {
+        device_->charge_backoff("eim::resample retry", backoff);
+      });
 }
 
 std::uint32_t EimSampler::generate(BlockContext& ctx, BlockScratch& scratch,

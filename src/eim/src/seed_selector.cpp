@@ -112,13 +112,23 @@ imm::SelectionResult GpuSeedSelector::select(const DeviceRrrCollection& collecti
     // slices, so the layout is identical to the serial per-element walk).
     const support::profiler::ScopedWallTimer decode_scope(
         profile_ != nullptr ? &profile_->timer("codec.decode") : nullptr);
-    support::ThreadPool::global().parallel_for(
-        0, num_sets,
-        [&](std::size_t i) {
-          collection.decode_set(
-              i, std::span<VertexId>(flat.data() + starts[i], lengths[i]));
-        },
-        /*grain=*/0);
+    if (collection.has_spilled()) {
+      // Spilled sets stream up through the store's staging pool, which is
+      // not thread-safe and whose modeled transfer charges must land on the
+      // timeline in a deterministic order — decode serially, in set order.
+      for (std::uint64_t i = 0; i < num_sets; ++i) {
+        collection.decode_set(
+            i, std::span<VertexId>(flat.data() + starts[i], lengths[i]));
+      }
+    } else {
+      support::ThreadPool::global().parallel_for(
+          0, num_sets,
+          [&](std::size_t i) {
+            collection.decode_set(
+                i, std::span<VertexId>(flat.data() + starts[i], lengths[i]));
+          },
+          /*grain=*/0);
+    }
   }
 
   if (metrics_ != nullptr) {

@@ -1,0 +1,219 @@
+#include "eim/encoding/rrr_codec.hpp"
+
+#include <cstring>
+
+#include "eim/encoding/huffman.hpp"
+#include "eim/encoding/varint.hpp"
+#include "eim/support/crc32.hpp"
+#include "eim/support/error.hpp"
+
+namespace eim::encoding {
+
+namespace {
+
+// Fixed little-endian frame header:
+//   magic(8) codec(1) num_sets(8) num_values(8) lengths_bytes(8)
+//   payload_bytes(8) crc32c(4)
+constexpr std::size_t kHeaderBytes = 8 + 1 + 8 + 8 + 8 + 8 + 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::span<const std::uint8_t> take(std::size_t n) {
+    if (bytes_.size() - at_ < n) {
+      throw support::IoError("rrr block: truncated frame");
+    }
+    const auto view = bytes_.subspan(at_, n);
+    at_ += n;
+    return view;
+  }
+  [[nodiscard]] std::uint8_t u8() { return take(1)[0]; }
+  [[nodiscard]] std::uint32_t u32() {
+    const auto v = take(4);
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= static_cast<std::uint32_t>(v[i]) << (8 * i);
+    return r;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const auto v = take(8);
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= static_cast<std::uint64_t>(v[i]) << (8 * i);
+    return r;
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - at_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+// Delta transform: within each (strictly ascending) set, the first member is
+// absolute and every later one stores the gap minus one — small symbols that
+// both varint and Huffman compress well.
+std::vector<std::uint32_t> to_deltas(std::span<const std::uint32_t> lengths,
+                                     std::span<const std::uint32_t> values) {
+  std::vector<std::uint32_t> deltas;
+  deltas.reserve(values.size());
+  std::size_t at = 0;
+  for (const std::uint32_t len : lengths) {
+    for (std::uint32_t j = 0; j < len; ++j) {
+      deltas.push_back(j == 0 ? values[at] : values[at] - values[at - 1] - 1);
+      ++at;
+    }
+  }
+  return deltas;
+}
+
+std::vector<std::uint8_t> serialize_huffman(const HuffmanBlock& block) {
+  std::vector<std::uint8_t> out;
+  out.reserve(block.total_bytes() + 32);
+  put_u32(out, static_cast<std::uint32_t>(block.symbols.size()));
+  for (std::size_t i = 0; i < block.symbols.size(); ++i) {
+    put_u32(out, block.symbols[i]);
+    out.push_back(block.lengths[i]);
+  }
+  put_u64(out, block.num_symbols);
+  put_u64(out, block.bits.size());
+  out.insert(out.end(), block.bits.begin(), block.bits.end());
+  return out;
+}
+
+HuffmanBlock deserialize_huffman(Cursor& cur) {
+  HuffmanBlock block;
+  const std::uint32_t num_codes = cur.u32();
+  block.symbols.reserve(num_codes);
+  block.lengths.reserve(num_codes);
+  for (std::uint32_t i = 0; i < num_codes; ++i) {
+    block.symbols.push_back(cur.u32());
+    block.lengths.push_back(cur.u8());
+  }
+  block.num_symbols = cur.u64();
+  const std::uint64_t bits_bytes = cur.u64();
+  const auto bits = cur.take(bits_bytes);
+  block.bits.assign(bits.begin(), bits.end());
+  return block;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> rrr_block_encode(std::span<const std::uint32_t> lengths,
+                                           std::span<const std::uint32_t> values) {
+  const std::vector<std::uint32_t> deltas = to_deltas(lengths, values);
+
+  // Lengths section: varint-coded (they are small and few).
+  std::vector<std::uint8_t> lengths_bytes;
+  for (const std::uint32_t len : lengths) varint_append(lengths_bytes, len);
+
+  // Values section: encode with both candidate codecs, keep the smaller —
+  // varint wins on tiny/uniform blocks, Huffman on skewed hub-heavy ones.
+  std::vector<std::uint8_t> varint_section;
+  varint_section.reserve(deltas.size());
+  for (const std::uint32_t d : deltas) varint_append(varint_section, d);
+  std::vector<std::uint8_t> huffman_section;
+  if (!deltas.empty()) {
+    huffman_section = serialize_huffman(huffman_encode(deltas));
+  }
+  const bool use_huffman =
+      !huffman_section.empty() && huffman_section.size() < varint_section.size();
+  const std::vector<std::uint8_t>& section =
+      use_huffman ? huffman_section : varint_section;
+
+  std::vector<std::uint8_t> payload;
+  payload.reserve(lengths_bytes.size() + section.size());
+  payload.insert(payload.end(), lengths_bytes.begin(), lengths_bytes.end());
+  payload.insert(payload.end(), section.begin(), section.end());
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.insert(frame.end(), kRrrBlockMagic.begin(), kRrrBlockMagic.end());
+  frame.push_back(use_huffman ? kRrrBlockCodecHuffman : kRrrBlockCodecVarint);
+  put_u64(frame, lengths.size());
+  put_u64(frame, values.size());
+  put_u64(frame, lengths_bytes.size());
+  put_u64(frame, payload.size());
+  put_u32(frame, support::crc32c(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+DecodedRrrBlock rrr_block_decode(std::span<const std::uint8_t> bytes) {
+  Cursor header(bytes);
+  const auto magic = header.take(kRrrBlockMagic.size());
+  if (std::memcmp(magic.data(), kRrrBlockMagic.data(), kRrrBlockMagic.size()) != 0) {
+    throw support::IoError("rrr block: bad magic");
+  }
+  const std::uint8_t codec = header.u8();
+  const std::uint64_t num_sets = header.u64();
+  const std::uint64_t num_values = header.u64();
+  const std::uint64_t lengths_bytes = header.u64();
+  const std::uint64_t payload_bytes = header.u64();
+  const std::uint32_t crc = header.u32();
+  if (header.remaining() != payload_bytes || lengths_bytes > payload_bytes) {
+    throw support::IoError("rrr block: truncated frame");
+  }
+  const auto payload = header.take(payload_bytes);
+  if (support::crc32c(payload) != crc) {
+    throw support::IoError("rrr block: CRC-32C mismatch (torn or corrupt block)");
+  }
+
+  DecodedRrrBlock block;
+  const std::vector<std::uint64_t> lens =
+      varint_decode(payload.subspan(0, lengths_bytes));
+  if (lens.size() != num_sets) {
+    throw support::IoError("rrr block: lengths section does not match header");
+  }
+  block.lengths.reserve(num_sets);
+  std::uint64_t total = 0;
+  for (const std::uint64_t len : lens) {
+    block.lengths.push_back(static_cast<std::uint32_t>(len));
+    total += len;
+  }
+  if (total != num_values) {
+    throw support::IoError("rrr block: value count does not match header");
+  }
+
+  std::vector<std::uint32_t> deltas;
+  const auto section = payload.subspan(lengths_bytes);
+  if (codec == kRrrBlockCodecVarint) {
+    const std::vector<std::uint64_t> wide = varint_decode(section);
+    deltas.reserve(wide.size());
+    for (const std::uint64_t d : wide) deltas.push_back(static_cast<std::uint32_t>(d));
+  } else if (codec == kRrrBlockCodecHuffman) {
+    Cursor cur(section);
+    deltas = huffman_decode(deserialize_huffman(cur));
+  } else {
+    throw support::IoError("rrr block: unknown codec id");
+  }
+  if (deltas.size() != num_values) {
+    throw support::IoError("rrr block: values section does not match header");
+  }
+
+  block.values.reserve(num_values);
+  std::size_t at = 0;
+  for (const std::uint32_t len : block.lengths) {
+    std::uint32_t prev = 0;
+    for (std::uint32_t j = 0; j < len; ++j) {
+      prev = j == 0 ? deltas[at] : prev + deltas[at] + 1;
+      block.values.push_back(prev);
+      ++at;
+    }
+  }
+  return block;
+}
+
+std::uint8_t rrr_block_codec(std::span<const std::uint8_t> bytes) {
+  Cursor header(bytes);
+  (void)header.take(kRrrBlockMagic.size());
+  return header.u8();
+}
+
+}  // namespace eim::encoding

@@ -38,6 +38,12 @@ struct CostModel {
   // Host <-> device interconnect.
   double pcie_gbytes_per_sec = 12.0;     ///< effective PCIe 4.0 x16 bandwidth
   double pcie_latency_us = 10.0;         ///< per-transfer setup latency
+
+  // Host <-> disk spill tier (TieredRrrStore's T2; NetworkSpec-style
+  // bandwidth + latency so the spill tax lands in modeled seconds,
+  // docs/PERFORMANCE.md "Spill overhead").
+  double disk_gbytes_per_sec = 2.0;      ///< effective NVMe sequential bandwidth
+  double disk_latency_us = 100.0;        ///< per-block submit + sync latency
 };
 
 struct DeviceSpec {

@@ -59,12 +59,37 @@ struct FaultPlan {
   /// launch or transfer once its timeline passes this (< 0 = disabled).
   double device_loss_at_seconds = -1.0;
 
+  // Spill-tier faults (TieredRrrStore, docs/RESILIENCE.md "Memory-pressure
+  // tiers"). Each class has its own per-attempt ordinal counter inside the
+  // store, so sweeps over these are independent of kernel/transfer/alloc
+  // ordinals above.
+
+  /// Host-allocation attempts (T1 admission of a compressed spill block)
+  /// that fail: the block bypasses host memory and goes straight to disk.
+  std::vector<std::uint64_t> host_alloc_oom_ordinals;
+  /// Spill-block disk *write* attempts that throw a transient IoError
+  /// before any byte reaches disk (device driver / filesystem error).
+  std::vector<std::uint64_t> spill_write_fault_ordinals;
+  /// Spill-block disk write attempts that short-write mid-file (ENOSPC):
+  /// the atomic-write temp is discarded — no partial artifact is ever
+  /// published — and the attempt surfaces as a transient IoError.
+  std::vector<std::uint64_t> spill_short_write_ordinals;
+  /// Spill-block disk *read* attempts that throw a transient IoError.
+  std::vector<std::uint64_t> spill_read_fault_ordinals;
+  /// Spill-block disk reads whose payload comes back torn (bit corruption):
+  /// the per-block CRC-32C rejects it and the store quarantines the block,
+  /// resampling its sets instead of retrying the read.
+  std::vector<std::uint64_t> spill_corrupt_ordinals;
+
   [[nodiscard]] bool empty() const noexcept {
     return kernel_fault_ordinals.empty() && transfer_fault_ordinals.empty() &&
            alloc_oom_ordinals.empty() && alloc_oom_bytes_threshold == 0 &&
            device_loss_kernel_ordinal == kNeverOrdinal &&
            process_abort_kernel_ordinal == kNeverOrdinal &&
-           device_loss_at_seconds < 0.0;
+           device_loss_at_seconds < 0.0 && host_alloc_oom_ordinals.empty() &&
+           spill_write_fault_ordinals.empty() &&
+           spill_short_write_ordinals.empty() &&
+           spill_read_fault_ordinals.empty() && spill_corrupt_ordinals.empty();
   }
 
   /// Plans hold a handful of scripted ordinals; linear scan beats a set.

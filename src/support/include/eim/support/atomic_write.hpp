@@ -10,6 +10,7 @@
 // unlinked on any failure.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <ostream>
 #include <string>
@@ -18,9 +19,24 @@
 namespace eim::support {
 
 /// Write `contents` to `path` atomically. Throws IoError when the temp file
-/// cannot be created, written, flushed, or renamed; on failure the
-/// destination is left exactly as it was and the temp file is removed.
+/// cannot be created, written, synced, or renamed; on failure the
+/// destination is left exactly as it was and the temp file is removed. On
+/// POSIX the temp file is fsync'd before the rename publishes it, so a
+/// power loss after atomic_write_file returns cannot resurrect a torn file.
 void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Deterministic fault injection for atomic_write_file (test-only; the spill
+/// store arms `short_write_after` from FaultPlan::spill_short_write_ordinals
+/// to model ENOSPC mid-file). Each armed fault fires on every subsequent
+/// call until cleared with `set_atomic_write_faults({})`. Not thread-safe:
+/// arm and clear from the same serial context as the write under test.
+struct AtomicWriteFaults {
+  bool fail_create = false;           ///< open/create of the temp file fails
+  std::int64_t short_write_after = -1;  ///< accept N bytes then ENOSPC (-1 = off)
+  bool fail_fsync = false;            ///< fsync of the temp file fails
+  bool fail_rename = false;           ///< the publishing rename fails
+};
+void set_atomic_write_faults(const AtomicWriteFaults& faults) noexcept;
 
 /// Serialize through `producer` into a memory buffer, verify the stream is
 /// still good (a silently failed write must not be published), then

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "eim/support/error.hpp"
 
@@ -37,20 +38,30 @@ struct RetryPolicy {
   }
 };
 
-/// Run `fn`, retrying transient DeviceFaultError up to `policy.max_attempts`
-/// total tries. Before each retry, `on_retry(retry_index, backoff_seconds,
-/// error)` runs — charge the modeled backoff and bump metrics there. The
-/// final failure is rethrown; non-transient exceptions pass straight through.
-template <typename Fn, typename OnRetry>
-decltype(auto) retry(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry) {
+/// Run `fn`, retrying the transient fault class `TransientError` up to
+/// `policy.max_attempts` total tries. Before each retry,
+/// `on_retry(retry_index, backoff_seconds, error)` runs — charge the modeled
+/// backoff and bump metrics there. The final failure is rethrown; exceptions
+/// outside `TransientError` pass straight through.
+template <typename TransientError, typename Fn, typename OnRetry>
+decltype(auto) retry_on(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry) {
   for (std::uint32_t attempt = 0;; ++attempt) {
     try {
       return fn();
-    } catch (const DeviceFaultError& fault) {
+    } catch (const TransientError& fault) {
       if (attempt + 1 >= policy.max_attempts) throw;
       on_retry(attempt, policy.backoff_for(attempt), fault);
     }
   }
+}
+
+/// The device-side default: retry transient DeviceFaultError (injected
+/// kernel-launch or transfer failures). The spill store instantiates
+/// retry_on<IoError> for its disk tier instead.
+template <typename Fn, typename OnRetry>
+decltype(auto) retry(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry) {
+  return retry_on<DeviceFaultError>(policy, std::forward<Fn>(fn),
+                                    std::forward<OnRetry>(on_retry));
 }
 
 }  // namespace eim::support

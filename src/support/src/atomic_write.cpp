@@ -1,5 +1,7 @@
 #include "eim/support/atomic_write.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -9,6 +11,10 @@
 #if defined(_WIN32)
 #include <process.h>
 #else
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -24,33 +30,115 @@ long current_pid() noexcept {
 #endif
 }
 
+AtomicWriteFaults g_faults;
+
 }  // namespace
+
+void set_atomic_write_faults(const AtomicWriteFaults& faults) noexcept {
+  g_faults = faults;
+}
 
 std::string atomic_write_temp_path(const std::string& path) {
   return path + ".tmp." + std::to_string(current_pid());
 }
 
+#if !defined(_WIN32)
+
+namespace {
+
+// Write the temp file through raw POSIX I/O so the data is durably on disk
+// (fsync) before the rename publishes it. Throws IoError with the temp file
+// removed on any failure; never touches the destination.
+void write_temp_posix(const std::string& tmp, std::string_view contents) {
+  const int fd = g_faults.fail_create
+                     ? -1
+                     : ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                              0644);
+  if (fd < 0) {
+    throw IoError("atomic write: cannot create temp file '" + tmp + "'");
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    std::size_t chunk = contents.size() - written;
+    if (g_faults.short_write_after >= 0) {
+      const auto cap = static_cast<std::size_t>(g_faults.short_write_after);
+      if (written >= cap) {
+        // Injected ENOSPC: the device accepted a prefix, then filled up.
+        ::close(fd);
+        std::remove(tmp.c_str());
+        throw IoError("atomic write: short write to '" + tmp + "' (disk full?)");
+      }
+      chunk = std::min(chunk, cap - written);
+    }
+    const ssize_t n = ::write(fd, contents.data() + written, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      throw IoError("atomic write: short write to '" + tmp + "' (disk full?)");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (g_faults.fail_fsync || ::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw IoError("atomic write: fsync of '" + tmp + "' failed");
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("atomic write: close of '" + tmp + "' failed");
+  }
+}
+
+// Best-effort directory sync so the rename itself survives power loss; a
+// failure here is not an error (the rename is already visible, and some
+// filesystems reject directory fsync).
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+#endif  // !_WIN32
+
 void atomic_write_file(const std::string& path, std::string_view contents) {
   const std::string tmp = atomic_write_temp_path(path);
+#if defined(_WIN32)
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
+    if (!out || g_faults.fail_create) {
       throw IoError("atomic write: cannot create temp file '" + tmp + "'");
     }
-    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    const auto cap = g_faults.short_write_after >= 0
+                         ? std::min<std::size_t>(
+                               contents.size(),
+                               static_cast<std::size_t>(g_faults.short_write_after))
+                         : contents.size();
+    out.write(contents.data(), static_cast<std::streamsize>(cap));
     out.flush();
-    if (!out) {
+    if (!out || cap != contents.size() || g_faults.fail_fsync) {
       out.close();
       std::remove(tmp.c_str());
       throw IoError("atomic write: short write to '" + tmp + "' (disk full?)");
     }
   }
+#else
+  write_temp_posix(tmp, contents);
+#endif
   // rename(2) atomically replaces `path`; the destination never holds a
   // partial file, no matter when the process dies.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (g_faults.fail_rename || std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw IoError("atomic write: cannot rename '" + tmp + "' to '" + path + "'");
   }
+#if !defined(_WIN32)
+  sync_parent_dir(path);
+#endif
 }
 
 void atomic_write_text(const std::string& path,

@@ -177,6 +177,50 @@ TEST(Checkpoint, ResumeFromCompletedRunReplaysFinalSelect) {
   expect_same_answer(first, resumed);
 }
 
+TEST(Checkpoint, DegradedRunResumesToTheSameDegradedResult) {
+  // A run that degraded on device OOM must checkpoint what it committed and
+  // resume to the byte-identical degraded answer — same best-effort seeds,
+  // same shortfall — not silently upgrade or shift. The OOM is keyed on
+  // request size (not ordinal), so it reproduces across the resume replay.
+  TempDir dir("eim_ckpt_degraded");
+  Graph g = Graph::from_edge_list(graph::barabasi_albert(600, 3, 0.3, 7));
+  graph::assign_weights(g, DiffusionModel::IndependentCascade);
+  imm::ImmParams params;
+  params.k = 8;
+  params.epsilon = 0.3;
+
+  // Above the fixed allocations (graph replica + the 4-block queue pool),
+  // below what full-theta R growth requests — the OOM lands in collection
+  // growth, where Degrade applies.
+  gpusim::FaultPlan plan;
+  plan.alloc_oom_bytes_threshold = 24 << 10;
+
+  gpusim::Device dev(gpusim::make_benchmark_device(256));
+  dev.set_fault_plan(plan);
+  EimOptions options;
+  options.sampler_blocks = 4;
+  options.oom_policy = OomPolicy::Degrade;
+  options.checkpoint_dir = dir.path;
+  const EimResult first =
+      run_eim(dev, g, DiffusionModel::IndependentCascade, params, options);
+  ASSERT_TRUE(first.degraded);
+  ASSERT_EQ(first.seeds.size(), params.k);
+
+  const CheckpointState ckpt = load_checkpoint(dir.path);
+  gpusim::Device dev2(gpusim::make_benchmark_device(256));
+  dev2.set_fault_plan(plan);
+  EimOptions resume_options;
+  resume_options.sampler_blocks = 4;
+  resume_options.oom_policy = OomPolicy::Degrade;
+  resume_options.resume = &ckpt;
+  const EimResult resumed =
+      run_eim(dev2, g, DiffusionModel::IndependentCascade, params, resume_options);
+
+  EXPECT_TRUE(resumed.degraded);
+  EXPECT_EQ(resumed.degrade_shortfall_bytes, first.degrade_shortfall_bytes);
+  expect_same_answer(first, resumed);
+}
+
 TEST(Checkpoint, KillAtEveryKernelOrdinalResumesBitIdentical) {
   // THE tentpole property. For every launch ordinal o of the reference run:
   // run with checkpointing and a scripted process abort at o (the modeled

@@ -79,6 +79,87 @@ TEST(AtomicWriteText, FailedProducerStreamNeverPublishes) {
   std::remove(path.c_str());
 }
 
+// Injected-fault coverage (AtomicWriteFaults): every failure mode of the
+// write-temp/fsync/rename sequence must leave the destination untouched, the
+// temp file gone, and surface as IoError — which maps to exit code 3.
+class AtomicWriteFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_atomic_write_faults({}); }
+};
+
+TEST_F(AtomicWriteFaultTest, CreateFailureKeepsDestinationAndMapsToExitIo) {
+  const std::string path = unique_path("atomic_fault_create");
+  atomic_write_file(path, "previous good artifact");
+  AtomicWriteFaults faults;
+  faults.fail_create = true;
+  set_atomic_write_faults(faults);
+  try {
+    atomic_write_file(path, "replacement");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(exit_code_for(e), kExitIo);
+  }
+  EXPECT_EQ(slurp(path), "previous good artifact");
+  EXPECT_FALSE(exists(atomic_write_temp_path(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicWriteFaultTest, ShortWriteNeverPublishesAPartialArtifact) {
+  // Mid-file ENOSPC: the temp file accepted half the payload. Neither the
+  // half-written temp nor a truncated destination may be visible after.
+  const std::string path = unique_path("atomic_fault_short");
+  atomic_write_file(path, "previous good artifact");
+  AtomicWriteFaults faults;
+  faults.short_write_after = 4;
+  set_atomic_write_faults(faults);
+  try {
+    atomic_write_file(path, "a replacement much longer than four bytes");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(exit_code_for(e), kExitIo);
+    EXPECT_NE(std::string(e.what()).find("short write"), std::string::npos);
+  }
+  EXPECT_EQ(slurp(path), "previous good artifact");
+  EXPECT_FALSE(exists(atomic_write_temp_path(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicWriteFaultTest, FsyncFailureDiscardsTheTempFile) {
+  const std::string path = unique_path("atomic_fault_fsync");
+  atomic_write_file(path, "previous good artifact");
+  AtomicWriteFaults faults;
+  faults.fail_fsync = true;
+  set_atomic_write_faults(faults);
+  EXPECT_THROW(atomic_write_file(path, "replacement"), IoError);
+  EXPECT_EQ(slurp(path), "previous good artifact");
+  EXPECT_FALSE(exists(atomic_write_temp_path(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicWriteFaultTest, RenameFailureDiscardsTheTempFile) {
+  const std::string path = unique_path("atomic_fault_rename");
+  atomic_write_file(path, "previous good artifact");
+  AtomicWriteFaults faults;
+  faults.fail_rename = true;
+  set_atomic_write_faults(faults);
+  EXPECT_THROW(atomic_write_file(path, "replacement"), IoError);
+  EXPECT_EQ(slurp(path), "previous good artifact");
+  EXPECT_FALSE(exists(atomic_write_temp_path(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicWriteFaultTest, ClearedFaultsWriteCleanlyAgain) {
+  const std::string path = unique_path("atomic_fault_cleared");
+  AtomicWriteFaults faults;
+  faults.fail_fsync = true;
+  set_atomic_write_faults(faults);
+  EXPECT_THROW(atomic_write_file(path, "x"), IoError);
+  set_atomic_write_faults({});
+  atomic_write_file(path, "recovered");
+  EXPECT_EQ(slurp(path), "recovered");
+  std::remove(path.c_str());
+}
+
 TEST(AtomicWriteText, ProducerExceptionPropagatesWithoutPublishing) {
   const std::string path = unique_path("atomic_throwing_producer");
   atomic_write_file(path, "keep me");

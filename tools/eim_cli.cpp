@@ -78,6 +78,10 @@ struct CliOptions {
   bool node_degrade = false;
   gpusim::ClusterFaultPlan cluster_faults;  ///< --kill-node/--link-fault/--straggler
   std::uint64_t memory_mb = 512;
+  std::uint64_t device_mem_budget = 0;  ///< >0 caps the RRR device footprint
+  std::string spill_policy;             ///< off|spill|degrade ("" = infer)
+  std::string spill_dir;                ///< cold-tier directory (default temp)
+  std::uint64_t spill_host_budget = 0;  ///< compressed host tier cap (bytes)
   std::uint32_t verify_trials = 0;
   bool no_log_encoding = false;
   bool no_source_elim = false;
@@ -118,6 +122,22 @@ void print_usage() {
       "  --straggler <i@f>    fault script: node i's link runs f x slower\n"
       "                       (repeatable)\n"
       "  --memory-mb <n>      simulated device memory (default 512)\n"
+      "  --device-mem-budget <bytes>  cap the RRR collection's device\n"
+      "                       footprint; cold sets spill to compressed host\n"
+      "                       memory and disk instead of truncating the run\n"
+      "                       (implies --spill-policy spill; eim only,\n"
+      "                       single device; see docs/RESILIENCE.md)\n"
+      "  --spill-policy off|spill|degrade  what device OOM does to the RRR\n"
+      "                       store: off = fail/degrade as --oom-degrade\n"
+      "                       says, spill = evict cold sets down the tier\n"
+      "                       hierarchy (full theta, bit-identical seeds),\n"
+      "                       degrade = spill first and degrade only if the\n"
+      "                       tiers themselves are exhausted\n"
+      "  --spill-dir <path>   directory for the disk tier's block files\n"
+      "                       (default: a fresh temp directory, removed on\n"
+      "                       exit)\n"
+      "  --spill-host-budget <bytes>  cap the compressed host tier; colder\n"
+      "                       blocks overflow to disk (0 = unlimited)\n"
       "  --verify <trials>    score the seeds with forward Monte-Carlo\n"
       "  --no-log-encoding    disable the Section 3.1 compression\n"
       "  --no-source-elim     disable the Section 3.4 heuristic\n"
@@ -244,6 +264,20 @@ std::optional<CliOptions> parse(int argc, char** argv, int& exit_code) {
       opt.cluster_faults.slowdowns.push_back({node, std::atof(at), 0});
     } else if (arg == "--memory-mb" && (value = next())) {
       opt.memory_mb = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--device-mem-budget" && (value = next())) {
+      opt.device_mem_budget = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--spill-policy" && (value = next())) {
+      opt.spill_policy = value;
+      if (opt.spill_policy != "off" && opt.spill_policy != "spill" &&
+          opt.spill_policy != "degrade") {
+        std::fprintf(stderr, "error: --spill-policy must be off|spill|degrade, got '%s'\n",
+                     value);
+        return std::nullopt;
+      }
+    } else if (arg == "--spill-dir" && (value = next())) {
+      opt.spill_dir = value;
+    } else if (arg == "--spill-host-budget" && (value = next())) {
+      opt.spill_host_budget = static_cast<std::uint64_t>(std::atoll(value));
     } else if (arg == "--verify" && (value = next())) {
       opt.verify_trials = static_cast<std::uint32_t>(std::atoi(value));
     } else if (arg == "--no-log-encoding") {
@@ -303,6 +337,25 @@ int main(int argc, char** argv) {
     return report_error(support::InvalidArgumentError(
         "cluster options (--quorum/--node-degrade/--devices-per-node/"
         "--kill-node/--link-fault/--straggler) require --nodes"));
+  }
+  // Spill is a single-device answer to memory pressure (the cluster tier
+  // answers it by adding nodes), so the tiered-store flags are rejected
+  // outside --algo eim with one device.
+  const bool spill_requested =
+      opt.device_mem_budget > 0 || !opt.spill_dir.empty() ||
+      opt.spill_host_budget > 0 ||
+      (!opt.spill_policy.empty() && opt.spill_policy != "off");
+  if (spill_requested) {
+    if (opt.algo != "eim") {
+      return report_error(support::InvalidArgumentError(
+          "spill options (--device-mem-budget/--spill-policy/--spill-dir/"
+          "--spill-host-budget) require --algo eim (got '" + opt.algo + "')"));
+    }
+    if (opt.devices > 1 || opt.nodes > 0) {
+      return report_error(support::InvalidArgumentError(
+          "spill options require a single device (no --devices > 1 or "
+          "--nodes); the cluster tier handles memory pressure by resharding"));
+    }
   }
   // Each artifact stream has its own framing; interleaving any two on
   // stdout would corrupt both, so at most one may claim '-'.
@@ -470,6 +523,14 @@ int main(int argc, char** argv) {
         options.profile = profile;
         options.checkpoint_dir = checkpoint_dir;
         options.resume = ckpt.has_value() ? &*ckpt : nullptr;
+        if (spill_requested) {
+          options.spill.policy = opt.spill_policy == "degrade"
+                                     ? eim_impl::SpillPolicy::SpillThenDegrade
+                                     : eim_impl::SpillPolicy::Spill;
+          options.spill.device_budget_bytes = opt.device_mem_budget;
+          options.spill.host_budget_bytes = opt.spill_host_budget;
+          options.spill.dir = opt.spill_dir;
+        }
         result = eim_impl::run_eim(device, g, opt.model, opt.params, options);
       } else if (opt.algo == "gim") {
         result = baselines::run_gim(device, g, opt.model, opt.params);
@@ -544,6 +605,22 @@ int main(int argc, char** argv) {
   if (run_exit != support::kExitOk) return run_exit;
   if (artifact_exit != support::kExitOk) return artifact_exit;
 
+  // A degraded run exits 0 but is not the run that was asked for: surface
+  // the shortfall as one machine-parseable stderr record, uniformly across
+  // tiers (byte-denominated always; sample-denominated when clustered).
+  if (result.degraded) {
+    support::JsonWriter w(std::cerr);
+    w.begin_object()
+        .field("warning", "degraded")
+        .field("degrade_shortfall_bytes", result.degrade_shortfall_bytes);
+    if (cluster_result.has_value()) {
+      w.field("degrade_shortfall_samples",
+              cluster_result->degrade_shortfall_samples);
+    }
+    w.end_object();
+    std::cerr << "\n";
+  }
+
   if (opt.json) {
     support::JsonWriter w(std::cout);
     w.begin_object()
@@ -567,6 +644,10 @@ int main(int argc, char** argv) {
         .field("degraded", result.degraded);
     if (result.degraded) {
       w.field("degrade_shortfall_bytes", result.degrade_shortfall_bytes);
+    }
+    if (spill_requested) {
+      w.field("spilled_sets", result.spilled_sets)
+          .field("spill_bytes_compressed", result.spill_bytes_compressed);
     }
     if (cluster_result.has_value()) {
       w.field("nodes", static_cast<std::uint64_t>(cluster_result->num_nodes))
@@ -610,6 +691,11 @@ int main(int argc, char** argv) {
                 static_cast<double>(result.peak_device_bytes) / 1e6,
                 static_cast<double>(result.rrr_bytes) / 1e6,
                 static_cast<double>(result.rrr_raw_bytes) / 1e6);
+    if (result.spilled_sets > 0) {
+      std::printf("spill: %llu sets evicted off-device (%.2f MB compressed)\n",
+                  static_cast<unsigned long long>(result.spilled_sets),
+                  static_cast<double>(result.spill_bytes_compressed) / 1e6);
+    }
   }
   if (result.degraded) {
     if (cluster_result.has_value() &&

@@ -13,6 +13,8 @@
 //
 //   sampler   Monte Carlo RRR generation (EimSampler/RrrSampler BFS + walk)
 //   rng       Philox draw generation and bulk refills
+//   spill     memory-pressure tiers: TieredRrrStore evict/fetch, the
+//             rrr_block codec frames it drives, atomic disk I/O + retries
 //   codec     bit-packed encode/decode (PackedCsc, BitPackedArray, ...)
 //   selector  seed selection (inverted index, lazy-greedy, coverage walk)
 //   pool      ThreadPool dispatch/queue machinery (idle workers excluded
@@ -53,13 +55,18 @@ struct Bucket {
 
 /// Bucket patterns, checked per frame in this order (first hit wins). The
 /// order resolves the rare frame that matches two buckets: draw generation
-/// outranks the sampler that requested it, codec outranks the selector
-/// driving the decode.
+/// outranks the sampler that requested it, the spill tier outranks the
+/// codec it drives (rrr_block_encode inside an eviction is spill tax, not
+/// steady-state codec work), codec outranks the selector driving the decode.
 std::vector<Bucket> make_buckets() {
   return {
       {"rng",
        {"RandomStream", "Philox", "FloatDrawBuffer", "fill_floats", "fill_u32",
         "fill_blocks", "refill", "splitmix64"},
+       0},
+      {"spill",
+       {"TieredRrrStore", "rrr_block_", "spill", "atomic_write", "retry_on",
+        "resample_set", "quarantine"},
        0},
       {"codec",
        {"BitPackedArray", "PackedCsc", "decode_set", "decode_into",
@@ -205,8 +212,9 @@ void print_usage() {
   std::puts(
       "usage: prof_report [--json] [--min-symbolized <frac>] <profile.folded|->\n"
       "  Attributes a folded-stack sampling profile (support::profiler) to\n"
-      "  the repo's hot-path buckets: sampler / rng / codec / selector /\n"
-      "  pool / other. '-' reads stdin. Exits 1 when the profile is empty or\n"
+      "  the repo's hot-path buckets: sampler / rng / spill / codec /\n"
+      "  selector / pool / other. '-' reads stdin. Exits 1 when the profile\n"
+      "  is empty or\n"
       "  fewer than <frac> (default 0.5) of the samples symbolize.");
 }
 
