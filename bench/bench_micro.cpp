@@ -13,10 +13,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <span>
 
 #include "eim/diffusion/forward.hpp"
+#include "eim/graph/draw_plan.hpp"
 #include "eim/diffusion/reverse.hpp"
 #include "eim/eim/rrr_collection.hpp"
 #include "eim/eim/seed_selector.hpp"
@@ -77,6 +79,44 @@ void BM_PhiloxFillFloats(benchmark::State& state) {
                           static_cast<std::int64_t>(out.size()));
 }
 BENCHMARK(BM_PhiloxFillFloats);
+
+// --- Fast-draw primitives (--draw-mode skip) -------------------------------
+//
+// One geometric skip-ahead draw replaces ~1/p per-edge Bernoulli draws, and
+// one alias pick replaces an O(in-degree) prefix scan; these rows sit next
+// to the Philox rows above so the per-draw cost of the replacement reads
+// directly off the report (docs/PERFORMANCE.md "Draw efficiency").
+void BM_DrawSkip(benchmark::State& state) {
+  support::RandomStream rng(1, 4);
+  const double p = graph::grid_success_probability(0.05f);
+  const double log1m = std::log1p(-p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::geometric_skip(rng, log1m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DrawSkip);
+
+void BM_AliasPick(benchmark::State& state) {
+  // A 64-in-edge star row — the alias pick is O(1), so the degree only
+  // affects table build (outside the loop), not the measured pick.
+  constexpr graph::VertexId kDeg = 64;
+  static const graph::Graph g = [] {
+    graph::EdgeList edges(kDeg + 1);
+    for (graph::VertexId s = 0; s < kDeg; ++s) edges.add_edge(s, kDeg);
+    edges.normalize();
+    graph::Graph built = graph::Graph::from_edge_list(edges);
+    graph::assign_weights(built, graph::DiffusionModel::LinearThreshold);
+    return built;
+  }();
+  const graph::DrawPlan* plan = g.draw_plan();
+  support::RandomStream rng(1, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::alias_pick_lt(*plan, g, kDeg, rng.next_float()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AliasPick);
 
 void BM_BitPackedEncode(benchmark::State& state) {
   const auto bits = static_cast<std::uint32_t>(state.range(0));

@@ -5,11 +5,25 @@
 // scored by the same forward Monte-Carlo simulator; the expected spreads
 // must agree within sampling noise (and the serial IMM reference is
 // included as the anchor).
+//
+// The second section is the --draw-mode equivalence gate (docs/
+// PERFORMANCE.md "Draw efficiency"): on the fig7 (IC) and fig8 (LT)
+// envelopes, eIM's Exact and Skip modes must pick seed sets whose expected
+// spreads agree within kDrawModeTolerance. Exceeding it exits nonzero —
+// this is the CI gate that lets the Skip mode ship without a bit-identity
+// contract (it deliberately consumes the RNG differently).
 #include <iostream>
 
 #include "common.hpp"
 #include "eim/diffusion/forward.hpp"
 #include "eim/imm/imm.hpp"
+
+namespace {
+/// Allowed relative spread deviation between Exact and Skip seeds. Both
+/// modes sample the same distribution, so the gap is pure Monte Carlo noise
+/// — 5% is several sigma at 300 scoring trials on the quality networks.
+constexpr double kDrawModeTolerance = 0.05;
+}  // namespace
 
 int main() {
   using namespace eim;
@@ -60,6 +74,58 @@ int main() {
                      support::TextTable::num(100.0 * (hi - lo) / hi, 2)});
     }
     table.print(std::cout);
+  }
+
+  // --- Draw-mode equivalence gate (fig7 = IC, fig8 = LT) ---
+  bool drawmode_ok = true;
+  std::cout << "\nDraw-mode equivalence: eIM Exact vs Skip seeds, same scorer\n";
+  for (const auto model : {graph::DiffusionModel::IndependentCascade,
+                           graph::DiffusionModel::LinearThreshold}) {
+    const char* fig = model == graph::DiffusionModel::IndependentCascade
+                          ? "fig7_ic"
+                          : "fig8_lt";
+    std::cout << "\n-- " << graph::to_string(model) << " model --\n";
+    support::TextTable table({"Dataset", "exact", "skip", "deviation %", "gate"});
+    for (const auto& spec : env.datasets) {
+      if (std::getenv("EIM_BENCH_DATASETS") == nullptr &&
+          spec.synth_edges > 150'000) {
+        continue;
+      }
+      const graph::Graph g = graph::build_dataset(spec, model);
+
+      const std::string stem =
+          std::string(fig) + "_" + std::string(spec.abbrev) + "_drawmode_";
+      const auto exact_cell = bench::run_cell(
+          env, g, bench::eim_runner(model, params), stem + "exact");
+      eim_impl::EimOptions skip_options;
+      skip_options.draw_mode = eim_impl::DrawMode::Skip;
+      const auto skip_cell = bench::run_cell(
+          env, g, bench::eim_runner(model, params, skip_options), stem + "skip");
+      if (!exact_cell.seconds || !skip_cell.seconds) continue;
+
+      const double exact_spread =
+          diffusion::estimate_spread(g, model, exact_cell.last.seeds, kTrials, 11)
+              .mean;
+      const double skip_spread =
+          diffusion::estimate_spread(g, model, skip_cell.last.seeds, kTrials, 11)
+              .mean;
+      const double deviation =
+          exact_spread > 0.0 ? std::abs(skip_spread - exact_spread) / exact_spread
+                             : 0.0;
+      const bool ok = deviation <= kDrawModeTolerance;
+      drawmode_ok = drawmode_ok && ok;
+      table.add_row({std::string(spec.abbrev),
+                     support::TextTable::num(exact_spread, 1),
+                     support::TextTable::num(skip_spread, 1),
+                     support::TextTable::num(100.0 * deviation, 2),
+                     ok ? "ok" : "FAIL"});
+    }
+    table.print(std::cout);
+  }
+  if (!drawmode_ok) {
+    std::cerr << "error: draw-mode spread deviation above "
+              << 100.0 * kDrawModeTolerance << "%\n";
+    return 1;
   }
   return 0;
 }

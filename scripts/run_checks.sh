@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Pre-merge gate: build everything under AddressSanitizer + UBSan and run
-# the default test suite plus the stress-, checkpoint-, cluster-, and
-# spill-labeled tests (see README.md), exercise CLI-level checkpoint/resume
-# including corrupt-snapshot rejection, a node-kill cluster failover smoke,
-# and a quarter-budget spill smoke that must reproduce the unconstrained
-# seeds bit-identically, then
+# the default test suite plus the stress-, checkpoint-, cluster-, spill-,
+# and drawmode-labeled tests (see README.md), exercise CLI-level
+# checkpoint/resume including corrupt-snapshot rejection, a --draw-mode
+# skip round-trip with mode-mismatch rejection, a node-kill cluster
+# failover smoke, and a quarter-budget spill smoke that must reproduce the
+# unconstrained seeds bit-identically, then
 # run one small traced benchmark, validate the JSON artifacts it emits, and
 # diff its timings against the committed baseline. Finishes with a
 # Release-build perf smoke: bench_micro plus the fig7, multi-node, and
 # spill-tax curves diffed bit-identically against bench/baselines (wall rows
 # are warn-only; see docs/PERFORMANCE.md), with the sampling profiler
 # attached to the fig7 run — its folded stacks must symbolize (prof_report
-# gate) and the profiled modeled rows must stay bit-identical.
+# gate) and the profiled modeled rows must stay bit-identical — and the
+# bench_quality draw-mode spread-equivalence gate (always fatal).
 #
 # Usage: scripts/run_checks.sh [build-dir]
 #   build-dir defaults to build-asan (kept separate from the regular build).
@@ -54,6 +56,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L cluster
 echo "== spill-labeled tests (tiered store, disk-fault sweeps, CRC quarantine) =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L spill
 
+echo "== drawmode-labeled tests (skip/alias statistical pinning, mode identity) =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L drawmode
+
 echo "== CLI checkpoint/resume round-trip + corrupt-snapshot rejection =="
 ckpt_tmp="$(mktemp -d)"
 cli="${build_dir}/tools/eim_cli"
@@ -90,6 +95,28 @@ if [[ "${status}" -ne 3 ]]; then
   echo "ERROR: truncated snapshot: expected exit 3, got ${status}" >&2; exit 1
 fi
 rm -rf "${ckpt_tmp}"
+
+echo "== CLI --draw-mode skip smoke: round-trip + resume-mode-mismatch =="
+dm_tmp="$(mktemp -d)"
+dm_args=(--dataset WV --k 10 --eps 0.3 --json --draw-mode skip)
+"${cli}" "${dm_args[@]}" --checkpoint "${dm_tmp}/ck" > "${dm_tmp}/full.json"
+"${cli}" "${dm_args[@]}" --resume "${dm_tmp}/ck" > "${dm_tmp}/resumed.json"
+# Same contract as the exact-mode round-trip above: bit-identical modulo the
+# modeled clock fields.
+for f in full resumed; do
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); [d.pop(k) for k in ("device_seconds","peak_device_bytes")]; print(json.dumps(d,sort_keys=True))' \
+    "${dm_tmp}/${f}.json" > "${dm_tmp}/${f}.norm.json"
+done
+diff "${dm_tmp}/full.norm.json" "${dm_tmp}/resumed.norm.json"
+# A skip checkpoint resumed without --draw-mode skip would splice two
+# incompatible draw sequences; the manifest identity must refuse (exit 2).
+status=0
+"${cli}" --dataset WV --k 10 --eps 0.3 --json --resume "${dm_tmp}/ck" \
+  > /dev/null 2>&1 || status=$?
+if [[ "${status}" -ne 2 ]]; then
+  echo "ERROR: draw-mode mismatch resume: expected exit 2, got ${status}" >&2; exit 1
+fi
+rm -rf "${dm_tmp}"
 
 echo "== CLI node-kill failover smoke =="
 clu_tmp="$(mktemp -d)"
@@ -284,5 +311,14 @@ else
   fi
   echo "Warn-only (set EIM_CHECKS_BENCH_GATE=1 to gate on this)."
 fi
+
+echo "-- draw-mode spread equivalence: Exact vs Skip seeds (hard gate) --"
+# bench_quality's second section runs eIM in both draw modes on the fig7/
+# fig8 envelopes and exits nonzero itself when the expected spreads deviate
+# beyond its tolerance — the gate that lets Skip ship without a bit-identity
+# contract. Unlike the modeled-time diffs this is always fatal: a spread
+# regression means the fast-draw math is wrong, not that a cost model moved.
+cmake --build "${perf_dir}" -j "${jobs}" --target bench_quality
+EIM_BENCH_DATASETS=WV EIM_BENCH_FAST=1 "${perf_dir}/bench/bench_quality"
 
 echo "All checks passed."

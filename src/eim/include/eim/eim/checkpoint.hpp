@@ -56,6 +56,11 @@ struct CheckpointState {
   std::uint8_t model = 0;  ///< graph::DiffusionModel as an integer
   bool log_encode = false;
   bool eliminate_sources = false;
+  /// eim_impl::DrawMode as an integer. Part of the identity: Exact and Skip
+  /// consume the RNG streams differently, so a resume that silently switched
+  /// modes would splice two incompatible draw sequences. Old manifests
+  /// (pre-draw-mode) decode as Exact — the only mode that existed.
+  std::uint8_t draw_mode = 0;
   /// Device count of the writing run. Informational only: a resumed run may
   /// redistribute the restored collection across a different device count.
   std::uint32_t num_devices = 1;

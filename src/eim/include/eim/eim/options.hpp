@@ -40,6 +40,22 @@ enum class LtActivationMethod {
   AtomicAdd,
 };
 
+/// How the sampler spends randomness per edge examined (docs/PERFORMANCE.md
+/// "Draw efficiency").
+enum class DrawMode {
+  /// One Bernoulli draw per scanned IC in-edge, one prefix scan per LT step
+  /// — the serial reference's draw order. Modeled output is bit-identical
+  /// across every configuration and gated by `bench_diff --threshold 0`.
+  Exact,
+  /// Fast-draw mode: IC geometric skip-ahead over uniform-weight vertices
+  /// (one uniform per failure run) and O(1) LT alias-table picks, using the
+  /// graph's DrawPlan sidecar. Consumes the RNG stream differently from
+  /// Exact, so it is gated by `bench_quality` spread equivalence instead of
+  /// bit parity. Still deterministic for a fixed seed: the same seeds come
+  /// out regardless of device count, spill pressure, or resume point.
+  Skip,
+};
+
 /// What the pipeline does when the device runs out of memory while growing
 /// the RRR collection (docs/RESILIENCE.md).
 enum class OomPolicy {
@@ -90,6 +106,9 @@ struct EimOptions {
   bool eliminate_sources = true;
   ScanStrategy scan = ScanStrategy::ThreadPerSet;
   LtActivationMethod lt_activation = LtActivationMethod::PrefixScan;
+  /// Opt-in fast-draw sampling (geometric skip-ahead + alias tables).
+  /// Recorded in checkpoint identity: a resume cannot silently switch modes.
+  DrawMode draw_mode = DrawMode::Exact;
   /// Sampler blocks to launch (0 = 4 per SM, the self-scheduling default).
   std::uint32_t sampler_blocks = 0;
   /// Optional run-wide instrumentation sink (not owned; must outlive the

@@ -29,6 +29,19 @@
 
 namespace eim::eim_impl {
 
+/// Cap on capacity-growth waves before sample_assigned declares the sampler
+/// non-convergent. Shared by the single-device and multi-GPU paths (both
+/// funnel through EimSampler::sample_assigned), so the two tiers can never
+/// drift apart on the limit. The split: an unconstrained run doubles its
+/// reservation every wave, so 64 waves already cover any realistic growth
+/// curve and a 65th means the estimator is broken; under an active spill
+/// budget the device array intentionally stays small and refills every few
+/// waves, so convergence legitimately takes thousands of waves (4096 bounds
+/// a quarter-footprint run with room to spare).
+[[nodiscard]] constexpr int max_sampler_waves(bool spill_active) noexcept {
+  return spill_active ? 4096 : 64;
+}
+
 class EimSampler {
  public:
   EimSampler(gpusim::Device& device, const graph::Graph& g,
@@ -79,6 +92,14 @@ class EimSampler {
     std::vector<std::uint64_t> failed;    ///< commits deferred to next wave
     std::uint64_t max_failed_len = 0;     ///< largest set that failed to fit
     std::uint64_t discarded = 0;          ///< committed samples' regen count
+    // Struct-of-arrays frontier for the fast-draw BFS: each queue entry's
+    // CSC slice and weight class, cached at enqueue so the sweep streams
+    // flat arrays instead of re-touching the offset table per vertex.
+    std::vector<graph::EdgeId> frontier_begin;
+    std::vector<std::uint32_t> frontier_len;
+    std::vector<std::uint8_t> frontier_kind;
+    std::uint64_t draws_skipped = 0;  ///< Bernoulli draws avoided (flushed per wave)
+    std::uint64_t alias_picks = 0;    ///< O(1) LT picks taken (flushed per wave)
   };
 
   /// Generate the RRR set for `sample_index` into scratch.queue; returns
@@ -90,6 +111,17 @@ class EimSampler {
               graph::VertexId source, support::RandomStream& rng);
   void walk_lt(gpusim::BlockContext& ctx, BlockScratch& scratch,
                graph::VertexId source, support::RandomStream& rng);
+
+  // Fast-draw variants (DrawMode::Skip, docs/PERFORMANCE.md "Draw
+  // efficiency"): geometric skip-ahead over uniform-weight vertices and
+  // O(1) alias-table picks, driven by the graph's DrawPlan sidecar. They
+  // consume the per-sample RNG stream differently from the exact kernels —
+  // still a pure function of (rng_seed, global id), so resume/spill/
+  // multi-GPU determinism holds within the mode.
+  void bfs_ic_skip(gpusim::BlockContext& ctx, BlockScratch& scratch,
+                   graph::VertexId source, support::RandomStream& rng);
+  void walk_lt_skip(gpusim::BlockContext& ctx, BlockScratch& scratch,
+                    graph::VertexId source, support::RandomStream& rng);
 
   /// Meter the sort + commit traffic for a finished set of length `len`.
   void charge_commit(gpusim::BlockContext& ctx, std::uint32_t len) const;
@@ -104,6 +136,14 @@ class EimSampler {
   /// Device charge for the queue pool + M arrays (held for the sampler's
   /// lifetime, like eIM's persistent global-memory pool).
   gpusim::DeviceBuffer<std::uint8_t> pool_charge_;
+
+  /// Fast-draw sidecar, non-null only when DrawMode::Skip is on AND the
+  /// graph carries a plan built for this model (assign_weights builds it;
+  /// hand-assigned weights leave it null and the sampler silently runs the
+  /// exact kernels). Host memory is shared across samplers/shards; each
+  /// modeled device charges its own resident copy.
+  const graph::DrawPlan* plan_ = nullptr;
+  gpusim::DeviceBuffer<std::uint8_t> plan_charge_;
 
   std::vector<BlockScratch> scratch_;
   std::uint64_t singletons_discarded_ = 0;

@@ -48,6 +48,7 @@ std::string render_manifest(const CheckpointState& state) {
   w.field("model", std::uint64_t{state.model});
   w.field("log_encode", state.log_encode);
   w.field("eliminate_sources", state.eliminate_sources);
+  w.field("draw_mode", std::uint64_t{state.draw_mode});
   w.field("num_devices", std::uint64_t{state.num_devices});
   w.field("num_sets", std::uint64_t{state.lengths.size()});
   w.field("snapshot", std::string_view(kSnapshotFile));
@@ -76,6 +77,11 @@ void decode_manifest(const std::string& text, CheckpointState& state) {
     state.model = static_cast<std::uint8_t>(doc.at("model").as_int());
     state.log_encode = doc.at("log_encode").as_bool();
     state.eliminate_sources = doc.at("eliminate_sources").as_bool();
+    // Optional for backward compatibility: manifests written before the
+    // fast-draw mode existed carry no draw_mode and decode as Exact.
+    const JsonValue* draw_mode = doc.find("draw_mode");
+    state.draw_mode =
+        draw_mode != nullptr ? static_cast<std::uint8_t>(draw_mode->as_int()) : 0;
     state.num_devices = static_cast<std::uint32_t>(doc.at("num_devices").as_int());
   } catch (const SnapshotCorruptError&) {
     throw;
@@ -259,6 +265,13 @@ void validate_checkpoint(const CheckpointState& state, const graph::Graph& g,
   if (state.eliminate_sources != options.eliminate_sources) {
     mismatch("eliminate_sources", state.eliminate_sources ? "true" : "false",
              options.eliminate_sources ? "true" : "false");
+  }
+  if (state.draw_mode != static_cast<std::uint8_t>(options.draw_mode)) {
+    const auto name = [](std::uint8_t m) {
+      return m == static_cast<std::uint8_t>(DrawMode::Skip) ? "skip" : "exact";
+    };
+    mismatch("draw_mode", name(state.draw_mode),
+             name(static_cast<std::uint8_t>(options.draw_mode)));
   }
 }
 

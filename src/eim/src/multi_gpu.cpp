@@ -488,6 +488,7 @@ MultiGpuResult run_eim_multi(std::vector<gpusim::Device*> devices,
       ckpt.model = static_cast<std::uint8_t>(model);
       ckpt.log_encode = options.log_encode;
       ckpt.eliminate_sources = effective.eliminate_sources;
+      ckpt.draw_mode = static_cast<std::uint8_t>(options.draw_mode);
       ckpt.num_devices = num_devices;
       ckpt.round = fr;
       ckpt.lengths.resize(sampled_global);

@@ -659,6 +659,7 @@ MultiNodeResult run_eim_cluster(gpusim::Cluster& cluster, const graph::Graph& g,
       ckpt.model = static_cast<std::uint8_t>(model);
       ckpt.log_encode = options.log_encode;
       ckpt.eliminate_sources = effective.eliminate_sources;
+      ckpt.draw_mode = static_cast<std::uint8_t>(options.draw_mode);
       ckpt.num_devices = num_flat;
       ckpt.round = fr;
       ckpt.lengths.resize(sampled_global);

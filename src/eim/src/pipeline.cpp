@@ -262,6 +262,7 @@ EimResult run_eim(gpusim::Device& device, const graph::Graph& g,
       ckpt.model = static_cast<std::uint8_t>(model);
       ckpt.log_encode = options.log_encode;
       ckpt.eliminate_sources = effective.eliminate_sources;
+      ckpt.draw_mode = static_cast<std::uint8_t>(options.draw_mode);
       ckpt.num_devices = 1;
       ckpt.round = fr;
       export_collection(collection, ckpt);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 
+#include "eim/graph/draw_plan.hpp"
 #include "eim/imm/imm.hpp"
 #include "eim/support/bits.hpp"
 #include "eim/support/error.hpp"
@@ -51,6 +52,16 @@ EimSampler::EimSampler(gpusim::Device& device, const graph::Graph& g,
   // generate()): eagerly zeroing n words per block here is an O(n · blocks)
   // page-touch that multi-GPU runs repeat per device, and blocks beyond the
   // pending-sample count never run at all.
+  if (options.draw_mode == DrawMode::Skip) {
+    const graph::DrawPlan* plan = g.draw_plan();
+    if (plan != nullptr && plan->model == model) {
+      plan_ = plan;
+      // The sidecar rides on-device next to the CSC for the sampler's
+      // lifetime (read-only; the host copy is shared across shards).
+      plan_charge_ = device.alloc<std::uint8_t>(plan->bytes());
+    }
+  }
+
   scratch_.resize(num_blocks_);
   support::profiler::WallTimer* refill_timer =
       options.profile != nullptr ? &options.profile->timer("rng.refill") : nullptr;
@@ -97,6 +108,8 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
   support::metrics::Counter* retries_c = nullptr;
   support::metrics::Counter* regens_c = nullptr;
   support::metrics::Counter* fault_retries_c = nullptr;
+  support::metrics::Counter* draws_skipped_c = nullptr;
+  support::metrics::Counter* alias_picks_c = nullptr;
   support::metrics::Histogram* queue_depth_h = nullptr;
   support::metrics::Histogram* backoff_h = nullptr;
   if (options_.metrics != nullptr) {
@@ -107,6 +120,15 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
     fault_retries_c = &options_.metrics->counter("retry.attempts");
     queue_depth_h = &options_.metrics->histogram("sampler.queue_depth");
     backoff_h = &options_.metrics->histogram("retry.backoff_seconds");
+    // Fast-draw counters exist only when the skip kernels can actually run,
+    // so exact-mode metrics reports stay byte-identical to the baselines.
+    if (plan_ != nullptr) {
+      if (model_ == graph::DiffusionModel::IndependentCascade) {
+        draws_skipped_c = &options_.metrics->counter("sampler.draws_skipped");
+      } else {
+        alias_picks_c = &options_.metrics->counter("sampler.alias_picks");
+      }
+    }
   }
 
   // Wave spans attach to the device's trace track; the device must have
@@ -124,10 +146,7 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
 
   int wave = 0;
   std::uint64_t max_failed_len = 0;
-  // Under an active spill budget the device array intentionally stays small
-  // and refills every few waves, so convergence legitimately takes many more
-  // waves than the unconstrained heuristic ever needs.
-  const int max_waves = collection.spill_active() ? 4096 : 64;
+  const int max_waves = max_sampler_waves(collection.spill_active());
   while (!pending.empty()) {
     EIM_CHECK_MSG(++wave <= max_waves, "sampler failed to converge on capacity");
     support::trace::ScopedSpan wave_span(trace, trace_pid,
@@ -233,6 +252,10 @@ void EimSampler::sample_assigned(DeviceRrrCollection& collection,
       singletons_discarded_ += s.discarded;
       if (regens_c != nullptr) regens_c->add(s.discarded);
       s.discarded = 0;
+      if (draws_skipped_c != nullptr) draws_skipped_c->add(s.draws_skipped);
+      if (alias_picks_c != nullptr) alias_picks_c->add(s.alias_picks);
+      s.draws_skipped = 0;
+      s.alias_picks = 0;
       max_failed_len = std::max(max_failed_len, s.max_failed_len);
       s.max_failed_len = 0;
     }
@@ -295,9 +318,17 @@ std::uint32_t EimSampler::generate(BlockContext& ctx, BlockScratch& scratch,
     scratch.stamp[source] = scratch.epoch;
 
     if (model_ == graph::DiffusionModel::IndependentCascade) {
-      bfs_ic(ctx, scratch, source, rng);
+      if (plan_ != nullptr) {
+        bfs_ic_skip(ctx, scratch, source, rng);
+      } else {
+        bfs_ic(ctx, scratch, source, rng);
+      }
     } else {
-      walk_lt(ctx, scratch, source, rng);
+      if (plan_ != nullptr) {
+        walk_lt_skip(ctx, scratch, source, rng);
+      } else {
+        walk_lt(ctx, scratch, source, rng);
+      }
     }
 
     if (options_.eliminate_sources) {
@@ -429,6 +460,149 @@ void EimSampler::walk_lt(BlockContext& ctx, BlockScratch& scratch, VertexId sour
 
     if (chosen == graph::kInvalidVertex) break;          // tau in the no-one gap
     if (scratch.stamp[chosen] == scratch.epoch) break;   // walk closed a loop
+    scratch.stamp[chosen] = scratch.epoch;
+    scratch.queue.push_back(chosen);
+    ctx.charge_global(1);
+    ctx.charge_atomic_global(1);
+    u = chosen;
+  }
+}
+
+void EimSampler::bfs_ic_skip(BlockContext& ctx, BlockScratch& scratch,
+                             VertexId source, RandomStream& rng) {
+  const graph::Graph& g = *graph_;
+  const graph::DrawPlan& plan = *plan_;
+  const std::uint32_t warp = ctx.warp_size();
+  std::uint32_t* const stamp = scratch.stamp.data();
+  const std::uint32_t epoch = scratch.epoch;
+  const graph::EdgeId* const offsets = g.in().offsets.data();
+  const VertexId* const targets = g.in().targets.data();
+  const graph::Weight* const weights = g.all_in_weights().data();
+
+  // SoA frontier: the CSC slice and weight class of every queued vertex,
+  // captured at enqueue time. The sweep then streams flat arrays — no
+  // offset-table reload, no per-vertex plan lookup.
+  auto& fbegin = scratch.frontier_begin;
+  auto& flen = scratch.frontier_len;
+  auto& fkind = scratch.frontier_kind;
+  fbegin.clear();
+  flen.clear();
+  fkind.clear();
+  const auto push_meta = [&](VertexId v) {
+    const graph::EdgeId b = offsets[v];
+    fbegin.push_back(b);
+    flen.push_back(static_cast<std::uint32_t>(offsets[v + 1] - b));
+    fkind.push_back(plan.ic_kind[v]);
+  };
+  push_meta(source);
+
+  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+    ctx.charge_global(1);  // read Q front + its SoA slice (one line each)
+
+    const auto kind = static_cast<graph::DrawPlan::IcKind>(fkind[head]);
+    const std::uint32_t deg = flen[head];
+    if (deg == 0 || kind == graph::DrawPlan::IcKind::Zero) {
+      // Zero: uniform weight <= 0 — no draw can succeed, skip the slice
+      // outright. deg draws avoided, zero consumed.
+      scratch.draws_skipped += deg;
+      continue;
+    }
+    const graph::EdgeId begin = fbegin[head];
+    const VertexId* const ins = targets + begin;
+
+    switch (kind) {
+      case graph::DrawPlan::IcKind::Uniform: {
+        // One uniform per failure run: jump straight to the next success.
+        // The jump counts positions over ALL in-edges (visited targets
+        // included — a success on a visited vertex is a no-op), so the
+        // per-edge Bernoulli distribution is preserved exactly.
+        const double log1m = plan.ic_log1m[scratch.queue[head]];
+        std::uint64_t draws = 1;
+        ctx.charge_alu(1);  // log + floor of the skip draw
+        std::uint64_t j = support::geometric_skip(rng, log1m);
+        while (j < deg) {
+          const VertexId v = ins[j];
+          ctx.charge_global(1);  // neighbor id gather + M probe
+          if (stamp[v] != epoch) {
+            stamp[v] = epoch;
+            scratch.queue.push_back(v);
+            push_meta(v);
+            ctx.charge_global(1);         // M store + Q store (write-combined)
+            ctx.charge_atomic_global(1);  // atomicAdd on q_tail
+          }
+          const std::uint64_t s = support::geometric_skip(rng, log1m);
+          ++draws;
+          ctx.charge_alu(1);
+          if (s >= deg - 1 - j) break;  // next success lands past the slice
+          j += 1 + s;
+        }
+        if (deg > draws) scratch.draws_skipped += deg - draws;
+        break;
+      }
+      case graph::DrawPlan::IcKind::Saturated: {
+        // Uniform weight with p_eff >= 1: every in-edge activates, no
+        // randomness consumed at all.
+        ctx.charge_global(2 * warp_chunks(deg, warp));  // ids + M probes
+        for (std::uint32_t j = 0; j < deg; ++j) {
+          const VertexId v = ins[j];
+          if (stamp[v] != epoch) {
+            stamp[v] = epoch;
+            scratch.queue.push_back(v);
+            push_meta(v);
+            ctx.charge_global(1);
+            ctx.charge_atomic_global(1);
+          }
+        }
+        scratch.draws_skipped += deg;
+        break;
+      }
+      default: {
+        // Mixed weights: exact per-edge fallback (same draw-per-unvisited-
+        // neighbor shape and the same metered cost as the exact kernel).
+        const graph::Weight* const ws = weights + begin;
+        ctx.charge_global(3 * warp_chunks(deg, warp));
+        ctx.charge_alu(warp_chunks(deg, warp));
+        for (std::uint32_t j = 0; j < deg; ++j) {
+          const VertexId v = ins[j];
+          if (stamp[v] == epoch) continue;
+          if (rng.next_float() < ws[j]) {
+            stamp[v] = epoch;
+            scratch.queue.push_back(v);
+            push_meta(v);
+            ctx.charge_global(1);
+            ctx.charge_atomic_global(1);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void EimSampler::walk_lt_skip(BlockContext& ctx, BlockScratch& scratch,
+                              VertexId source, RandomStream& rng) {
+  const graph::Graph& g = *graph_;
+  const graph::DrawPlan& plan = *plan_;
+
+  // Same walk as walk_lt, but the activated in-neighbor is picked in O(1)
+  // from the vertex's Vose alias table: one uniform split into (bucket,
+  // coin) replaces the O(in-degree) warp prefix scan.
+  VertexId u = source;
+  for (;;) {
+    const graph::EdgeId begin = g.in().offsets[u];
+    const auto deg = static_cast<std::uint32_t>(g.in().offsets[u + 1] - begin);
+    if (deg == 0) break;
+
+    const float tau = rng.next_float();
+    ctx.charge_alu(1);     // lane 0 draws tau and splits (bucket, coin)
+    ctx.charge_global(1);  // alias-table gather (prob + alias, one line)
+    const std::uint32_t pick = graph::alias_pick_lt(plan, g, u, tau);
+    ++scratch.alias_picks;
+    if (pick == graph::kNoAliasPick) break;  // tau in the no-one gap
+
+    const VertexId chosen = g.in().targets[begin + pick];
+    ctx.charge_global(1);  // neighbor id gather
+    if (scratch.stamp[chosen] == scratch.epoch) break;  // walk closed a loop
     scratch.stamp[chosen] = scratch.epoch;
     scratch.queue.push_back(chosen);
     ctx.charge_global(1);

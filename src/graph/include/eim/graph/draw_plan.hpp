@@ -1,0 +1,98 @@
+// Draw-acceleration sidecar built alongside the CSC at weight-assignment
+// time, consumed by the opt-in fast-draw sampler mode (--draw-mode skip).
+//
+// Two independent halves, each keyed to the diffusion model the weights were
+// assigned for:
+//
+//  * IC geometric skip-ahead. Vertices whose in-edges all share one weight w
+//    (always true for the paper's weighted-cascade 1/d^-(v) assignment) are
+//    classified Uniform and get a cached log1p(-p_eff) so the sampler can
+//    replace d Bernoulli draws with one uniform per *run* of failures. The
+//    success probability is quantized to the sampler's 24-bit draw grid
+//    (p_eff = ceil(w * 2^24) / 2^24) so the geometric jump is distributed
+//    exactly like the strict `next_float() < w` per-edge test it replaces.
+//    Mixed-weight vertices fall back to per-edge draws; the w == 0 and
+//    w >= 1 degenerate cases get their own branch-free classifications.
+//
+//  * LT alias tables. Per-vertex Vose alias tables in a flat two-array SoA
+//    layout (prob/alias, indexed by the same CSC offsets as the in-edges)
+//    let each LT step pick the activated in-neighbor in O(1) with a single
+//    uniform split into (bucket, coin), replacing the O(in-degree) prefix
+//    scan. Draws landing at or above the per-vertex total weight fall into
+//    the no-one gap, exactly like the exact path's tau beyond the last
+//    cumulative sum. Zero-weight in-edges get an acceptance threshold of 0
+//    and are never picked.
+//
+// The plan is immutable after construction and shared read-only across
+// samplers and multi-GPU shards (the Graph hands out a shared_ptr). Any
+// mutable weight access on the Graph invalidates it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eim/graph/graph.hpp"
+#include "eim/graph/weights.hpp"
+
+namespace eim::graph {
+
+struct DrawPlan {
+  /// Per-vertex classification of the IC in-edge weight profile.
+  enum class IcKind : std::uint8_t {
+    Empty = 0,  ///< no in-edges: nothing to draw
+    Uniform,    ///< one shared weight in (0,1): geometric skip-ahead applies
+    Saturated,  ///< shared weight with p_eff >= 1: every in-edge activates
+    Zero,       ///< shared weight <= 0: no in-edge ever activates
+    Mixed,      ///< heterogeneous weights: exact per-edge fallback
+  };
+
+  // --- IC half (model == IndependentCascade) ---
+  std::vector<std::uint8_t> ic_kind;  ///< IcKind per vertex, size n
+  /// log1p(-p_eff) per vertex (strictly negative for Uniform, 0 otherwise).
+  std::vector<double> ic_log1m;
+
+  // --- LT half (model == LinearThreshold) ---
+  /// Acceptance threshold per bucket, size m, sliced by the CSC offsets.
+  std::vector<float> lt_prob;
+  /// Alias bucket (local in-edge index) per bucket, size m.
+  std::vector<std::uint32_t> lt_alias;
+  /// Per-vertex total in-weight W, size n. A draw u >= W means no one
+  /// activated this step (the tau-in-no-one-gap case of the exact scan).
+  std::vector<float> lt_total;
+
+  /// Model the weights were assigned for when this plan was built. A sampler
+  /// running the other model must ignore the plan and fall back to exact.
+  DiffusionModel model = DiffusionModel::IndependentCascade;
+
+  [[nodiscard]] bool has_ic() const noexcept { return !ic_kind.empty(); }
+  [[nodiscard]] bool has_lt() const noexcept { return !lt_total.empty(); }
+
+  [[nodiscard]] IcKind kind(VertexId v) const noexcept {
+    return static_cast<IcKind>(ic_kind[v]);
+  }
+
+  /// Host bytes held by the sidecar — also the footprint a device copy
+  /// would occupy, which the sampler charges against its memory budget.
+  [[nodiscard]] std::uint64_t bytes() const noexcept;
+};
+
+/// Success probability of the strict `next_float() < w` test on the 24-bit
+/// draw grid: the fraction of the 2^24 representable draws strictly below w.
+/// Exposed so the statistical regression tests can pin the quantization.
+[[nodiscard]] double grid_success_probability(float w) noexcept;
+
+/// Classify every vertex (IC) or build the alias tables (LT) for the
+/// weights currently assigned to `g`. Parallel over vertices.
+[[nodiscard]] DrawPlan build_draw_plan(const Graph& g, DiffusionModel model);
+
+/// O(1) alias-table pick for the LT step at vertex `v`: splits one uniform
+/// `u` (in [0,1)) into (bucket, coin) against the vertex's table slice.
+/// Returns the local in-edge index of the activated in-neighbor, or
+/// `kNoAliasPick` when `u` falls into the no-one gap (u >= W, or W <= 0).
+/// Kept out of line so profile samples attribute to the rng.skip bucket.
+inline constexpr std::uint32_t kNoAliasPick = 0xFFFFFFFFu;
+[[nodiscard]] std::uint32_t alias_pick_lt(const DrawPlan& plan, const Graph& g,
+                                          VertexId v, float u) noexcept;
+
+}  // namespace eim::graph

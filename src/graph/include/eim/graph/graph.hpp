@@ -7,6 +7,7 @@
 // stored per direction so both traversals are cache-friendly.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "eim/graph/types.hpp"
 
 namespace eim::graph {
+
+struct DrawPlan;  // draw_plan.hpp — fast-draw sidecar built by assign_weights
 
 class Graph {
  public:
@@ -50,10 +53,23 @@ class Graph {
     return in_weights_;
   }
 
-  /// Mutable access for the weight-assignment routines.
-  [[nodiscard]] std::vector<Weight>& mutable_in_weights() noexcept { return in_weights_; }
+  /// Mutable access for the weight-assignment routines. Invalidates the
+  /// draw plan: its cached classifications describe the old weights.
+  [[nodiscard]] std::vector<Weight>& mutable_in_weights() noexcept {
+    draw_plan_.reset();
+    return in_weights_;
+  }
   [[nodiscard]] std::vector<Weight>& mutable_out_weights() noexcept {
+    draw_plan_.reset();
     return out_weights_;
+  }
+
+  /// Fast-draw sidecar (draw_plan.hpp) built by assign_weights; null until
+  /// weights are assigned or after any mutable weight access. Shared
+  /// read-only across samplers and multi-GPU shards.
+  [[nodiscard]] const DrawPlan* draw_plan() const noexcept { return draw_plan_.get(); }
+  void set_draw_plan(std::shared_ptr<const DrawPlan> plan) noexcept {
+    draw_plan_ = std::move(plan);
   }
 
   /// Copy every in-edge weight to its mirror out-edge entry.
@@ -70,6 +86,7 @@ class Graph {
   Adjacency out_;
   std::vector<Weight> in_weights_;
   std::vector<Weight> out_weights_;
+  std::shared_ptr<const DrawPlan> draw_plan_;
 };
 
 /// Degree statistics used by Table 1 and the dataset registry.

@@ -1,7 +1,9 @@
 #include "eim/graph/weights.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "eim/graph/draw_plan.hpp"
 #include "eim/support/error.hpp"
 #include "eim/support/rng.hpp"
 
@@ -102,6 +104,10 @@ void assign_weights(Graph& g, DiffusionModel model, const WeightParams& params) 
       break;
   }
   g.sync_out_weights_from_in();
+  // Build the fast-draw sidecar while the assignment scheme is still known:
+  // weight-uniformity detection (IC skip-ahead) and alias tables (LT) are
+  // keyed to the model the weights were just assigned for.
+  g.set_draw_plan(std::make_shared<DrawPlan>(build_draw_plan(g, model)));
 }
 
 const char* to_string(DiffusionModel model) noexcept {

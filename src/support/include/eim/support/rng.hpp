@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -211,6 +212,34 @@ class RandomStream {
   Philox4x32::Counter block_{};
   unsigned cached_;
 };
+
+/// "No success in any remaining trial" sentinel for geometric_skip.
+inline constexpr std::uint64_t kGeometricNever = ~std::uint64_t{0};
+
+/// One geometric skip-ahead draw: the number of Bernoulli(p) failures before
+/// the next success, sampled by inversion from a single uniform —
+/// floor(log(u) / log1p(-p)). `log1p_neg_p` is the caller-cached log1p(-p),
+/// which must be finite and strictly negative (0 < p < 1; the p == 0 and
+/// p >= 1 degenerate cases take their own branches in the sampler).
+///
+/// With p quantized to the 24-bit draw grid (graph::grid_success_probability)
+/// the skip count is distributed exactly like counting consecutive failures
+/// of the strict `next_float() < w` per-edge test — the basis of the
+/// fast-draw mode's statistical equivalence to the exact sampler.
+///
+/// Kept out of line ([[gnu::noinline]], like FloatDrawBuffer::refill) so
+/// sampling-profiler frames attribute skip arithmetic to the rng.skip
+/// bucket instead of dissolving into the BFS loop.
+[[gnu::noinline]] inline std::uint64_t geometric_skip(RandomStream& rng,
+                                                      double log1p_neg_p) noexcept {
+  const double u = rng.next_double();
+  // next_double() is in [0, 1); u == 0 would send log() to -inf, which is
+  // the correct limit (an infinitely long failure run) — map it explicitly.
+  if (u <= 0.0) return kGeometricNever;
+  const double k = std::log(u) / log1p_neg_p;
+  if (!(k < static_cast<double>(kGeometricNever))) return kGeometricNever;
+  return static_cast<std::uint64_t>(k);
+}
 
 /// FIFO over a RandomStream's next_float() sequence, refilled with
 /// fill_floats so the hot consumers (the Monte Carlo BFS edge sweeps) read

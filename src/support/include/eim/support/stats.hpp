@@ -46,6 +46,47 @@ class RunningStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Pearson chi-square statistic over matched observed/expected cells.
+/// Cells with nonpositive expectation are skipped (a fixed-zero category —
+/// e.g. a zero-weight in-edge that must never be picked — contributes
+/// nothing here and is asserted exactly by the caller instead). The caller
+/// compares against a critical value for its degrees of freedom.
+[[nodiscard]] inline double chi_square_statistic(const std::vector<double>& observed,
+                                                 const std::vector<double>& expected) {
+  double stat = 0.0;
+  const std::size_t cells = std::min(observed.size(), expected.size());
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (expected[i] <= 0.0) continue;
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup |F_a - F_b| over the merged
+/// support. Inputs are copied and sorted. Ties are consumed as whole groups
+/// before the CDF gap is evaluated — the empirical CDFs only have values at
+/// group boundaries, so evaluating mid-group would report a spurious sup on
+/// discrete data (e.g. the integer success counts the draw-mode tests feed
+/// in).
+[[nodiscard]] inline double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double v = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == v) ++i;
+    while (j < b.size() && b[j] == v) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
 /// p-th percentile (0..100) by linear interpolation; copies + sorts.
 [[nodiscard]] inline double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();

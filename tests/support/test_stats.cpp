@@ -60,5 +60,33 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
 }
 
+TEST(ChiSquare, MatchesHandComputation) {
+  // ((10-8)^2)/8 + ((6-8)^2)/8 = 1.0; the zero-expectation cell is skipped
+  // even when observed is nonzero (the caller asserts such cells exactly).
+  EXPECT_DOUBLE_EQ(chi_square_statistic({10, 6, 3}, {8, 8, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_statistic({8, 8}, {8, 8}), 0.0);
+}
+
+TEST(KolmogorovSmirnov, IdenticalSamplesAreZero) {
+  const std::vector<double> xs{1, 2, 2, 3, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(xs, xs), 0.0);
+  EXPECT_TRUE(std::isnan(ks_statistic({}, xs)));
+}
+
+TEST(KolmogorovSmirnov, DisjointSupportsAreOne) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KolmogorovSmirnov, TiesEvaluateAtGroupBoundariesOnly) {
+  // Heavily tied discrete samples with identical distributions: a mid-group
+  // evaluation would report ~0.5 here; the correct sup over the empirical
+  // CDFs (which only step at 1 and 2) is 0.
+  const std::vector<double> a{1, 1, 1, 1, 2, 2, 2, 2};
+  const std::vector<double> b{1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.0);
+  // Known shifted-mass case: F_a(1) = 0.75 vs F_b(1) = 0.25.
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 1, 1, 2}, {1, 2, 2, 2}), 0.5);
+}
+
 }  // namespace
 }  // namespace eim::support

@@ -83,6 +83,7 @@ struct CliOptions {
   std::string spill_dir;                ///< cold-tier directory (default temp)
   std::uint64_t spill_host_budget = 0;  ///< compressed host tier cap (bytes)
   std::uint32_t verify_trials = 0;
+  std::string draw_mode = "exact";  ///< exact|skip (eim only)
   bool no_log_encoding = false;
   bool no_source_elim = false;
   bool oom_degrade = false;
@@ -139,6 +140,15 @@ void print_usage() {
       "  --spill-host-budget <bytes>  cap the compressed host tier; colder\n"
       "                       blocks overflow to disk (0 = unlimited)\n"
       "  --verify <trials>    score the seeds with forward Monte-Carlo\n"
+      "  --draw-mode exact|skip  how the sampler spends randomness (eim\n"
+      "                       only; default exact). exact = one Bernoulli\n"
+      "                       draw per scanned in-edge, bit-identical across\n"
+      "                       all configurations; skip = geometric skip-ahead\n"
+      "                       (IC) / alias-table picks (LT), statistically\n"
+      "                       equivalent spread at a fraction of the RNG\n"
+      "                       cost (docs/PERFORMANCE.md, Draw efficiency).\n"
+      "                       Recorded in checkpoints: a --resume must use\n"
+      "                       the writing run's mode\n"
       "  --no-log-encoding    disable the Section 3.1 compression\n"
       "  --no-source-elim     disable the Section 3.4 heuristic\n"
       "  --oom-degrade        on device OOM, return best-effort seeds from\n"
@@ -280,6 +290,13 @@ std::optional<CliOptions> parse(int argc, char** argv, int& exit_code) {
       opt.spill_host_budget = static_cast<std::uint64_t>(std::atoll(value));
     } else if (arg == "--verify" && (value = next())) {
       opt.verify_trials = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--draw-mode" && (value = next())) {
+      opt.draw_mode = value;
+      if (opt.draw_mode != "exact" && opt.draw_mode != "skip") {
+        std::fprintf(stderr, "error: --draw-mode must be exact|skip, got '%s'\n",
+                     value);
+        return std::nullopt;
+      }
     } else if (arg == "--no-log-encoding") {
       opt.no_log_encoding = true;
     } else if (arg == "--no-source-elim") {
@@ -327,6 +344,10 @@ int main(int argc, char** argv) {
   if ((!opt.checkpoint_dir.empty() || !opt.resume_dir.empty()) && opt.algo != "eim") {
     return report_error(support::InvalidArgumentError(
         "--checkpoint/--resume require --algo eim (got '" + opt.algo + "')"));
+  }
+  if (opt.draw_mode == "skip" && opt.algo != "eim") {
+    return report_error(support::InvalidArgumentError(
+        "--draw-mode skip requires --algo eim (got '" + opt.algo + "')"));
   }
   if (opt.nodes > 0 && opt.algo != "eim") {
     return report_error(support::InvalidArgumentError(
@@ -463,6 +484,7 @@ int main(int argc, char** argv) {
       eim_impl::EimOptions options;
       options.log_encode = !opt.no_log_encoding;
       options.eliminate_sources = !opt.no_source_elim;
+      if (opt.draw_mode == "skip") options.draw_mode = eim_impl::DrawMode::Skip;
       if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
       options.metrics = &registry;
       options.trace = trace;
@@ -499,6 +521,7 @@ int main(int argc, char** argv) {
       eim_impl::EimOptions options;
       options.log_encode = !opt.no_log_encoding;
       options.eliminate_sources = !opt.no_source_elim;
+      if (opt.draw_mode == "skip") options.draw_mode = eim_impl::DrawMode::Skip;
       if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
       options.metrics = &registry;
       options.trace = trace;
@@ -517,6 +540,7 @@ int main(int argc, char** argv) {
         eim_impl::EimOptions options;
         options.log_encode = !opt.no_log_encoding;
         options.eliminate_sources = !opt.no_source_elim;
+        if (opt.draw_mode == "skip") options.draw_mode = eim_impl::DrawMode::Skip;
         if (opt.oom_degrade) options.oom_policy = eim_impl::OomPolicy::Degrade;
         options.metrics = &registry;
         options.trace = trace;

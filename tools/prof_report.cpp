@@ -12,7 +12,13 @@
 // first frame, scanning leaf to root, that matches a known hot-path bucket:
 //
 //   sampler   Monte Carlo RRR generation (EimSampler/RrrSampler BFS + walk)
-//   rng       Philox draw generation and bulk refills
+//   rng.skip  fast-draw arithmetic: geometric skip-ahead draws and
+//             alias-table picks (--draw-mode skip)
+//   rng.gen   Philox block generation and bulk refills
+//   rng       remaining draw plumbing (RandomStream scalar draws, the draw
+//             buffer bookkeeping) — also where every rng-ish symbol from a
+//             profile predating the rng.gen/rng.skip split still lands, so
+//             old folded files keep parsing with the same total rng share
 //   spill     memory-pressure tiers: TieredRrrStore evict/fetch, the
 //             rrr_block codec frames it drives, atomic disk I/O + retries
 //   codec     bit-packed encode/decode (PackedCsc, BitPackedArray, ...)
@@ -60,9 +66,18 @@ struct Bucket {
 /// steady-state codec work), codec outranks the selector driving the decode.
 std::vector<Bucket> make_buckets() {
   return {
+      // The rng family is split three ways: the two sub-buckets claim their
+      // specific symbols first, and the plain `rng` catch-all keeps every
+      // other draw-path symbol — including everything an old (pre-split)
+      // folded file can contain — bucketing exactly where it used to.
+      {"rng.skip",
+       {"geometric_skip", "alias_pick", "build_draw_plan", "draw_plan"},
+       0},
+      {"rng.gen",
+       {"Philox", "fill_floats", "fill_u32", "fill_blocks", "refill"},
+       0},
       {"rng",
-       {"RandomStream", "Philox", "FloatDrawBuffer", "fill_floats", "fill_u32",
-        "fill_blocks", "refill", "splitmix64"},
+       {"RandomStream", "FloatDrawBuffer", "splitmix64"},
        0},
       {"spill",
        {"TieredRrrStore", "rrr_block_", "spill", "atomic_write", "retry_on",
@@ -195,7 +210,8 @@ void print_text(const Report& r) {
 void print_json(const Report& r) {
   eim::support::JsonWriter w(std::cout);
   w.begin_object();
-  w.field("schema", "eim.prof_report.v1");
+  // v2: the `rng` bucket split into rng.skip / rng.gen / rng (catch-all).
+  w.field("schema", "eim.prof_report.v2");
   w.field("total_samples", static_cast<std::uint64_t>(r.total));
   w.field("symbolized_samples", static_cast<std::uint64_t>(r.symbolized));
   w.field("symbolized_fraction", r.symbolized_fraction());
@@ -212,8 +228,9 @@ void print_usage() {
   std::puts(
       "usage: prof_report [--json] [--min-symbolized <frac>] <profile.folded|->\n"
       "  Attributes a folded-stack sampling profile (support::profiler) to\n"
-      "  the repo's hot-path buckets: sampler / rng / spill / codec /\n"
-      "  selector / pool / other. '-' reads stdin. Exits 1 when the profile\n"
+      "  the repo's hot-path buckets: sampler / rng.skip / rng.gen / rng /\n"
+      "  spill / codec / selector / pool / other. '-' reads stdin. Exits 1\n"
+      "  when the profile\n"
       "  is empty or\n"
       "  fewer than <frac> (default 0.5) of the samples symbolize.");
 }
